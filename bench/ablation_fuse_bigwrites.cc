@@ -1,0 +1,48 @@
+// Ablation for §4.8: the FUSE big_writes mount option. By default FUSE
+// flushes 4 KB from user space per kernel round trip; OLFS mounts with
+// big_writes so 128 KB moves per trip, recovering streaming throughput.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/frontend/stack.h"
+#include "src/olfs/olfs.h"
+#include "src/workload/filebench.h"
+
+using namespace ros;
+using namespace ros::olfs;
+
+int main() {
+  sim::Simulator sim;
+  SystemConfig config = TestSystemConfig();
+  config.hdds_per_volume = 7;
+  config.hdd_capacity = 8 * kGiB;
+  RosSystem system(sim, config);
+  OlfsParams params;
+  params.disc_capacity_override = 2 * kGiB;
+  Olfs olfs(sim, &system, params);
+
+  auto measure = [&](bool big_writes, const std::string& path) {
+    frontend::FrontendStack stack(sim, frontend::StackConfig::kExt4Olfs,
+                                  nullptr, &olfs);
+    stack.big_writes = big_writes;
+    auto result = sim.RunUntilComplete(workload::SinglestreamWrite(
+        sim, stack, path, 512 * kMB));
+    ROS_CHECK(result.ok());
+    return result->bytes_per_sec() / 1e6;
+  };
+
+  bench::PrintHeader("Ablation (§4.8): FUSE big_writes mount option");
+  const double big = measure(true, "/fuse/big");
+  const double plain = measure(false, "/fuse/plain");
+  std::printf("  ext4+OLFS write, big_writes (128 KB/flush): %8.1f MB/s\n",
+              big);
+  std::printf("  ext4+OLFS write, default (4 KB/flush):      %8.1f MB/s\n",
+              plain);
+  std::printf("  big_writes speedup:                          %8.2fx\n",
+              big / plain);
+  bench::PrintNote(
+      "the paper: 4 KB flushes cause frequent kernel-user mode switches "
+      "and significant overheads; OLFS sets big_writes");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Table 3 (§5.5): disc-array load/unload latencies at the
+// uppermost and lowest roller layers.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/mech/library.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+using namespace ros;
+
+namespace {
+
+double Timed(sim::Simulator& sim, sim::Task<Status> op) {
+  sim::TimePoint start = sim.now();
+  Status status = sim.RunUntilComplete(std::move(op));
+  ROS_CHECK(status.ok());
+  return sim::ToSeconds(sim.now() - start);
+}
+
+double LoadAt(int layer) {
+  sim::Simulator sim;
+  mech::Library lib(sim, mech::LibraryConfig{});
+  return Timed(sim, lib.LoadArray({0, layer, 1}, 0));
+}
+
+double UnloadAt(int layer) {
+  sim::Simulator sim;
+  mech::Library lib(sim, mech::LibraryConfig{});
+  ROS_CHECK(sim.RunUntilComplete(lib.LoadArray({0, layer, 1}, 0)).ok());
+  return Timed(sim, lib.UnloadArray(0));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table 3: mechanical latency (seconds)");
+  bench::PrintRow("load, uppermost layer", 68.7, LoadAt(0), "s");
+  bench::PrintRow("load, lowest layer", 73.2, LoadAt(84), "s");
+  bench::PrintRow("unload, uppermost layer", 81.7, UnloadAt(0), "s");
+  bench::PrintRow("unload, lowest layer", 86.5, UnloadAt(84), "s");
+
+  // Component breakdown the paper quotes in prose.
+  sim::Simulator sim;
+  mech::MechTimingModel timing;
+  bench::PrintHeader("Mechanical component breakdown (paper prose, §5.5)");
+  bench::PrintRow("roller rotation, worst case (3 slots)", 2.0,
+                  sim::ToSeconds(timing.RotateTime(0, 3)), "s");
+  bench::PrintRow("arm travel top<->bottom (empty)", 4.5,
+                  sim::ToSeconds(timing.ArmTravelTime(0, 84, false)), "s");
+  bench::PrintRow("separate 12 discs into drives", 61.0,
+                  sim::ToSeconds(timing.SeparateArrayTime()), "s");
+  bench::PrintRow("collect 12 discs from drives", 74.0,
+                  sim::ToSeconds(timing.CollectArrayTime()), "s");
+  return 0;
+}

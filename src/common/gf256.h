@@ -1,0 +1,99 @@
+// GF(2^8) arithmetic for Reed-Solomon P+Q parity (RAID-6).
+//
+// Uses the standard polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and the
+// generator g = 2, the same construction as the Linux RAID-6 driver:
+//   P = d_0 ^ d_1 ^ ... ^ d_{n-1}
+//   Q = g^0*d_0 ^ g^1*d_1 ^ ... ^ g^{n-1}*d_{n-1}
+#ifndef ROS_SRC_COMMON_GF256_H_
+#define ROS_SRC_COMMON_GF256_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/status.h"
+
+namespace ros::gf256 {
+
+namespace internal {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 511> exp{};
+};
+
+constexpr Tables MakeTables() {
+  Tables t{};
+  std::uint16_t x = 1;
+  for (int i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    x <<= 1;
+    if (x & 0x100) {
+      x ^= 0x11D;
+    }
+  }
+  // Duplicate so exp[i + j] never needs a mod 255 for i, j < 255.
+  for (int i = 255; i < 511; ++i) {
+    t.exp[i] = t.exp[i - 255];
+  }
+  return t;
+}
+
+inline constexpr Tables kTables = MakeTables();
+
+}  // namespace internal
+
+constexpr std::uint8_t Mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) {
+    return 0;
+  }
+  return internal::kTables.exp[internal::kTables.log[a] +
+                               internal::kTables.log[b]];
+}
+
+constexpr std::uint8_t Inv(std::uint8_t a) {
+  ROS_CHECK(a != 0);
+  return internal::kTables.exp[255 - internal::kTables.log[a]];
+}
+
+constexpr std::uint8_t Div(std::uint8_t a, std::uint8_t b) {
+  return Mul(a, Inv(b));
+}
+
+// g^n for generator 2.
+constexpr std::uint8_t Pow2(unsigned n) {
+  return internal::kTables.exp[n % 255];
+}
+
+// out ^= in (plain XOR accumulate, used for P parity).
+inline void XorAcc(std::span<std::uint8_t> out,
+                   std::span<const std::uint8_t> in) {
+  ROS_CHECK(out.size() >= in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] ^= in[i];
+  }
+}
+
+// out ^= coeff * in (GF multiply-accumulate, used for Q parity).
+inline void MulAcc(std::span<std::uint8_t> out, std::uint8_t coeff,
+                   std::span<const std::uint8_t> in) {
+  ROS_CHECK(out.size() >= in.size());
+  if (coeff == 0) {
+    return;
+  }
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] ^= Mul(coeff, in[i]);
+  }
+}
+
+// Scales a buffer in place: buf *= coeff.
+inline void Scale(std::span<std::uint8_t> buf, std::uint8_t coeff) {
+  for (auto& b : buf) {
+    b = Mul(coeff, b);
+  }
+}
+
+}  // namespace ros::gf256
+
+#endif  // ROS_SRC_COMMON_GF256_H_

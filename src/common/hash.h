@@ -1,0 +1,50 @@
+// CRC32 checksums used by the UDF serializer and disc scrubbing.
+#ifndef ROS_SRC_COMMON_HASH_H_
+#define ROS_SRC_COMMON_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace ros {
+
+namespace internal {
+constexpr std::array<std::uint32_t, 256> MakeCrc32Table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = MakeCrc32Table();
+}  // namespace internal
+
+// Standard CRC-32 (IEEE 802.3). Suitable for detecting media bit-rot in the
+// simulated disc scrubber; not a cryptographic hash.
+inline std::uint32_t Crc32(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::uint8_t byte : data) {
+    c = internal::kCrc32Table[(c ^ byte) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// 64-bit FNV-1a, used for content fingerprints in tests.
+inline std::uint64_t Fnv1a64(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::uint8_t byte : data) {
+    h ^= byte;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace ros
+
+#endif  // ROS_SRC_COMMON_HASH_H_

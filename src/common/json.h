@@ -1,0 +1,96 @@
+// Minimal JSON value model, parser and serializer.
+//
+// The paper stores OLFS index files, system state and maintenance records in
+// JSON "for its ease of processing and translation" (§4.2). This is a small
+// from-scratch implementation covering the JSON subset OLFS needs: objects,
+// arrays, strings (with escapes), integers, doubles, booleans and null.
+#ifndef ROS_SRC_COMMON_JSON_H_
+#define ROS_SRC_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ros::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+// std::map keeps serialized objects in deterministic key order, which makes
+// index files byte-stable across runs — important for parity determinism.
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : rep_(nullptr) {}
+  Value(std::nullptr_t) : rep_(nullptr) {}
+  Value(bool b) : rep_(b) {}
+  Value(std::int64_t i) : rep_(i) {}
+  Value(int i) : rep_(static_cast<std::int64_t>(i)) {}
+  Value(std::uint64_t u) : rep_(static_cast<std::int64_t>(u)) {}
+  Value(double d) : rep_(d) {}
+  Value(const char* s) : rep_(std::string(s)) {}
+  Value(std::string s) : rep_(std::move(s)) {}
+  Value(Array a) : rep_(std::move(a)) {}
+  Value(Object o) : rep_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(rep_); }
+  bool is_bool() const { return std::holds_alternative<bool>(rep_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(rep_); }
+  bool is_double() const { return std::holds_alternative<double>(rep_); }
+  bool is_string() const { return std::holds_alternative<std::string>(rep_); }
+  bool is_array() const { return std::holds_alternative<Array>(rep_); }
+  bool is_object() const { return std::holds_alternative<Object>(rep_); }
+
+  bool as_bool() const { return std::get<bool>(rep_); }
+  std::int64_t as_int() const {
+    if (is_double()) {
+      return static_cast<std::int64_t>(std::get<double>(rep_));
+    }
+    return std::get<std::int64_t>(rep_);
+  }
+  double as_double() const {
+    if (is_int()) {
+      return static_cast<double>(std::get<std::int64_t>(rep_));
+    }
+    return std::get<double>(rep_);
+  }
+  const std::string& as_string() const { return std::get<std::string>(rep_); }
+  const Array& as_array() const { return std::get<Array>(rep_); }
+  Array& as_array() { return std::get<Array>(rep_); }
+  const Object& as_object() const { return std::get<Object>(rep_); }
+  Object& as_object() { return std::get<Object>(rep_); }
+
+  // Object field access; returns a shared null value when absent.
+  const Value& operator[](std::string_view key) const;
+  bool contains(std::string_view key) const;
+
+  // Serializes to compact JSON (no insignificant whitespace).
+  std::string Dump() const;
+  // Serializes with 2-space indentation.
+  std::string DumpPretty() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      rep_;
+};
+
+// Parses a JSON document. Returns InvalidArgument on malformed input.
+StatusOr<Value> Parse(std::string_view text);
+
+}  // namespace ros::json
+
+#endif  // ROS_SRC_COMMON_JSON_H_

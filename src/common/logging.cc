@@ -1,0 +1,53 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace ros {
+
+LogConfig& LogConfig::Get() {
+  static LogConfig config;
+  return config;
+}
+
+namespace internal {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarning: return "W";
+    case LogLevel::kError: return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << LevelName(level) << " ";
+  auto& config = LogConfig::Get();
+  if (config.prefix_provider) {
+    stream_ << "[" << config.prefix_provider() << "] ";
+  }
+  stream_ << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  auto& config = LogConfig::Get();
+  std::string line = stream_.str();
+  if (config.sink) {
+    config.sink(level_, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace internal
+}  // namespace ros

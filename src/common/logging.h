@@ -1,0 +1,50 @@
+// Leveled logging for the ROS library. Log lines carry the simulated time
+// when a simulator is attached, which makes event traces readable.
+#ifndef ROS_SRC_COMMON_LOGGING_H_
+#define ROS_SRC_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace ros {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+// Global log configuration. Not thread-safe by design: the DES engine is
+// single-threaded and tests set this up before running.
+class LogConfig {
+ public:
+  static LogConfig& Get();
+
+  LogLevel min_level = LogLevel::kWarning;
+  // When set, returns a prefix (e.g. the simulated timestamp).
+  std::function<std::string()> prefix_provider;
+  // When set, receives formatted lines instead of stderr (used in tests).
+  std::function<void(LogLevel, const std::string&)> sink;
+};
+
+namespace internal {
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+#define ROS_LOG(level)                                                       \
+  if (static_cast<int>(::ros::LogLevel::level) <                             \
+      static_cast<int>(::ros::LogConfig::Get().min_level)) {                 \
+  } else                                                                     \
+    ::ros::internal::LogMessage(::ros::LogLevel::level, __FILE__, __LINE__)  \
+        .stream()
+
+}  // namespace ros
+
+#endif  // ROS_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,219 @@
+// Lightweight status / status-or error handling for the ROS library.
+//
+// The library does not use exceptions on hot paths: operations that can fail
+// return a Status or a StatusOr<T>, in the spirit of absl::Status. Fatal
+// programming errors (precondition violations) abort via ROS_CHECK.
+#ifndef ROS_SRC_COMMON_STATUS_H_
+#define ROS_SRC_COMMON_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ros {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,        // entity (file, disc, image) does not exist
+  kAlreadyExists,   // create of an existing entity
+  kInvalidArgument, // malformed request
+  kOutOfRange,      // offset/length beyond entity size
+  kResourceExhausted, // no free buckets/drives/slots/capacity
+  kFailedPrecondition, // operation illegal in current state (e.g. WORM rewrite)
+  kUnavailable,     // transient: resource busy, retry later
+  kDataLoss,        // unrecoverable media corruption
+  kInternal,        // invariant broken inside the library
+};
+
+// Returns a stable human-readable name for a status code.
+constexpr std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+// A success-or-error value with an optional message.
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string out(StatusCodeName(code_));
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DataLossError(std::string msg) {
+  return Status(StatusCode::kDataLoss, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// A value of type T or a non-OK Status, similar to absl::StatusOr.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : rep_(std::move(status)) {
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status(StatusCode::kInternal, "OK status used to build StatusOr");
+    }
+  }
+  StatusOr(T value) : rep_(std::move(value)) {}
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  Status status() const {
+    if (ok()) {
+      return OkStatus();
+    }
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(rep_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<Status, T> rep_;
+};
+
+// Aborts with a message when a runtime invariant fails.
+#define ROS_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "ROS_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+// Propagates a non-OK Status from the current function.
+#define ROS_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::ros::Status ros_status__ = (expr);     \
+    if (!ros_status__.ok()) {                \
+      return ros_status__;                   \
+    }                                        \
+  } while (0)
+
+// Evaluates a StatusOr expression, propagating errors and otherwise
+// assigning the contained value to `lhs`.
+#define ROS_ASSIGN_OR_RETURN(lhs, expr)      \
+  ROS_ASSIGN_OR_RETURN_IMPL_(                \
+      ROS_STATUS_CONCAT_(sor__, __LINE__), lhs, expr)
+
+#define ROS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define ROS_STATUS_CONCAT_INNER_(a, b) a##b
+#define ROS_STATUS_CONCAT_(a, b) ROS_STATUS_CONCAT_INNER_(a, b)
+
+// Coroutine variants: identical semantics but exit with co_return, for use
+// inside sim::Task<Status> / sim::Task<StatusOr<T>> coroutines.
+#define ROS_CO_RETURN_IF_ERROR(expr)         \
+  do {                                       \
+    ::ros::Status ros_status__ = (expr);     \
+    if (!ros_status__.ok()) {                \
+      co_return ros_status__;                \
+    }                                        \
+  } while (0)
+
+#define ROS_CO_ASSIGN_OR_RETURN(lhs, expr)   \
+  ROS_CO_ASSIGN_OR_RETURN_IMPL_(             \
+      ROS_STATUS_CONCAT_(sor__, __LINE__), lhs, expr)
+
+#define ROS_CO_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    co_return tmp.status();                           \
+  }                                                   \
+  lhs = std::move(tmp).value()
+
+}  // namespace ros
+
+#endif  // ROS_SRC_COMMON_STATUS_H_

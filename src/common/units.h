@@ -1,0 +1,33 @@
+// Byte-size and rate units used throughout the ROS library.
+#ifndef ROS_SRC_COMMON_UNITS_H_
+#define ROS_SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace ros {
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ull * kGiB;
+
+// Decimal units: optical media capacities are quoted in decimal GB
+// (a "25 GB" BD-R holds 25 * 10^9 bytes).
+inline constexpr std::uint64_t kKB = 1000ull;
+inline constexpr std::uint64_t kMB = 1000ull * kKB;
+inline constexpr std::uint64_t kGB = 1000ull * kMB;
+inline constexpr std::uint64_t kTB = 1000ull * kGB;
+inline constexpr std::uint64_t kPB = 1000ull * kTB;
+
+// Converts a byte count to decimal megabytes as a double (for reporting).
+constexpr double BytesToMB(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kMB);
+}
+
+constexpr double BytesToGB(std::uint64_t bytes) {
+  return static_cast<double>(bytes) / static_cast<double>(kGB);
+}
+
+}  // namespace ros
+
+#endif  // ROS_SRC_COMMON_UNITS_H_

@@ -1,0 +1,779 @@
+#include "src/disk/raid.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "src/common/gf256.h"
+#include "src/sim/join.h"
+
+namespace ros::disk {
+
+namespace {
+
+constexpr std::uint64_t kDiscard = ~0ull;
+
+// Index of data chunk k within stripe s for GF Q-parity coefficients: the
+// coefficient is g^k regardless of which physical device holds the chunk.
+std::span<const std::uint8_t> SpanOf(const std::vector<std::uint8_t>& v) {
+  return {v.data(), v.size()};
+}
+
+}  // namespace
+
+RaidVolume::RaidVolume(sim::Simulator& sim, RaidLevel level,
+                       std::vector<StorageDevice*> devices,
+                       std::uint64_t stripe_unit)
+    : sim_(sim), level_(level), devices_(std::move(devices)),
+      stripe_unit_(stripe_unit) {
+  const int n = num_devices();
+  ROS_CHECK(n >= 1);
+  switch (level_) {
+    case RaidLevel::kRaid0:
+      data_n_ = n;
+      break;
+    case RaidLevel::kRaid1:
+      ROS_CHECK(n >= 2);
+      data_n_ = 1;
+      break;
+    case RaidLevel::kRaid5:
+      ROS_CHECK(n >= 3);
+      data_n_ = n - 1;
+      break;
+    case RaidLevel::kRaid6:
+      ROS_CHECK(n >= 4);
+      data_n_ = n - 2;
+      break;
+  }
+  std::uint64_t min_cap = devices_[0]->capacity();
+  for (StorageDevice* device : devices_) {
+    min_cap = std::min(min_cap, device->capacity());
+  }
+  stripe_bytes_ = stripe_unit_ * static_cast<std::uint64_t>(data_n_);
+  num_stripes_ = min_cap / stripe_unit_;
+  capacity_ = num_stripes_ * stripe_bytes_;
+  drained_ = std::make_unique<sim::ConditionVariable>(sim_);
+}
+
+int RaidVolume::PDevice(std::uint64_t stripe) const {
+  const int n = num_devices();
+  return n - 1 - static_cast<int>(stripe % n);
+}
+
+int RaidVolume::QDevice(std::uint64_t stripe) const {
+  return (PDevice(stripe) + 1) % num_devices();
+}
+
+RaidVolume::ChunkLoc RaidVolume::DataChunk(std::uint64_t stripe,
+                                           int k) const {
+  const int n = num_devices();
+  const std::uint64_t dev_offset = stripe * stripe_unit_;
+  switch (level_) {
+    case RaidLevel::kRaid0:
+      return {k, dev_offset};
+    case RaidLevel::kRaid1:
+      return {0, dev_offset};  // canonical copy; mirrors handled separately
+    case RaidLevel::kRaid5:
+      return {(PDevice(stripe) + 1 + k) % n, dev_offset};
+    case RaidLevel::kRaid6:
+      return {(QDevice(stripe) + 1 + k) % n, dev_offset};
+  }
+  ROS_CHECK(false);
+  return {0, 0};
+}
+
+int RaidVolume::failed_devices() const {
+  int failed = 0;
+  for (const StorageDevice* device : devices_) {
+    if (device->failed()) {
+      ++failed;
+    }
+  }
+  return failed;
+}
+
+bool RaidVolume::operational() const {
+  const int failed = failed_devices();
+  switch (level_) {
+    case RaidLevel::kRaid0: return failed == 0;
+    case RaidLevel::kRaid1: return failed < num_devices();
+    case RaidLevel::kRaid5: return failed <= 1;
+    case RaidLevel::kRaid6: return failed <= 2;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+
+sim::Task<Status> RaidVolume::Write(std::uint64_t offset,
+                                    std::vector<std::uint8_t> data) {
+  if (offset + data.size() > capacity_) {
+    co_return OutOfRangeError("write beyond RAID volume");
+  }
+  if (!operational()) {
+    co_return UnavailableError("RAID volume lost too many devices");
+  }
+  if (data.empty()) {
+    co_return OkStatus();
+  }
+
+  // Controller write-back cache path: small writes on a healthy volume
+  // acknowledge from controller DRAM and destage in the background.
+  if (write_cache_ && data.size() <= kCacheMaxWrite &&
+      failed_devices() == 0) {
+    co_return co_await WriteCached(offset, std::move(data));
+  }
+
+  if (level_ == RaidLevel::kRaid1) {
+    std::vector<sim::Task<Status>> writes;
+    for (StorageDevice* device : devices_) {
+      if (!device->failed()) {
+        writes.push_back(device->Write(offset, data));
+      }
+    }
+    bytes_written_ += data.size();
+    co_return co_await sim::AllOk(sim_, std::move(writes));
+  }
+
+  // Align the request to whole stripes, merging with existing data at the
+  // partially-covered head/tail stripes (read-modify-write).
+  const std::uint64_t first = offset / stripe_bytes_;
+  const std::uint64_t last = (offset + data.size() + stripe_bytes_ - 1) /
+                             stripe_bytes_;
+  std::vector<std::uint8_t> buffer((last - first) * stripe_bytes_, 0);
+  const bool head_partial = offset % stripe_bytes_ != 0;
+  const bool tail_partial = (offset + data.size()) % stripe_bytes_ != 0;
+  if (head_partial) {
+    std::vector<std::uint8_t> old;
+    ROS_CO_RETURN_IF_ERROR(co_await ReadStripeData(first, &old));
+    std::memcpy(buffer.data(), old.data(), stripe_bytes_);
+  }
+  if (tail_partial && (last - 1 != first || !head_partial)) {
+    std::vector<std::uint8_t> old;
+    ROS_CO_RETURN_IF_ERROR(co_await ReadStripeData(last - 1, &old));
+    std::memcpy(buffer.data() + (last - 1 - first) * stripe_bytes_,
+                old.data(), stripe_bytes_);
+  }
+  std::memcpy(buffer.data() + (offset - first * stripe_bytes_), data.data(),
+              data.size());
+  bytes_written_ += data.size();
+  co_return co_await WriteStripes(first, last, buffer);
+}
+
+sim::Task<Status> RaidVolume::WriteStripes(
+    std::uint64_t first, std::uint64_t last,
+    const std::vector<std::uint8_t>& data) {
+  ROS_CHECK(data.size() >= (last - first) * stripe_bytes_);
+  // Per-device vectored segments across all stripes in the request.
+  std::map<int, std::vector<StorageDevice::Segment>> segments;
+
+  std::uint64_t parity_bytes = 0;
+  for (std::uint64_t stripe = first; stripe < last; ++stripe) {
+    const std::uint8_t* base =
+        data.data() + (stripe - first) * stripe_bytes_;
+    std::vector<std::uint8_t> p(stripe_unit_, 0);
+    std::vector<std::uint8_t> q(stripe_unit_, 0);
+    for (int k = 0; k < data_n_; ++k) {
+      std::span<const std::uint8_t> chunk{base + k * stripe_unit_,
+                                          stripe_unit_};
+      ChunkLoc loc = DataChunk(stripe, k);
+      segments[loc.device].push_back(
+          {loc.dev_offset,
+           std::vector<std::uint8_t>(chunk.begin(), chunk.end())});
+      if (parity_count() >= 1) {
+        gf256::XorAcc(p, chunk);
+      }
+      if (parity_count() >= 2) {
+        gf256::MulAcc(q, gf256::Pow2(static_cast<unsigned>(k)), chunk);
+      }
+    }
+    if (parity_count() >= 1) {
+      segments[PDevice(stripe)].push_back(
+          {stripe * stripe_unit_, std::move(p)});
+      parity_bytes += stripe_bytes_;
+    }
+    if (parity_count() >= 2) {
+      segments[QDevice(stripe)].push_back(
+          {stripe * stripe_unit_, std::move(q)});
+      parity_bytes += stripe_bytes_;
+    }
+  }
+
+  // Parity computation at memory bandwidth.
+  if (parity_bytes > 0) {
+    co_await sim_.Delay(
+        sim::TransferTime(parity_bytes, kParityComputeBytesPerSec));
+  }
+
+  std::vector<sim::Task<Status>> ops;
+  for (auto& [device, segs] : segments) {
+    if (!devices_[device]->failed()) {
+      ops.push_back(devices_[device]->WriteMulti(std::move(segs)));
+    }
+  }
+  co_return co_await sim::AllOk(sim_, std::move(ops));
+}
+
+sim::Task<Status> RaidVolume::WriteDiscard(std::uint64_t offset,
+                                           std::uint64_t length) {
+  if (offset + length > capacity_) {
+    co_return OutOfRangeError("write beyond RAID volume");
+  }
+  if (!operational()) {
+    co_return UnavailableError("RAID volume lost too many devices");
+  }
+  if (length == 0) {
+    co_return OkStatus();
+  }
+  bytes_written_ += length;
+  if (level_ == RaidLevel::kRaid1) {
+    std::vector<sim::Task<Status>> writes;
+    for (StorageDevice* device : devices_) {
+      if (!device->failed()) {
+        writes.push_back(device->WriteDiscard(offset, length));
+      }
+    }
+    co_return co_await sim::AllOk(sim_, std::move(writes));
+  }
+  // Parity compute for the covered bytes, then an even per-device share
+  // (data + rotated parity pass-over). The per-device byte range
+  // [offset/data_n, end/data_n) tiles exactly across consecutive calls,
+  // so sequential streams stay sequential on every spindle.
+  co_await sim_.Delay(sim::TransferTime(
+      length * static_cast<std::uint64_t>(parity_count()),
+      kParityComputeBytesPerSec));
+  const std::uint64_t dev_start = offset / data_n_;
+  const std::uint64_t dev_end = (offset + length) / data_n_;
+  std::vector<sim::Task<Status>> writes;
+  for (StorageDevice* device : devices_) {
+    if (!device->failed() && dev_end > dev_start) {
+      writes.push_back(device->WriteDiscard(dev_start, dev_end - dev_start));
+    }
+  }
+  co_return co_await sim::AllOk(sim_, std::move(writes));
+}
+
+sim::Task<Status> RaidVolume::ReadDiscard(std::uint64_t offset,
+                                          std::uint64_t length) {
+  if (offset + length > capacity_) {
+    co_return OutOfRangeError("read beyond RAID volume");
+  }
+  if (!operational()) {
+    co_return UnavailableError("RAID volume lost too many devices");
+  }
+  if (length == 0) {
+    co_return OkStatus();
+  }
+  bytes_read_ += length;
+  if (write_cache_ && failed_devices() == 0 && RangeInCache(offset, length)) {
+    co_await sim_.Delay(sim::Micros(300) +
+                        sim::TransferTime(length, kCacheAckBytesPerSec));
+    co_return OkStatus();
+  }
+  if (level_ == RaidLevel::kRaid1) {
+    for (int attempt = 0; attempt < num_devices(); ++attempt) {
+      StorageDevice* device = devices_[next_mirror_read_++ % devices_.size()];
+      if (!device->failed()) {
+        co_return co_await device->ReadDiscard(offset, length);
+      }
+    }
+    co_return UnavailableError("all mirrors failed");
+  }
+  // Even per-device share including the rotated-parity pass-over; the
+  // range tiles exactly across consecutive sequential calls.
+  const std::uint64_t dev_start = offset / data_n_;
+  const std::uint64_t dev_end = (offset + length) / data_n_;
+  std::vector<sim::Task<Status>> reads;
+  for (StorageDevice* device : devices_) {
+    if (!device->failed() && dev_end > dev_start) {
+      reads.push_back(device->ReadDiscard(dev_start, dev_end - dev_start));
+    }
+  }
+  co_return co_await sim::AllOk(sim_, std::move(reads));
+}
+
+bool RaidVolume::RangeInCache(std::uint64_t offset,
+                              std::uint64_t length) const {
+  for (const auto& [start, len] : cache_ranges_) {
+    if (offset >= start && offset + length <= start + len) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RaidVolume::RememberRange(std::uint64_t offset, std::uint64_t length) {
+  cache_ranges_.emplace_back(offset, length);
+  cache_range_bytes_ += length;
+  while (cache_range_bytes_ > kCacheDirtyLimit ||
+         cache_ranges_.size() > 1024) {
+    cache_range_bytes_ -= cache_ranges_.front().second;
+    cache_ranges_.pop_front();
+  }
+}
+
+sim::Task<Status> RaidVolume::WriteCached(std::uint64_t offset,
+                                          std::vector<std::uint8_t> data) {
+  // Honour the dirty limit: writers stall while destaging catches up,
+  // which converges sustained throughput to the spindle rate.
+  while (dirty_ + data.size() > kCacheDirtyLimit) {
+    co_await drained_->Wait();
+  }
+  const std::uint64_t size = data.size();
+  bytes_written_ += size;
+  dirty_ += size;
+
+  std::uint64_t first = 0;
+  std::uint64_t stripes = 1;
+  if (level_ == RaidLevel::kRaid1) {
+    for (StorageDevice* device : devices_) {
+      device->StoreDirect(offset, data);
+    }
+  } else {
+    first = offset / stripe_bytes_;
+    const std::uint64_t last =
+        (offset + size + stripe_bytes_ - 1) / stripe_bytes_;
+    stripes = last - first;
+    // Read-merge partial head/tail stripes from the cache-coherent view,
+    // overlay, recompute parity, store — all in controller DRAM.
+    std::vector<std::uint8_t> buffer(stripes * stripe_bytes_, 0);
+    for (std::uint64_t stripe = first; stripe < last; ++stripe) {
+      for (int k = 0; k < data_n_; ++k) {
+        ChunkLoc loc = DataChunk(stripe, k);
+        devices_[loc.device]->LoadDirect(
+            loc.dev_offset,
+            {buffer.data() + (stripe - first) * stripe_bytes_ +
+                 static_cast<std::uint64_t>(k) * stripe_unit_,
+             stripe_unit_});
+      }
+    }
+    std::memcpy(buffer.data() + (offset - first * stripe_bytes_),
+                data.data(), size);
+    StoreStripesDirect(first, first + stripes, buffer);
+  }
+
+  RememberRange(offset, size);
+  sim_.Spawn(Destage(first, stripes, size));
+  co_await sim_.Delay(sim::Micros(300) +
+                      sim::TransferTime(size, kCacheAckBytesPerSec));
+  co_return OkStatus();
+}
+
+void RaidVolume::StoreStripesDirect(std::uint64_t first, std::uint64_t last,
+                                    const std::vector<std::uint8_t>& data) {
+  for (std::uint64_t stripe = first; stripe < last; ++stripe) {
+    const std::uint8_t* base = data.data() + (stripe - first) * stripe_bytes_;
+    std::vector<std::uint8_t> p(stripe_unit_, 0);
+    std::vector<std::uint8_t> q(stripe_unit_, 0);
+    for (int k = 0; k < data_n_; ++k) {
+      std::span<const std::uint8_t> chunk{base + k * stripe_unit_,
+                                          stripe_unit_};
+      ChunkLoc loc = DataChunk(stripe, k);
+      devices_[loc.device]->StoreDirect(loc.dev_offset, chunk);
+      if (parity_count() >= 1) {
+        gf256::XorAcc(p, chunk);
+      }
+      if (parity_count() >= 2) {
+        gf256::MulAcc(q, gf256::Pow2(static_cast<unsigned>(k)), chunk);
+      }
+    }
+    if (parity_count() >= 1) {
+      devices_[PDevice(stripe)]->StoreDirect(stripe * stripe_unit_, p);
+    }
+    if (parity_count() >= 2) {
+      devices_[QDevice(stripe)]->StoreDirect(stripe * stripe_unit_, q);
+    }
+  }
+}
+
+sim::Task<void> RaidVolume::Destage(std::uint64_t first_stripe,
+                                    std::uint64_t stripes,
+                                    std::uint64_t acked_bytes) {
+  if (level_ == RaidLevel::kRaid1) {
+    std::vector<sim::Task<Status>> writes;
+    for (StorageDevice* device : devices_) {
+      if (!device->failed()) {
+        writes.push_back(
+            device->WriteDiscard(first_stripe * stripe_unit_, acked_bytes));
+      }
+    }
+    (void)co_await sim::AllOk(sim_, std::move(writes));
+  } else {
+    co_await sim_.Delay(sim::TransferTime(
+        stripes * stripe_bytes_ * parity_count(), kParityComputeBytesPerSec));
+    const std::uint64_t per_device = stripes * stripe_unit_;
+    std::vector<sim::Task<Status>> writes;
+    for (StorageDevice* device : devices_) {
+      if (!device->failed()) {
+        writes.push_back(
+            device->WriteDiscard(first_stripe * stripe_unit_, per_device));
+      }
+    }
+    (void)co_await sim::AllOk(sim_, std::move(writes));
+  }
+  dirty_ -= acked_bytes;
+  drained_->NotifyAll();
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> RaidVolume::Read(
+    std::uint64_t offset, std::uint64_t length) {
+  if (offset + length > capacity_) {
+    co_return OutOfRangeError("read beyond RAID volume");
+  }
+  if (!operational()) {
+    co_return UnavailableError("RAID volume lost too many devices");
+  }
+  std::vector<std::uint8_t> out(length);
+  if (length == 0) {
+    co_return out;
+  }
+
+  if (level_ == RaidLevel::kRaid1) {
+    // Round-robin across live mirrors.
+    for (int attempt = 0; attempt < num_devices(); ++attempt) {
+      StorageDevice* device =
+          devices_[next_mirror_read_++ % devices_.size()];
+      if (device->failed()) {
+        continue;
+      }
+      auto result = co_await device->Read(offset, length);
+      if (result.ok()) {
+        bytes_read_ += length;
+        co_return std::move(result).value();
+      }
+    }
+    co_return UnavailableError("all mirrors failed");
+  }
+
+  if (write_cache_ && failed_devices() == 0 && RangeInCache(offset, length)) {
+    // Controller cache hit: no spindle involvement.
+    co_await sim_.Delay(sim::Micros(300) +
+                        sim::TransferTime(length, kCacheAckBytesPerSec));
+    for (std::uint64_t pos = 0; pos < length;) {
+      const std::uint64_t stripe = (offset + pos) / stripe_bytes_;
+      const std::uint64_t within = (offset + pos) % stripe_bytes_;
+      const int k = static_cast<int>(within / stripe_unit_);
+      const std::uint64_t chunk_off = within % stripe_unit_;
+      const std::uint64_t n =
+          std::min(stripe_unit_ - chunk_off, length - pos);
+      ChunkLoc loc = DataChunk(stripe, k);
+      devices_[loc.device]->LoadDirect(loc.dev_offset + chunk_off,
+                                       {out.data() + pos, n});
+      pos += n;
+    }
+    bytes_read_ += length;
+    co_return out;
+  }
+
+  if (failed_devices() == 0) {
+    ROS_CO_RETURN_IF_ERROR(co_await ReadHealthy(offset, length, &out));
+    bytes_read_ += length;
+    co_return out;
+  }
+
+  // Degraded path: stripe-granular reconstruct.
+  const std::uint64_t first = offset / stripe_bytes_;
+  const std::uint64_t last = (offset + length + stripe_bytes_ - 1) /
+                             stripe_bytes_;
+  for (std::uint64_t stripe = first; stripe < last; ++stripe) {
+    std::vector<std::uint8_t> stripe_data;
+    ROS_CO_RETURN_IF_ERROR(co_await ReadStripeData(stripe, &stripe_data));
+    const std::uint64_t stripe_start = stripe * stripe_bytes_;
+    const std::uint64_t copy_from = std::max(offset, stripe_start);
+    const std::uint64_t copy_to =
+        std::min(offset + length, stripe_start + stripe_bytes_);
+    std::memcpy(out.data() + (copy_from - offset),
+                stripe_data.data() + (copy_from - stripe_start),
+                copy_to - copy_from);
+  }
+  bytes_read_ += length;
+  co_return out;
+}
+
+sim::Task<Status> RaidVolume::ReadHealthy(std::uint64_t offset,
+                                          std::uint64_t length,
+                                          std::vector<std::uint8_t>* out) {
+  // Map every touched chunk to its device; one vectored read per device.
+  std::map<int, std::vector<StorageDevice::Segment>> segments;
+  std::map<int, std::vector<std::uint64_t>> out_offsets;
+
+  std::uint64_t pos = offset;
+  while (pos < offset + length) {
+    const std::uint64_t stripe = pos / stripe_bytes_;
+    const std::uint64_t within = pos % stripe_bytes_;
+    const int k = static_cast<int>(within / stripe_unit_);
+    const std::uint64_t chunk_off = within % stripe_unit_;
+    const std::uint64_t n =
+        std::min(stripe_unit_ - chunk_off, offset + length - pos);
+    ChunkLoc loc = DataChunk(stripe, k);
+    segments[loc.device].push_back(
+        {loc.dev_offset + chunk_off, std::vector<std::uint8_t>(n)});
+    out_offsets[loc.device].push_back(pos - offset);
+
+    // Sequential streams pass over the rotated parity chunks on every
+    // device; charge that rotational transfer on fully-covered stripes so
+    // a 7-HDD RAID-5 reads at 6x — not 7x — one device's rate (§3.3).
+    if (k == 0 && chunk_off == 0 && within == 0 &&
+        pos + stripe_bytes_ <= offset + length) {
+      if (parity_count() >= 1) {
+        segments[PDevice(stripe)].push_back(
+            {stripe * stripe_unit_, std::vector<std::uint8_t>(stripe_unit_)});
+        out_offsets[PDevice(stripe)].push_back(kDiscard);
+      }
+      if (parity_count() >= 2) {
+        segments[QDevice(stripe)].push_back(
+            {stripe * stripe_unit_, std::vector<std::uint8_t>(stripe_unit_)});
+        out_offsets[QDevice(stripe)].push_back(kDiscard);
+      }
+    }
+    pos += n;
+  }
+
+  std::vector<sim::Task<Status>> ops;
+  std::vector<std::pair<int, std::vector<StorageDevice::Segment>*>> ptrs;
+  for (auto& [device, segs] : segments) {
+    ops.push_back(devices_[device]->ReadMulti(&segs));
+  }
+  ROS_CO_RETURN_IF_ERROR(co_await sim::AllOk(sim_, std::move(ops)));
+
+  for (auto& [device, segs] : segments) {
+    const auto& offsets = out_offsets[device];
+    for (std::size_t i = 0; i < segs.size(); ++i) {
+      if (offsets[i] == kDiscard) {
+        continue;  // parity pass-over, timing only
+      }
+      std::memcpy(out->data() + offsets[i], segs[i].data.data(),
+                  segs[i].data.size());
+    }
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> RaidVolume::ReadStripeData(std::uint64_t stripe,
+                                             std::vector<std::uint8_t>* out,
+                                             int exclude) {
+  out->assign(stripe_bytes_, 0);
+  const auto unavailable = [&](int device) {
+    return devices_[device]->failed() || device == exclude;
+  };
+
+  // Figure out which chunks are readable.
+  struct Piece {
+    int k;  // data chunk index, or -1 for P, -2 for Q
+    int device;
+    std::vector<std::uint8_t> data;
+    bool ok = false;
+  };
+  std::vector<Piece> pieces;
+  std::vector<int> missing_data;
+  for (int k = 0; k < data_n_; ++k) {
+    ChunkLoc loc = DataChunk(stripe, k);
+    if (unavailable(loc.device)) {
+      missing_data.push_back(k);
+    } else {
+      pieces.push_back({k, loc.device, {}, false});
+    }
+  }
+  bool p_ok = false;
+  bool q_ok = false;
+  if (parity_count() >= 1 && !unavailable(PDevice(stripe))) {
+    pieces.push_back({-1, PDevice(stripe), {}, false});
+    p_ok = true;
+  }
+  if (parity_count() >= 2 && !unavailable(QDevice(stripe))) {
+    pieces.push_back({-2, QDevice(stripe), {}, false});
+    q_ok = true;
+  }
+  if (missing_data.size() >
+      static_cast<std::size_t>((p_ok ? 1 : 0) + (q_ok ? 1 : 0))) {
+    co_return DataLossError("stripe unrecoverable: too many failures");
+  }
+
+  // Read all surviving chunks of the stripe in parallel.
+  std::vector<sim::Task<Status>> ops;
+  for (Piece& piece : pieces) {
+    piece.data.resize(stripe_unit_);
+    std::vector<StorageDevice::Segment> segs;
+    segs.push_back({stripe * stripe_unit_,
+                    std::vector<std::uint8_t>(stripe_unit_)});
+    // Capture results through a small coroutine per piece.
+    ops.push_back([](StorageDevice* device, std::uint64_t off,
+                     std::vector<std::uint8_t>* dst) -> sim::Task<Status> {
+      auto result = co_await device->Read(off, dst->size());
+      if (!result.ok()) {
+        co_return result.status();
+      }
+      *dst = std::move(result).value();
+      co_return OkStatus();
+    }(devices_[piece.device], stripe * stripe_unit_, &piece.data));
+  }
+  ROS_CO_RETURN_IF_ERROR(co_await sim::AllOk(sim_, std::move(ops)));
+
+  // Place surviving data chunks; collect parity buffers.
+  const std::vector<std::uint8_t>* p_buf = nullptr;
+  const std::vector<std::uint8_t>* q_buf = nullptr;
+  for (const Piece& piece : pieces) {
+    if (piece.k >= 0) {
+      std::memcpy(out->data() + piece.k * stripe_unit_, piece.data.data(),
+                  stripe_unit_);
+    } else if (piece.k == -1) {
+      p_buf = &piece.data;
+    } else {
+      q_buf = &piece.data;
+    }
+  }
+
+  if (missing_data.empty()) {
+    co_return OkStatus();
+  }
+
+  // Reconstruction. Charge GF/XOR math at memory bandwidth.
+  co_await sim_.Delay(sim::TransferTime(
+      stripe_bytes_ * missing_data.size(), kParityComputeBytesPerSec));
+
+  if (missing_data.size() == 1) {
+    const int a = missing_data[0];
+    std::span<std::uint8_t> da{out->data() + a * stripe_unit_, stripe_unit_};
+    if (p_buf != nullptr) {
+      // D_a = P ^ (xor of surviving data)
+      gf256::XorAcc(da, SpanOf(*p_buf));
+      for (const Piece& piece : pieces) {
+        if (piece.k >= 0) {
+          gf256::XorAcc(da, SpanOf(piece.data));
+        }
+      }
+    } else {
+      // Only Q available: D_a = g^-a * (Q ^ sum g^i D_i)
+      ROS_CHECK(q_buf != nullptr);
+      std::vector<std::uint8_t> acc(*q_buf);
+      for (const Piece& piece : pieces) {
+        if (piece.k >= 0) {
+          gf256::MulAcc(acc, gf256::Pow2(static_cast<unsigned>(piece.k)),
+                        SpanOf(piece.data));
+        }
+      }
+      gf256::Scale(acc, gf256::Inv(gf256::Pow2(static_cast<unsigned>(a))));
+      std::memcpy(da.data(), acc.data(), stripe_unit_);
+    }
+    co_return OkStatus();
+  }
+
+  // Two missing data chunks: needs both P and Q (RAID-6).
+  ROS_CHECK(missing_data.size() == 2);
+  if (p_buf == nullptr || q_buf == nullptr) {
+    co_return DataLossError("two data chunks lost without both parities");
+  }
+  const int a = missing_data[0];
+  const int b = missing_data[1];
+  // P' = P ^ sum(surviving data); Q' = Q ^ sum(g^i * surviving data)
+  std::vector<std::uint8_t> pp(*p_buf);
+  std::vector<std::uint8_t> qp(*q_buf);
+  for (const Piece& piece : pieces) {
+    if (piece.k >= 0) {
+      gf256::XorAcc(pp, SpanOf(piece.data));
+      gf256::MulAcc(qp, gf256::Pow2(static_cast<unsigned>(piece.k)),
+                    SpanOf(piece.data));
+    }
+  }
+  // D_a = (Q' ^ g^b * P') / (g^a ^ g^b);  D_b = P' ^ D_a
+  const std::uint8_t ga = gf256::Pow2(static_cast<unsigned>(a));
+  const std::uint8_t gb = gf256::Pow2(static_cast<unsigned>(b));
+  const std::uint8_t inv = gf256::Inv(ga ^ gb);
+  std::span<std::uint8_t> da{out->data() + a * stripe_unit_, stripe_unit_};
+  std::span<std::uint8_t> db{out->data() + b * stripe_unit_, stripe_unit_};
+  for (std::uint64_t i = 0; i < stripe_unit_; ++i) {
+    const std::uint8_t v =
+        gf256::Mul(inv, static_cast<std::uint8_t>(
+                            qp[i] ^ gf256::Mul(gb, pp[i])));
+    da[i] = v;
+    db[i] = pp[i] ^ v;
+  }
+  co_return OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Rebuild
+
+sim::Task<Status> RaidVolume::Rebuild(int index) {
+  if (index < 0 || index >= num_devices()) {
+    co_return InvalidArgumentError("bad device index");
+  }
+  StorageDevice* target = devices_[index];
+  if (target->failed()) {
+    co_return FailedPreconditionError("replace the device before rebuilding");
+  }
+
+  if (level_ == RaidLevel::kRaid1) {
+    // Copy from any live mirror in one streaming pass.
+    for (StorageDevice* source : devices_) {
+      if (source == target || source->failed()) {
+        continue;
+      }
+      const std::uint64_t total = capacity_;
+      constexpr std::uint64_t kBatch = 8 * kMiB;
+      for (std::uint64_t off = 0; off < total; off += kBatch) {
+        const std::uint64_t n = std::min(kBatch, total - off);
+        auto data = co_await source->Read(off, n);
+        if (!data.ok()) {
+          co_return data.status();
+        }
+        ROS_CO_RETURN_IF_ERROR(
+            co_await target->Write(off, std::move(data).value()));
+      }
+      co_return OkStatus();
+    }
+    co_return UnavailableError("no live mirror to rebuild from");
+  }
+
+  // Parity RAID: reconstruct this device's chunk for every stripe. We mark
+  // the device failed for the duration of each stripe read so the
+  // reconstruction path computes its contents, then write them back.
+  for (std::uint64_t stripe = 0; stripe < num_stripes_; ++stripe) {
+    // Identify what lives on `index` in this stripe.
+    int role_k = -100;
+    if (parity_count() >= 1 && PDevice(stripe) == index) {
+      role_k = -1;
+    } else if (parity_count() >= 2 && QDevice(stripe) == index) {
+      role_k = -2;
+    } else {
+      for (int k = 0; k < data_n_; ++k) {
+        if (DataChunk(stripe, k).device == index) {
+          role_k = k;
+          break;
+        }
+      }
+    }
+    if (role_k == -100) {
+      continue;  // RAID-0 has no redundancy; nothing to rebuild from
+    }
+
+    std::vector<std::uint8_t> stripe_data;
+    ROS_CO_RETURN_IF_ERROR(
+        co_await ReadStripeData(stripe, &stripe_data, /*exclude=*/index));
+
+    std::vector<std::uint8_t> chunk(stripe_unit_, 0);
+    if (role_k >= 0) {
+      std::memcpy(chunk.data(), stripe_data.data() + role_k * stripe_unit_,
+                  stripe_unit_);
+    } else if (role_k == -1) {
+      for (int k = 0; k < data_n_; ++k) {
+        gf256::XorAcc(chunk, {stripe_data.data() + k * stripe_unit_,
+                              stripe_unit_});
+      }
+    } else {
+      for (int k = 0; k < data_n_; ++k) {
+        gf256::MulAcc(chunk, gf256::Pow2(static_cast<unsigned>(k)),
+                      {stripe_data.data() + k * stripe_unit_, stripe_unit_});
+      }
+    }
+    ROS_CO_RETURN_IF_ERROR(
+        co_await target->Write(stripe * stripe_unit_, std::move(chunk)));
+  }
+  co_return OkStatus();
+}
+
+}  // namespace ros::disk

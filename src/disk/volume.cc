@@ -1,0 +1,320 @@
+#include "src/disk/volume.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ros::disk {
+
+Volume::Volume(sim::Simulator& sim, BlockDevice* device, VolumeParams params)
+    : sim_(sim), device_(device), params_(params) {
+  ROS_CHECK(device != nullptr);
+  ROS_CHECK(params_.block_size > 0);
+  // Block 0 is the superblock; the rest is allocatable.
+  total_blocks_ = device_->capacity() / params_.block_size;
+  ROS_CHECK(total_blocks_ > 1);
+  free_extents_[1] = total_blocks_ - 1;
+  used_blocks_ = 1;
+}
+
+StatusOr<std::uint64_t> Volume::FileSize(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return NotFoundError("no file " + name);
+  }
+  return it->second.size;
+}
+
+std::vector<std::string> Volume::List(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [name, meta] : files_) {
+    if (name.rfind(prefix, 0) == 0) {
+      out.push_back(name);
+    }
+  }
+  return out;
+}
+
+Status Volume::Allocate(std::uint64_t blocks, std::vector<Extent>* out) {
+  std::uint64_t remaining = blocks;
+  // First-fit across the free list; splits large extents.
+  auto it = free_extents_.begin();
+  std::vector<Extent> taken;
+  while (remaining > 0 && it != free_extents_.end()) {
+    const std::uint64_t take = std::min(remaining, it->second);
+    taken.push_back({it->first, take});
+    remaining -= take;
+    if (take == it->second) {
+      it = free_extents_.erase(it);
+    } else {
+      const std::uint64_t new_start = it->first + take;
+      const std::uint64_t new_len = it->second - take;
+      free_extents_.erase(it);
+      it = free_extents_.emplace(new_start, new_len).first;
+    }
+  }
+  if (remaining > 0) {
+    // Roll back.
+    for (const Extent& extent : taken) {
+      free_extents_[extent.start_block] = extent.blocks;
+    }
+    return ResourceExhaustedError("volume out of space");
+  }
+  used_blocks_ += blocks;
+  for (Extent& extent : taken) {
+    // Coalesce with the file's trailing extent when contiguous, so
+    // sequentially grown files map to few large runs.
+    if (!out->empty() &&
+        out->back().start_block + out->back().blocks == extent.start_block) {
+      out->back().blocks += extent.blocks;
+    } else {
+      out->push_back(extent);
+    }
+  }
+  return OkStatus();
+}
+
+void Volume::Free(const std::vector<Extent>& extents) {
+  for (const Extent& extent : extents) {
+    used_blocks_ -= extent.blocks;
+    // Insert and coalesce with neighbours.
+    auto [it, inserted] =
+        free_extents_.emplace(extent.start_block, extent.blocks);
+    ROS_CHECK(inserted);
+    if (it != free_extents_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        free_extents_.erase(it);
+        it = prev;
+      }
+    }
+    auto next = std::next(it);
+    if (next != free_extents_.end() &&
+        it->first + it->second == next->first) {
+      it->second += next->second;
+      free_extents_.erase(next);
+    }
+  }
+}
+
+sim::Task<Status> Volume::WriteMetadata() {
+  if (!params_.journal_metadata) {
+    // Delayed-allocation mode: the inode update lands in the page cache
+    // and batches into a later journal commit off the critical path.
+    co_await sim_.Delay(sim::Micros(5));
+    co_return OkStatus();
+  }
+  // Synchronous journaled metadata: journal record + in-place block.
+  for (int i = 0; i < 2; ++i) {
+    ROS_CO_RETURN_IF_ERROR(co_await device_->Write(
+        0, std::vector<std::uint8_t>(params_.block_size, 0)));
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> Volume::Create(const std::string& name) {
+  if (files_.count(name) > 0) {
+    co_return AlreadyExistsError("file exists: " + name);
+  }
+  files_[name] = FileMeta{};
+  co_return co_await WriteMetadata();
+}
+
+Status Volume::MapRange(
+    const FileMeta& meta, std::uint64_t offset, std::uint64_t length,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>* segs) const {
+  // Walk extents translating [offset, offset+length) to device byte ranges.
+  std::uint64_t pos = 0;          // logical byte cursor at extent starts
+  std::uint64_t need = length;
+  std::uint64_t cur = offset;
+  for (const Extent& extent : meta.extents) {
+    const std::uint64_t extent_bytes = extent.blocks * params_.block_size;
+    if (need == 0) {
+      break;
+    }
+    if (cur < pos + extent_bytes) {
+      const std::uint64_t within = cur - pos;
+      const std::uint64_t n = std::min(need, extent_bytes - within);
+      const std::uint64_t dev_offset =
+          extent.start_block * params_.block_size + within;
+      if (!segs->empty() &&
+          segs->back().first + segs->back().second == dev_offset) {
+        segs->back().second += n;  // merge contiguous runs
+      } else {
+        segs->emplace_back(dev_offset, n);
+      }
+      cur += n;
+      need -= n;
+    }
+    pos += extent_bytes;
+  }
+  if (need > 0) {
+    return OutOfRangeError("range beyond allocated extents");
+  }
+  return OkStatus();
+}
+
+sim::Task<Status> Volume::Write(const std::string& name, std::uint64_t offset,
+                                std::vector<std::uint8_t> data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return NotFoundError("no file " + name);
+  }
+  FileMeta& meta = it->second;
+  const std::uint64_t end = offset + data.size();
+
+  // Grow allocation to cover the write.
+  std::uint64_t have_blocks = 0;
+  for (const Extent& extent : meta.extents) {
+    have_blocks += extent.blocks;
+  }
+  const std::uint64_t need_blocks =
+      (end + params_.block_size - 1) / params_.block_size;
+  if (need_blocks > have_blocks) {
+    ROS_CO_RETURN_IF_ERROR(
+        Allocate(need_blocks - have_blocks, &meta.extents));
+  }
+  if (end > meta.size) {
+    meta.size = end;
+  }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> segs;
+  ROS_CO_RETURN_IF_ERROR(MapRange(meta, offset, data.size(), &segs));
+  std::uint64_t pos = 0;
+  for (const auto& [dev_offset, n] : segs) {
+    std::vector<std::uint8_t> piece(
+        data.begin() + static_cast<std::ptrdiff_t>(pos),
+        data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    ROS_CO_RETURN_IF_ERROR(co_await device_->Write(dev_offset,
+                                                   std::move(piece)));
+    pos += n;
+  }
+  co_return co_await WriteMetadata();
+}
+
+sim::Task<Status> Volume::Append(const std::string& name,
+                                 std::vector<std::uint8_t> data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return NotFoundError("no file " + name);
+  }
+  co_return co_await Write(name, it->second.size, std::move(data));
+}
+
+sim::Task<Status> Volume::AppendSparse(const std::string& name,
+                                       std::vector<std::uint8_t> data,
+                                       std::uint64_t logical_len) {
+  ROS_CHECK(logical_len >= data.size());
+  const std::uint64_t tail = logical_len - data.size();
+  ROS_CO_RETURN_IF_ERROR(co_await Append(name, std::move(data)));
+  if (tail == 0) {
+    co_return OkStatus();
+  }
+  auto it = files_.find(name);
+  ROS_CHECK(it != files_.end());
+  FileMeta& meta = it->second;
+  // Allocate the covering blocks so space accounting stays honest, then
+  // charge the device for the zero tail without storing it.
+  std::uint64_t have_blocks = 0;
+  for (const Extent& extent : meta.extents) {
+    have_blocks += extent.blocks;
+  }
+  const std::uint64_t need_blocks =
+      (meta.size + tail + params_.block_size - 1) / params_.block_size;
+  if (need_blocks > have_blocks) {
+    ROS_CO_RETURN_IF_ERROR(Allocate(need_blocks - have_blocks, &meta.extents));
+  }
+  const std::uint64_t tail_start = meta.size;
+  meta.size += tail;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> segs;
+  ROS_CO_RETURN_IF_ERROR(MapRange(meta, tail_start, tail, &segs));
+  for (const auto& [dev_offset, n] : segs) {
+    ROS_CO_RETURN_IF_ERROR(co_await device_->WriteDiscard(dev_offset, n));
+  }
+  co_return co_await WriteMetadata();
+}
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::Read(
+    const std::string& name, std::uint64_t offset,
+    std::uint64_t length) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return NotFoundError("no file " + name);
+  }
+  const FileMeta& meta = it->second;
+  if (offset + length > meta.size) {
+    co_return OutOfRangeError("read beyond end of " + name);
+  }
+  std::vector<std::uint8_t> out(length);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> segs;
+  ROS_CO_RETURN_IF_ERROR(MapRange(meta, offset, length, &segs));
+  std::uint64_t pos = 0;
+  for (const auto& [dev_offset, n] : segs) {
+    auto piece = co_await device_->Read(dev_offset, n);
+    if (!piece.ok()) {
+      co_return piece.status();
+    }
+    std::memcpy(out.data() + pos, piece->data(), n);
+    pos += n;
+  }
+  co_return out;
+}
+
+sim::Task<Status> Volume::ReadDiscard(const std::string& name,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return NotFoundError("no file " + name);
+  }
+  if (offset + length > it->second.size) {
+    co_return OutOfRangeError("read beyond end of " + name);
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> segs;
+  ROS_CO_RETURN_IF_ERROR(MapRange(it->second, offset, length, &segs));
+  for (const auto& [dev_offset, n] : segs) {
+    ROS_CO_RETURN_IF_ERROR(co_await device_->ReadDiscard(dev_offset, n));
+  }
+  co_return OkStatus();
+}
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::ReadAll(
+    const std::string& name) const {
+  auto size = FileSize(name);
+  if (!size.ok()) {
+    co_return size.status();
+  }
+  co_return co_await Read(name, 0, *size);
+}
+
+sim::Task<Status> Volume::WriteAll(const std::string& name,
+                                   std::vector<std::uint8_t> data) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return NotFoundError("no file " + name);
+  }
+  // Truncate: release old extents, then write fresh.
+  Free(it->second.extents);
+  it->second.extents.clear();
+  it->second.size = 0;
+  co_return co_await Write(name, 0, std::move(data));
+}
+
+sim::Task<Status> Volume::Delete(const std::string& name) {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    co_return NotFoundError("no file " + name);
+  }
+  Free(it->second.extents);
+  files_.erase(it);
+  co_return co_await WriteMetadata();
+}
+
+void Volume::FormatQuick() {
+  files_.clear();
+  free_extents_.clear();
+  free_extents_[1] = total_blocks_ - 1;
+  used_blocks_ = 1;
+}
+
+}  // namespace ros::disk

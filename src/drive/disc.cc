@@ -1,0 +1,120 @@
+#include "src/drive/disc.h"
+
+#include <algorithm>
+
+namespace ros::drive {
+
+Status Disc::AppendSession(std::string image_id, std::uint64_t logical_size,
+                           std::vector<std::uint8_t> data, bool closed) {
+  if (data.size() > logical_size) {
+    return InvalidArgumentError("session payload larger than logical size");
+  }
+  if (logical_size > free_bytes()) {
+    return ResourceExhaustedError("disc " + id_ + " lacks capacity for " +
+                                  std::to_string(logical_size) + " bytes");
+  }
+  if (!sessions_.empty() && !sessions_.back().closed) {
+    return FailedPreconditionError("previous session still open");
+  }
+  Session session;
+  session.image_id = std::move(image_id);
+  session.start = next_start_;
+  session.logical_size = logical_size;
+  session.data = std::move(data);
+  session.closed = closed;
+  next_start_ += logical_size;
+  sessions_.push_back(std::move(session));
+  return OkStatus();
+}
+
+Status Disc::ExtendOpenSession(const std::string& image_id,
+                               std::uint64_t new_logical_size,
+                               std::vector<std::uint8_t> data, bool closed) {
+  if (sessions_.empty()) {
+    return FailedPreconditionError("disc has no sessions");
+  }
+  Session& last = sessions_.back();
+  if (last.closed) {
+    return FailedPreconditionError(
+        "last session closed; WORM media cannot reopen it");
+  }
+  if (last.image_id != image_id) {
+    return FailedPreconditionError("open session belongs to another image");
+  }
+  if (new_logical_size < last.logical_size) {
+    return InvalidArgumentError("cannot shrink a burned session");
+  }
+  const std::uint64_t grow = new_logical_size - last.logical_size;
+  if (grow > free_bytes()) {
+    return ResourceExhaustedError("no capacity to extend session");
+  }
+  last.logical_size = new_logical_size;
+  last.data = std::move(data);
+  last.closed = closed;
+  next_start_ += grow;
+  return OkStatus();
+}
+
+Status Disc::Erase() {
+  if (IsWorm(type_)) {
+    return FailedPreconditionError("cannot erase WORM disc " + id_);
+  }
+  if (erase_cycles_ >= kMaxEraseCycles) {
+    return ResourceExhaustedError("disc " + id_ + " erase cycles exhausted");
+  }
+  ++erase_cycles_;
+  sessions_.clear();
+  next_start_ = 0;
+  corrupted_.clear();
+  return OkStatus();
+}
+
+StatusOr<const Session*> Disc::FindSession(const std::string& image_id) const {
+  for (const Session& session : sessions_) {
+    if (session.image_id == image_id) {
+      return &session;
+    }
+  }
+  return NotFoundError("image " + image_id + " not on disc " + id_);
+}
+
+StatusOr<std::vector<std::uint8_t>> Disc::ReadSession(
+    const std::string& image_id, std::uint64_t offset,
+    std::uint64_t length) const {
+  ROS_ASSIGN_OR_RETURN(const Session* session, FindSession(image_id));
+  if (offset + length > session->logical_size) {
+    return OutOfRangeError("read beyond session end");
+  }
+  // Corruption check over the absolute sector range touched.
+  if (!corrupted_.empty()) {
+    std::uint64_t first = (session->start + offset) / kSectorSize;
+    std::uint64_t last = (session->start + offset + length + kSectorSize - 1) /
+                         kSectorSize;
+    auto it = corrupted_.lower_bound(first);
+    if (it != corrupted_.end() && *it < last) {
+      return DataLossError("corrupted sector " + std::to_string(*it) +
+                           " on disc " + id_);
+    }
+  }
+  std::vector<std::uint8_t> out(length, 0);
+  if (offset < session->data.size()) {
+    std::uint64_t n = std::min<std::uint64_t>(length,
+                                              session->data.size() - offset);
+    std::copy_n(session->data.begin() + static_cast<std::ptrdiff_t>(offset),
+                n, out.begin());
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> Disc::ScrubForErrors() const {
+  std::vector<std::uint64_t> bad;
+  std::uint64_t burned_sectors = (next_start_ + kSectorSize - 1) / kSectorSize;
+  for (std::uint64_t sector : corrupted_) {
+    if (sector < burned_sectors) {
+      bad.push_back(sector);
+    }
+  }
+  return bad;
+}
+
+}  // namespace ros::drive

@@ -1,0 +1,125 @@
+// Optical disc media model (§2.1).
+//
+// A disc is WORM (BD-R) or rewritable (BD-RE). Burned data lives in
+// sessions (tracks); WORM media only ever appends new sessions
+// ("pseudo-overwrite" — previously burned area is lost capacity), while RE
+// media can be erased a limited number of times (~1000 cycles). Session
+// payloads are stored sparsely: `data` may be shorter than `logical_size`,
+// with the tail reading as zeros, so PB-scale experiments do not need
+// PB-scale memory while timing still uses logical sizes.
+//
+// Sector bit-rot is modelled explicitly: sectors can be marked corrupted
+// (archive-grade BD has a ~1e-16 sector error rate, §4.7), reads covering a
+// corrupted sector fail with kDataLoss, and the scrubber enumerates them.
+#ifndef ROS_SRC_DRIVE_DISC_H_
+#define ROS_SRC_DRIVE_DISC_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace ros::drive {
+
+inline constexpr std::uint64_t kSectorSize = 2 * kKiB;  // BD/UDF sector
+
+enum class DiscType {
+  kBdr25,    // 25 GB write-once
+  kBdr100,   // 100 GB (BDXL) write-once
+  kBdre25,   // 25 GB rewritable
+};
+
+constexpr std::uint64_t DiscCapacity(DiscType type) {
+  switch (type) {
+    case DiscType::kBdr25: return 25 * kGB;
+    case DiscType::kBdr100: return 100 * kGB;
+    case DiscType::kBdre25: return 25 * kGB;
+  }
+  return 0;
+}
+
+constexpr bool IsWorm(DiscType type) { return type != DiscType::kBdre25; }
+
+// Maximum erase cycles for rewritable media (§2.1: "at most 1000").
+inline constexpr int kMaxEraseCycles = 1000;
+
+// One burned track. `image_id` ties the session to an OLFS disc image.
+struct Session {
+  std::string image_id;
+  std::uint64_t start = 0;         // byte offset of the session on disc
+  std::uint64_t logical_size = 0;  // bytes the session occupies
+  std::vector<std::uint8_t> data;  // real payload (may be < logical_size)
+  bool closed = false;
+};
+
+class Disc {
+ public:
+  // `capacity_override` shrinks the media for laptop-scale experiments
+  // (0 keeps the type's native capacity). Timing models scale with it.
+  Disc(std::string id, DiscType type, std::uint64_t capacity_override = 0)
+      : id_(std::move(id)), type_(type),
+        capacity_(capacity_override != 0 ? capacity_override
+                                         : DiscCapacity(type)) {}
+
+  const std::string& id() const { return id_; }
+  DiscType type() const { return type_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+  // Bytes consumed by burned sessions (including abandoned pseudo-overwrite
+  // areas on WORM media).
+  std::uint64_t burned_bytes() const { return next_start_; }
+  std::uint64_t free_bytes() const { return capacity() - next_start_; }
+  bool blank() const { return sessions_.empty(); }
+  int erase_cycles_used() const { return erase_cycles_; }
+  const std::vector<Session>& sessions() const { return sessions_; }
+
+  // Appends a session. The burn itself (and its delay) is driven by
+  // OpticalDrive; this records the outcome on the media. Fails if the
+  // payload does not fit in the remaining capacity.
+  Status AppendSession(std::string image_id, std::uint64_t logical_size,
+                       std::vector<std::uint8_t> data, bool closed);
+
+  // Extends the open trailing session (append-burn resume after an
+  // interrupt) to `new_logical_size`, replacing its payload and optionally
+  // closing it. Keeps the burned-bytes accounting consistent.
+  Status ExtendOpenSession(const std::string& image_id,
+                           std::uint64_t new_logical_size,
+                           std::vector<std::uint8_t> data, bool closed);
+
+  // Erases a rewritable disc; fails on WORM media or exhausted cycles.
+  Status Erase();
+
+  // Looks up the session holding `image_id`.
+  StatusOr<const Session*> FindSession(const std::string& image_id) const;
+
+  // Reads `length` bytes at `offset` within the named session. Fails with
+  // kDataLoss if the range covers a corrupted sector.
+  StatusOr<std::vector<std::uint8_t>> ReadSession(const std::string& image_id,
+                                                  std::uint64_t offset,
+                                                  std::uint64_t length) const;
+
+  // --- fault injection & scrubbing ---
+
+  // Marks the sector at absolute disc offset `sector * kSectorSize` bad.
+  void CorruptSector(std::uint64_t sector) { corrupted_.insert(sector); }
+  // Enumerates corrupted sectors in burned area (what a scrub pass finds).
+  std::vector<std::uint64_t> ScrubForErrors() const;
+  bool HasCorruption() const { return !corrupted_.empty(); }
+
+ private:
+  std::string id_;
+  DiscType type_;
+  std::uint64_t capacity_;
+  std::vector<Session> sessions_;
+  std::uint64_t next_start_ = 0;
+  int erase_cycles_ = 0;
+  std::set<std::uint64_t> corrupted_;
+};
+
+}  // namespace ros::drive
+
+#endif  // ROS_SRC_DRIVE_DISC_H_

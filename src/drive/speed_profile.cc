@@ -1,0 +1,126 @@
+#include "src/drive/speed_profile.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace ros::drive {
+
+namespace {
+
+// 25 GB BD-R zoned P-CAV profile (Figure 8). Zone boundaries follow the
+// figure's x-axis ticks (equal radial steps widen outward); speeds are
+// calibrated so the byte-weighted average is 8.2X and a full burn takes
+// ~675 s.
+std::vector<SpeedZone> Zones25() {
+  return {
+      {0.020, 1.6},  // lead-in, inner tracks
+      {0.098, 6.2},
+      {0.230, 7.1},
+      {0.382, 8.15},
+      {0.555, 9.1},
+      {0.749, 10.6},
+      {0.964, 11.5},
+      {1.000, 12.0},
+  };
+}
+
+// 100 GB BDXL profile (Figure 10): constant 6X with fail-safe dips to 4X
+// when servo-signal disturbance is detected. Calibrated so ~2.4% of bytes
+// burn at 4X, giving an average of ~5.93X and ~3757 s per disc.
+std::vector<SpeedZone> Zones100(std::uint64_t seed) {
+  Rng rng(seed ^ 0xD15CB42Full);
+  std::vector<SpeedZone> zones;
+  // Average 3 dips per disc, each covering ~0.8% of capacity, placed
+  // uniformly at random without overlap.
+  constexpr int kDips = 3;
+  constexpr double kDipWidth = 0.008;
+  std::vector<double> starts;
+  for (int i = 0; i < kDips; ++i) {
+    starts.push_back(0.02 + rng.NextDouble() * 0.95);
+  }
+  std::sort(starts.begin(), starts.end());
+  double cursor = 0.0;
+  for (double start : starts) {
+    if (start <= cursor) {
+      start = cursor + 0.001;  // keep dips disjoint
+    }
+    if (start + kDipWidth >= 1.0) {
+      break;
+    }
+    if (start > cursor) {
+      zones.push_back({start, 6.0});
+    }
+    zones.push_back({start + kDipWidth, 4.0});
+    cursor = start + kDipWidth;
+  }
+  if (cursor < 1.0) {
+    zones.push_back({1.0, 6.0});
+  }
+  return zones;
+}
+
+}  // namespace
+
+BurnSpeedProfile BurnSpeedProfile::For(DiscType type, std::uint64_t seed) {
+  switch (type) {
+    case DiscType::kBdr25:
+      return BurnSpeedProfile(Zones25());
+    case DiscType::kBdr100:
+      return BurnSpeedProfile(Zones100(seed));
+    case DiscType::kBdre25:
+      return Rewritable();
+  }
+  ROS_CHECK(false);
+  return BurnSpeedProfile({});
+}
+
+BurnSpeedProfile BurnSpeedProfile::Rewritable() {
+  // §2.1: rewritable discs burn at a relatively low 2X.
+  return BurnSpeedProfile({{1.0, 2.0}});
+}
+
+double BurnSpeedProfile::SpeedAt(double progress) const {
+  for (const SpeedZone& zone : zones_) {
+    if (progress < zone.progress_end) {
+      return zone.speed_x;
+    }
+  }
+  return zones_.back().speed_x;
+}
+
+double BurnSpeedProfile::BurnSeconds(std::uint64_t start, std::uint64_t bytes,
+                                     std::uint64_t capacity) const {
+  ROS_CHECK(capacity > 0);
+  ROS_CHECK(start + bytes <= capacity);
+  const double cap = static_cast<double>(capacity);
+  double p = static_cast<double>(start) / cap;
+  const double p_end = static_cast<double>(start + bytes) / cap;
+  double seconds = 0.0;
+  for (const SpeedZone& zone : zones_) {
+    if (p >= p_end) {
+      break;
+    }
+    if (zone.progress_end <= p) {
+      continue;
+    }
+    const double slice_end = std::min(zone.progress_end, p_end);
+    const double slice_bytes = (slice_end - p) * cap;
+    seconds += slice_bytes / (zone.speed_x * kBluRay1xBytesPerSec);
+    p = slice_end;
+  }
+  return seconds;
+}
+
+double BurnSpeedProfile::AverageSpeedX() const {
+  // Byte-weighted harmonic mean: total bytes / total time, normalized to 1X.
+  double total_time_per_byte = 0.0;
+  double prev = 0.0;
+  for (const SpeedZone& zone : zones_) {
+    total_time_per_byte += (zone.progress_end - prev) / zone.speed_x;
+    prev = zone.progress_end;
+  }
+  return 1.0 / total_time_per_byte;
+}
+
+}  // namespace ros::drive

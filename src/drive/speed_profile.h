@@ -1,0 +1,72 @@
+// Burn and read speed profiles, calibrated to §5.4 / Figures 8-10.
+//
+// 1X Blu-ray reference speed is 4.49 MB/s (§2.1). Burning a 25 GB disc uses
+// a zoned P-CAV profile that ramps from 1.6X on the inner tracks to 12X on
+// the outer tracks (average 8.2X, ~675 s per disc). Burning a 100 GB BDXL
+// disc runs at a constant 6X but dips to 4X when the drive's fail-safe
+// servo-disturbance detector fires (average 5.9X, ~3757 s per disc).
+#ifndef ROS_SRC_DRIVE_SPEED_PROFILE_H_
+#define ROS_SRC_DRIVE_SPEED_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/drive/disc.h"
+
+namespace ros::drive {
+
+// 1X Blu-ray reference speed (§2.1).
+inline constexpr double kBluRay1xBytesPerSec = 4.49e6;
+
+// Single-drive sequential read speeds, Table 2.
+constexpr double ReadSpeedBytesPerSec(DiscType type) {
+  switch (type) {
+    case DiscType::kBdr25:
+    case DiscType::kBdre25:
+      return 24.1e6;
+    case DiscType::kBdr100:
+      return 18.0e6;
+  }
+  return 0;
+}
+
+// A zone of constant burn speed ending at `progress_end` (fraction of the
+// disc's capacity burned so far).
+struct SpeedZone {
+  double progress_end;  // in (0, 1]
+  double speed_x;       // multiple of 1X
+};
+
+class BurnSpeedProfile {
+ public:
+  // Returns the zoned profile for burning `type` media. `seed` randomizes
+  // the 100 GB fail-safe dips (deterministic per seed).
+  static BurnSpeedProfile For(DiscType type, std::uint64_t seed = 0);
+
+  // Returns the rewritable-media profile (constant 2X, §2.1).
+  static BurnSpeedProfile Rewritable();
+
+  const std::vector<SpeedZone>& zones() const { return zones_; }
+
+  // Instantaneous speed (in X) at a burn progress fraction in [0, 1).
+  double SpeedAt(double progress) const;
+
+  // Simulated time to burn `bytes` of a disc with `capacity`, starting from
+  // byte offset `start` (append burns start mid-profile).
+  double BurnSeconds(std::uint64_t start, std::uint64_t bytes,
+                     std::uint64_t capacity) const;
+
+  // Byte-weighted average speed across the whole profile, in X.
+  double AverageSpeedX() const;
+
+ private:
+  explicit BurnSpeedProfile(std::vector<SpeedZone> zones)
+      : zones_(std::move(zones)) {}
+
+  std::vector<SpeedZone> zones_;
+};
+
+}  // namespace ros::drive
+
+#endif  // ROS_SRC_DRIVE_SPEED_PROFILE_H_

@@ -1,0 +1,98 @@
+#include "src/frontend/block_gateway.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ros::frontend {
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> BlockGateway::LoadChunk(
+    std::uint64_t chunk) {
+  const std::string path = ChunkPath(chunk);
+  if (!olfs_->mv().Exists(path)) {
+    co_return std::vector<std::uint8_t>(chunk_bytes_, 0);
+  }
+  auto data = co_await olfs_->Read(path, 0, chunk_bytes_);
+  if (data.status().code() == StatusCode::kNotFound) {
+    // Tombstoned (TRIMmed) chunk: thin again.
+    co_return std::vector<std::uint8_t>(chunk_bytes_, 0);
+  }
+  co_return data;
+}
+
+sim::Task<Status> BlockGateway::WriteBlocks(std::uint64_t lba,
+                                            std::vector<std::uint8_t> data) {
+  if (data.size() % kBlockSize != 0) {
+    co_return InvalidArgumentError("write not block-aligned");
+  }
+  const std::uint64_t offset = lba * kBlockSize;
+  if (offset + data.size() > lun_bytes_) {
+    co_return OutOfRangeError("write beyond LUN");
+  }
+
+  std::uint64_t pos = 0;
+  while (pos < data.size()) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t chunk = abs / chunk_bytes_;
+    const std::uint64_t within = abs % chunk_bytes_;
+    const std::uint64_t n =
+        std::min(chunk_bytes_ - within, data.size() - pos);
+
+    // Read-modify-write the covering chunk as a new version (§4.6's
+    // regenerating update keeps this WORM-legal).
+    ROS_CO_ASSIGN_OR_RETURN(std::vector<std::uint8_t> content,
+                            co_await LoadChunk(chunk));
+    std::memcpy(content.data() + within, data.data() + pos, n);
+
+    const std::string path = ChunkPath(chunk);
+    if (olfs_->mv().Exists(path)) {
+      auto existing = co_await olfs_->Stat(path);
+      if (existing.ok()) {
+        ROS_CO_RETURN_IF_ERROR(co_await olfs_->Update(
+            path, std::move(content), chunk_bytes_));
+      } else {
+        // Tombstoned chunk: recreate.
+        ROS_CO_RETURN_IF_ERROR(co_await olfs_->Create(
+            path, std::move(content), chunk_bytes_));
+      }
+    } else {
+      ROS_CO_RETURN_IF_ERROR(co_await olfs_->Create(
+          path, std::move(content), chunk_bytes_));
+    }
+    pos += n;
+  }
+  co_return OkStatus();
+}
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> BlockGateway::ReadBlocks(
+    std::uint64_t lba, std::uint64_t blocks) {
+  const std::uint64_t offset = lba * kBlockSize;
+  const std::uint64_t length = blocks * kBlockSize;
+  if (offset + length > lun_bytes_) {
+    co_return OutOfRangeError("read beyond LUN");
+  }
+  std::vector<std::uint8_t> out(length);
+  std::uint64_t pos = 0;
+  while (pos < length) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t chunk = abs / chunk_bytes_;
+    const std::uint64_t within = abs % chunk_bytes_;
+    const std::uint64_t n = std::min(chunk_bytes_ - within, length - pos);
+    ROS_CO_ASSIGN_OR_RETURN(std::vector<std::uint8_t> content,
+                            co_await LoadChunk(chunk));
+    std::memcpy(out.data() + pos, content.data() + within, n);
+    pos += n;
+  }
+  co_return out;
+}
+
+sim::Task<StatusOr<int>> BlockGateway::MaterializedChunks() {
+  auto children = co_await olfs_->ReadDir("/luns/" + lun_);
+  if (!children.ok()) {
+    co_return children.status().code() == StatusCode::kNotFound
+        ? StatusOr<int>(0)
+        : StatusOr<int>(children.status());
+  }
+  co_return static_cast<int>(children->size());
+}
+
+}  // namespace ros::frontend

@@ -1,0 +1,66 @@
+// Block-level gateway (§4.2): "OLFS can also provide a block-level
+// interface via the iSCSI protocol."
+//
+// A virtual LUN is mapped onto the OLFS namespace as a directory of
+// fixed-size chunk files (/luns/<name>/chunk-N). Block writes become
+// regenerating updates of the covering chunks — WORM-compatible, since
+// every overwrite is a new version and old LUN states remain reachable
+// through the version history. Unwritten chunks read as zeros (thin
+// provisioning).
+#ifndef ROS_SRC_FRONTEND_BLOCK_GATEWAY_H_
+#define ROS_SRC_FRONTEND_BLOCK_GATEWAY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/olfs/olfs.h"
+#include "src/sim/task.h"
+
+namespace ros::frontend {
+
+class BlockGateway {
+ public:
+  static constexpr std::uint64_t kBlockSize = 512;  // SCSI logical block
+
+  // Exposes a `lun_bytes` LUN backed by `chunk_bytes` OLFS files.
+  BlockGateway(olfs::Olfs* olfs, std::string lun, std::uint64_t lun_bytes,
+               std::uint64_t chunk_bytes = 4 * kMiB)
+      : olfs_(olfs), lun_(std::move(lun)), lun_bytes_(lun_bytes),
+        chunk_bytes_(chunk_bytes) {
+    ROS_CHECK(olfs != nullptr);
+    ROS_CHECK(chunk_bytes_ % kBlockSize == 0);
+  }
+
+  std::uint64_t lun_bytes() const { return lun_bytes_; }
+  std::uint64_t num_blocks() const { return lun_bytes_ / kBlockSize; }
+
+  // SCSI WRITE: stores `data` starting at logical block `lba`.
+  sim::Task<Status> WriteBlocks(std::uint64_t lba,
+                                std::vector<std::uint8_t> data);
+
+  // SCSI READ: returns `blocks * kBlockSize` bytes from `lba`.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadBlocks(
+      std::uint64_t lba, std::uint64_t blocks);
+
+  // Number of chunk files materialized so far (thin-provisioning probe).
+  sim::Task<StatusOr<int>> MaterializedChunks();
+
+  std::string ChunkPath(std::uint64_t chunk) const {
+    return "/luns/" + lun_ + "/chunk-" + std::to_string(chunk);
+  }
+
+ private:
+  // Reads a chunk's current content (zeros when never written).
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> LoadChunk(
+      std::uint64_t chunk);
+
+  olfs::Olfs* olfs_;
+  std::string lun_;
+  std::uint64_t lun_bytes_;
+  std::uint64_t chunk_bytes_;
+};
+
+}  // namespace ros::frontend
+
+#endif  // ROS_SRC_FRONTEND_BLOCK_GATEWAY_H_

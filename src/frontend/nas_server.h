@@ -1,0 +1,85 @@
+// NAS front end with the direct-writing mode (§4.8).
+//
+// "To further eliminate FUSE performance penalty in some performance-
+// critical scenarios, we provide a direct-writing mode where incoming
+// files are directly transferred to the SSD tier at full external
+// bandwidth through CIFS or NFS, then asynchronously delivered into OLFS."
+//
+// Uploads in direct mode land as staging files on the SSD tier and
+// acknowledge at wire speed (10 GbE by default); a background delivery
+// task replays them into OLFS (paying the FUSE-path cost off the client's
+// critical path) and removes the staging copy. Normal mode forwards
+// straight through the OLFS PI.
+#ifndef ROS_SRC_FRONTEND_NAS_SERVER_H_
+#define ROS_SRC_FRONTEND_NAS_SERVER_H_
+
+#include <deque>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/olfs/olfs.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace ros::frontend {
+
+struct NasConfig {
+  bool direct_write_mode = false;
+  // External network bandwidth (two bonded 10 GbE NICs in the prototype;
+  // a single client stream sees one link).
+  double wire_bytes_per_sec = 1.25e9;
+  // Per-request SMB/NFS protocol cost.
+  sim::Duration protocol_cost = sim::Millis(3.0);
+};
+
+class NasServer {
+ public:
+  NasServer(sim::Simulator& sim, olfs::Olfs* olfs, NasConfig config = {})
+      : sim_(sim), olfs_(olfs), config_(config), deliveries_done_(sim) {
+    ROS_CHECK(olfs != nullptr);
+  }
+
+  // Ingests one file from a client. In direct mode the call returns once
+  // the bytes are on the SSD staging area; delivery into OLFS happens in
+  // the background. `data` may be sparse relative to `logical_size`.
+  sim::Task<Status> Upload(const std::string& path,
+                           std::vector<std::uint8_t> data,
+                           std::uint64_t logical_size);
+
+  // Serves a download through OLFS (direct mode does not change reads).
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> Download(
+      const std::string& path, std::uint64_t offset, std::uint64_t length);
+
+  // Waits until every staged upload has been delivered into OLFS.
+  sim::Task<Status> DrainDeliveries();
+
+  std::uint64_t uploads() const { return uploads_; }
+  std::uint64_t staged_pending() const { return pending_; }
+  std::uint64_t delivered() const { return delivered_; }
+  Status last_delivery_error() const { return delivery_error_; }
+
+  // Staging namespace on the SSD (metadata) volume.
+  static std::string StagingName(std::uint64_t ticket) {
+    return "/staging/upload-" + std::to_string(ticket);
+  }
+
+ private:
+  sim::Task<void> DeliveryTask(std::uint64_t ticket, std::string path,
+                               std::vector<std::uint8_t> data,
+                               std::uint64_t logical_size);
+
+  sim::Simulator& sim_;
+  olfs::Olfs* olfs_;
+  NasConfig config_;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t pending_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  sim::ConditionVariable deliveries_done_;
+  Status delivery_error_;
+};
+
+}  // namespace ros::frontend
+
+#endif  // ROS_SRC_FRONTEND_NAS_SERVER_H_

@@ -1,0 +1,75 @@
+// Object-storage adapter (§4.2): "This namespace mapping mechanism can
+// also be extended to support other mainstream access interfaces such as
+// key-value, object storage, and REST."
+//
+// A minimal S3-style interface over the OLFS global namespace: buckets map
+// to top-level directories under /objects, object keys map to paths (with
+// '/' acting as the delimiter, so prefix listing works), and overwriting
+// an object produces a new WORM-safe version. Object keys are escaped so
+// arbitrary names cannot collide with OLFS's internal path qualifiers.
+#ifndef ROS_SRC_FRONTEND_OBJECT_STORE_H_
+#define ROS_SRC_FRONTEND_OBJECT_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/olfs/olfs.h"
+#include "src/sim/task.h"
+
+namespace ros::frontend {
+
+struct ObjectInfo {
+  std::string key;
+  std::uint64_t size = 0;
+  int version = 0;
+};
+
+class ObjectStore {
+ public:
+  explicit ObjectStore(olfs::Olfs* olfs) : olfs_(olfs) { ROS_CHECK(olfs); }
+
+  sim::Task<Status> CreateBucket(const std::string& bucket);
+  sim::Task<StatusOr<std::vector<std::string>>> ListBuckets();
+
+  // Stores an object; overwriting an existing key creates a new version.
+  sim::Task<Status> PutObject(const std::string& bucket,
+                              const std::string& key,
+                              std::vector<std::uint8_t> data);
+
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> GetObject(
+      const std::string& bucket, const std::string& key);
+
+  // Historic version access (data provenance through the S3-ish surface).
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> GetObjectVersion(
+      const std::string& bucket, const std::string& key, int version);
+
+  sim::Task<StatusOr<ObjectInfo>> HeadObject(const std::string& bucket,
+                                             const std::string& key);
+
+  // Logical delete (tombstone; old versions remain reachable).
+  sim::Task<Status> DeleteObject(const std::string& bucket,
+                                 const std::string& key);
+
+  // Lists keys under a '/'-delimited prefix (recursive).
+  sim::Task<StatusOr<std::vector<ObjectInfo>>> ListObjects(
+      const std::string& bucket, const std::string& prefix = "");
+
+  // Path mapping (exposed for tests): escapes '#' and '%', validates
+  // components.
+  static StatusOr<std::string> ObjectPath(const std::string& bucket,
+                                          const std::string& key);
+  static std::string EscapeComponent(const std::string& raw);
+  static std::string UnescapeComponent(const std::string& escaped);
+  static constexpr const char* kRoot = "/objects";
+
+ private:
+  sim::Task<StatusOr<std::vector<ObjectInfo>>> ListRecursive(
+      const std::string& dir, const std::string& key_prefix);
+
+  olfs::Olfs* olfs_;
+};
+
+}  // namespace ros::frontend
+
+#endif  // ROS_SRC_FRONTEND_OBJECT_STORE_H_

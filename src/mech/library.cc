@@ -1,0 +1,195 @@
+#include "src/mech/library.h"
+
+#include "src/common/logging.h"
+
+namespace ros::mech {
+
+Library::Library(sim::Simulator& sim, const LibraryConfig& config)
+    : sim_(sim), config_(config),
+      plc_(sim, config.timing, config.rollers, config.seed) {
+  ROS_CHECK(config.drive_sets >= 1 && config.drive_sets <= 4);
+  for (int i = 0; i < config.rollers; ++i) {
+    arm_mutex_.push_back(std::make_unique<sim::Mutex>(sim_));
+  }
+  for (int i = 0; i < config.drive_sets; ++i) {
+    bay_mutex_.push_back(std::make_unique<sim::Mutex>(sim_));
+    bays_.push_back(DriveBayState{});
+  }
+  // A factory-fresh rack ships with every tray populated.
+  tray_occupied_.assign(
+      static_cast<std::size_t>(config.rollers) * kTraysPerRoller, true);
+}
+
+bool Library::TrayOccupied(TrayAddress tray) const {
+  ROS_CHECK(tray.IsValid(config_.rollers));
+  return tray_occupied_[tray.ToIndex()];
+}
+
+void Library::SetTrayOccupied(TrayAddress tray, bool occupied) {
+  ROS_CHECK(tray.IsValid(config_.rollers));
+  tray_occupied_[tray.ToIndex()] = occupied;
+}
+
+sim::Task<Status> Library::LoadArray(TrayAddress tray, int bay) {
+  if (!tray.IsValid(config_.rollers)) {
+    co_return InvalidArgumentError("invalid tray address " + tray.ToString());
+  }
+  if (bay < 0 || bay >= num_bays()) {
+    co_return InvalidArgumentError("invalid drive bay");
+  }
+  sim::Mutex::ScopedLock bay_lock = co_await bay_mutex_[bay]->Lock();
+  sim::Mutex::ScopedLock arm_lock = co_await arm_mutex_[tray.roller]->Lock();
+  bays_[bay].busy = true;
+  Status status = co_await LoadArrayLocked(tray, bay);
+  bays_[bay].busy = false;
+  co_return status;
+}
+
+sim::Task<Status> Library::LoadArrayLocked(TrayAddress tray, int bay) {
+  if (!tray_occupied_[tray.ToIndex()]) {
+    co_return FailedPreconditionError("tray " + tray.ToString() +
+                                      " holds no disc array");
+  }
+  if (bays_[bay].loaded_from.has_value()) {
+    co_return FailedPreconditionError("drive bay already loaded");
+  }
+
+  const int roller = tray.roller;
+  const RollerState& rstate = plc_.roller_state(roller);
+
+  // Rotate the target slot to face the arm (no-op if already facing, or if
+  // PrepareLoad already fanned this tray out).
+  const bool prepared =
+      rstate.fanned_out.has_value() && *rstate.fanned_out == tray.slot &&
+      rstate.facing_slot == tray.slot;
+  if (!prepared) {
+    ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+        {.op = PlcOp::kRotateRoller, .roller = roller, .slot = tray.slot}));
+  }
+  // Sensor-guided descent to the tray's layer.
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kMoveArm, .roller = roller, .layer = tray.layer}));
+  if (!prepared) {
+    ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+        {.op = PlcOp::kFanOutTray, .roller = roller, .slot = tray.slot}));
+  }
+  ROS_CO_RETURN_IF_ERROR(
+      co_await plc_.Execute({.op = PlcOp::kGrabArray, .roller = roller}));
+  tray_occupied_[tray.ToIndex()] = false;
+
+  // The fast return ascent overlaps the tray fan-in and the drive-tray
+  // opening (see timing.h); run it concurrently and join before separating.
+  sim::Event arm_up(sim_);
+  Status ascent_status = OkStatus();
+  sim_.Spawn([](Library* self, int r, sim::Event* done,
+                Status* out) -> sim::Task<void> {
+    *out = co_await self->plc_.Execute({.op = PlcOp::kReturnArm, .roller = r});
+    done->Set();
+  }(this, roller, &arm_up, &ascent_status));
+
+  ROS_CO_RETURN_IF_ERROR(
+      co_await plc_.Execute({.op = PlcOp::kFanInTray, .roller = roller}));
+  ROS_CO_RETURN_IF_ERROR(
+      co_await plc_.Execute({.op = PlcOp::kOpenDriveTrays, .roller = roller}));
+  co_await arm_up.Wait();
+  ROS_CO_RETURN_IF_ERROR(ascent_status);
+
+  // Separate the 12 discs into the 12 drives, bottom disc first.
+  for (int disc = 0; disc < kDiscsPerTray; ++disc) {
+    ROS_CO_RETURN_IF_ERROR(
+        co_await plc_.Execute({.op = PlcOp::kSeparateDisc, .roller = roller}));
+  }
+
+  bays_[bay].loaded_from = tray;
+  ++loads_;
+  ROS_LOG(kDebug) << "loaded array " << tray.ToString() << " into bay " << bay;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Library::UnloadArray(int bay) {
+  if (bay < 0 || bay >= num_bays()) {
+    co_return InvalidArgumentError("invalid drive bay");
+  }
+  sim::Mutex::ScopedLock bay_lock = co_await bay_mutex_[bay]->Lock();
+  if (!bays_[bay].loaded_from.has_value()) {
+    co_return FailedPreconditionError("drive bay is empty");
+  }
+  const TrayAddress tray = *bays_[bay].loaded_from;
+  sim::Mutex::ScopedLock arm_lock = co_await arm_mutex_[tray.roller]->Lock();
+  bays_[bay].busy = true;
+  Status status = co_await UnloadArrayLocked(tray, bay);
+  bays_[bay].busy = false;
+  co_return status;
+}
+
+sim::Task<Status> Library::UnloadArrayLocked(TrayAddress tray, int bay) {
+  const int roller = tray.roller;
+  if (tray_occupied_[tray.ToIndex()]) {
+    co_return FailedPreconditionError("home tray unexpectedly occupied");
+  }
+
+  // Eject all 12 drive trays, then collect the discs one by one, top drive
+  // first, rebuilding the array on the arm.
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kEjectDriveTrays, .roller = roller}));
+  for (int disc = 0; disc < kDiscsPerTray; ++disc) {
+    ROS_CO_RETURN_IF_ERROR(
+        co_await plc_.Execute({.op = PlcOp::kCollectDisc, .roller = roller}));
+  }
+
+  // Carry the array down to its home layer; the roller cannot rotate while
+  // the loaded arm travels between layers, so these are sequential.
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kMoveArm, .roller = roller, .layer = tray.layer}));
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kRotateRoller, .roller = roller, .slot = tray.slot}));
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kFanOutTray, .roller = roller, .slot = tray.slot}));
+  ROS_CO_RETURN_IF_ERROR(
+      co_await plc_.Execute({.op = PlcOp::kPlaceArray, .roller = roller}));
+  ROS_CO_RETURN_IF_ERROR(
+      co_await plc_.Execute({.op = PlcOp::kFanInTray, .roller = roller}));
+
+  tray_occupied_[tray.ToIndex()] = true;
+  bays_[bay].loaded_from.reset();
+  ++unloads_;
+  ROS_LOG(kDebug) << "unloaded bay " << bay << " back to " << tray.ToString();
+
+  // The empty arm returns to park off the critical path, still holding the
+  // arm mutex so the next operation finds it parked.
+  sim_.Spawn(ReturnArmInBackground(roller));
+  co_return OkStatus();
+}
+
+sim::Task<void> Library::ReturnArmInBackground(int roller) {
+  sim::Mutex::ScopedLock arm_lock = co_await arm_mutex_[roller]->Lock();
+  Status status =
+      co_await plc_.Execute({.op = PlcOp::kReturnArm, .roller = roller});
+  if (!status.ok()) {
+    ROS_LOG(kWarning) << "background arm return failed: " << status.ToString();
+  }
+}
+
+sim::Task<Status> Library::PrepareLoad(TrayAddress tray) {
+  if (!tray.IsValid(config_.rollers)) {
+    co_return InvalidArgumentError("invalid tray address");
+  }
+  sim::Mutex::ScopedLock arm_lock = co_await arm_mutex_[tray.roller]->Lock();
+  const RollerState& rstate = plc_.roller_state(tray.roller);
+  if (rstate.fanned_out.has_value()) {
+    if (*rstate.fanned_out == tray.slot) {
+      co_return OkStatus();  // already prepared
+    }
+    co_return FailedPreconditionError("another tray is fanned out");
+  }
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kRotateRoller, .roller = tray.roller, .slot = tray.slot}));
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kFanOutTray, .roller = tray.roller, .slot = tray.slot}));
+  // Pre-position the arm at the target layer as well.
+  ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+      {.op = PlcOp::kMoveArm, .roller = tray.roller, .layer = tray.layer}));
+  co_return OkStatus();
+}
+
+}  // namespace ros::mech

@@ -1,0 +1,97 @@
+// High-level mechanical library operations (§3.2).
+//
+// Library composes the PLC, rollers and robotic arms into the two operations
+// the rest of ROS needs: loading a 12-disc array from a tray into a set of
+// 12 drives, and unloading it back. It tracks where every disc array
+// physically is (tray / carried / drive bay) and serializes access to each
+// arm and drive bay.
+//
+// Timing follows Table 3 of the paper: the operation's latency is the span
+// from the first PLC instruction to the last disc seated (load) or the tray
+// fanned back in (unload); the arm's fast return ascent overlaps other
+// actuations and is never on the critical path.
+#ifndef ROS_SRC_MECH_LIBRARY_H_
+#define ROS_SRC_MECH_LIBRARY_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mech/geometry.h"
+#include "src/mech/plc.h"
+#include "src/mech/timing.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace ros::mech {
+
+struct LibraryConfig {
+  int rollers = 2;
+  int drive_sets = 2;  // 1-4 sets of 12 drives each (§3.2)
+  MechTimingModel timing;
+  std::uint64_t seed = 1;
+};
+
+// Where a drive set's discs came from, when occupied.
+struct DriveBayState {
+  std::optional<TrayAddress> loaded_from;
+  bool busy = false;  // a load/unload operation is in flight
+};
+
+class Library {
+ public:
+  Library(sim::Simulator& sim, const LibraryConfig& config);
+
+  // Moves the disc array in `tray` into drive set `bay`. The tray must hold
+  // an array and the bay must be empty. Completes when all 12 discs are
+  // seated in drives.
+  sim::Task<Status> LoadArray(TrayAddress tray, int bay);
+
+  // Returns the disc array in drive set `bay` to the tray it came from.
+  // Completes when the tray has fanned back in.
+  sim::Task<Status> UnloadArray(int bay);
+
+  // Pipelining optimization (§3.2): pre-rotate the roller, fan the tray out
+  // and pre-position the arm while the drives are still busy, so a
+  // subsequent LoadArray of the same tray skips those steps (saves up to
+  // ~10 s). The arm of tray.roller is held briefly during preparation.
+  sim::Task<Status> PrepareLoad(TrayAddress tray);
+
+  bool TrayOccupied(TrayAddress tray) const;
+  const DriveBayState& bay(int index) const { return bays_.at(index); }
+  int num_bays() const { return static_cast<int>(bays_.size()); }
+  int num_rollers() const { return config_.rollers; }
+  Plc& plc() { return plc_; }
+
+  // Marks a tray as holding / not holding a disc array. Used when
+  // initializing a partially-populated rack in tests.
+  void SetTrayOccupied(TrayAddress tray, bool occupied);
+
+  // Telemetry.
+  std::uint64_t loads_completed() const { return loads_; }
+  std::uint64_t unloads_completed() const { return unloads_; }
+
+ private:
+  sim::Task<Status> LoadArrayLocked(TrayAddress tray, int bay);
+  sim::Task<Status> UnloadArrayLocked(TrayAddress tray, int bay);
+  // Spawned after an unload: returns the arm to its park position.
+  sim::Task<void> ReturnArmInBackground(int roller);
+
+  sim::Simulator& sim_;
+  LibraryConfig config_;
+  Plc plc_;
+  std::vector<std::unique_ptr<sim::Mutex>> arm_mutex_;  // one per roller
+  std::vector<std::unique_ptr<sim::Mutex>> bay_mutex_;  // one per drive set
+  std::vector<bool> tray_occupied_;
+  std::vector<DriveBayState> bays_;
+
+  std::uint64_t loads_ = 0;
+  std::uint64_t unloads_ = 0;
+};
+
+}  // namespace ros::mech
+
+#endif  // ROS_SRC_MECH_LIBRARY_H_

@@ -1,0 +1,164 @@
+#include "src/mech/plc.h"
+
+#include "src/common/logging.h"
+
+namespace ros::mech {
+
+std::string_view PlcOpName(PlcOp op) {
+  switch (op) {
+    case PlcOp::kRotateRoller: return "ROTATE_ROLLER";
+    case PlcOp::kMoveArm: return "MOVE_ARM";
+    case PlcOp::kReturnArm: return "RETURN_ARM";
+    case PlcOp::kFanOutTray: return "FAN_OUT_TRAY";
+    case PlcOp::kFanInTray: return "FAN_IN_TRAY";
+    case PlcOp::kGrabArray: return "GRAB_ARRAY";
+    case PlcOp::kPlaceArray: return "PLACE_ARRAY";
+    case PlcOp::kSeparateDisc: return "SEPARATE_DISC";
+    case PlcOp::kCollectDisc: return "COLLECT_DISC";
+    case PlcOp::kOpenDriveTrays: return "OPEN_DRIVE_TRAYS";
+    case PlcOp::kEjectDriveTrays: return "EJECT_DRIVE_TRAYS";
+  }
+  return "UNKNOWN";
+}
+
+sim::Task<Status> Plc::Actuate(sim::Duration motion) {
+  ++instructions_;
+  sim::TimePoint start = sim_.now();
+  co_await sim_.Delay(motion);
+  // Feedback loop: the range sensors verify the final position to 0.05 mm;
+  // a miscalibrated seat re-actuates with a fixed penalty.
+  int retries = 0;
+  while (faults_.miscalibration_rate > 0 &&
+         rng_.Chance(faults_.miscalibration_rate)) {
+    if (++retries > faults_.max_retries) {
+      busy_time_ += sim_.now() - start;
+      co_return UnavailableError("PLC recalibration retries exhausted");
+    }
+    ++recalibrations_;
+    co_await sim_.Delay(timing_.recalibration_delay);
+  }
+  busy_time_ += sim_.now() - start;
+  co_return OkStatus();
+}
+
+sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
+  if (instruction.roller < 0 || instruction.roller >= num_rollers()) {
+    co_return InvalidArgumentError("bad roller id");
+  }
+  RollerState& roller = rollers_[instruction.roller];
+  ArmState& arm = arms_[instruction.roller];
+
+  switch (instruction.op) {
+    case PlcOp::kRotateRoller: {
+      if (instruction.slot < 0 || instruction.slot >= kSlotsPerLayer) {
+        co_return InvalidArgumentError("bad slot");
+      }
+      if (roller.fanned_out.has_value()) {
+        co_return FailedPreconditionError(
+            "cannot rotate with a tray fanned out");
+      }
+      sim::Duration t =
+          timing_.RotateTime(roller.facing_slot, instruction.slot);
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t));
+      roller.facing_slot = instruction.slot;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kMoveArm: {
+      if (instruction.layer < 0 || instruction.layer >= kLayersPerRoller) {
+        co_return InvalidArgumentError("bad layer");
+      }
+      sim::Duration t =
+          timing_.ArmTravelTime(arm.layer, instruction.layer, arm.carrying);
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t));
+      arm.layer = instruction.layer;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kReturnArm: {
+      // Fast straight ascent to the park position (layer 0, atop drives).
+      sim::Duration t = timing_.arm_full_travel_return * arm.layer /
+                        (kLayersPerRoller - 1);
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t));
+      arm.layer = 0;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kFanOutTray: {
+      if (roller.fanned_out.has_value()) {
+        co_return FailedPreconditionError("another tray is fanned out");
+      }
+      if (roller.facing_slot != instruction.slot) {
+        co_return FailedPreconditionError("slot not facing the arm");
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.tray_fan_out));
+      roller.fanned_out = instruction.slot;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kFanInTray: {
+      if (!roller.fanned_out.has_value()) {
+        co_return FailedPreconditionError("no tray fanned out");
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.tray_fan_in));
+      roller.fanned_out.reset();
+      co_return OkStatus();
+    }
+
+    case PlcOp::kGrabArray: {
+      if (arm.carrying) {
+        co_return FailedPreconditionError("arm already carrying an array");
+      }
+      if (!roller.fanned_out.has_value()) {
+        co_return FailedPreconditionError("no tray fanned out to grab from");
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.grab_array));
+      arm.carrying = true;
+      arm.discs_held = kDiscsPerTray;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kPlaceArray: {
+      if (!arm.carrying) {
+        co_return FailedPreconditionError("arm not carrying an array");
+      }
+      if (!roller.fanned_out.has_value()) {
+        co_return FailedPreconditionError("no tray fanned out to place onto");
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.place_array));
+      arm.carrying = false;
+      arm.discs_held = 0;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kSeparateDisc: {
+      if (!arm.carrying || arm.discs_held <= 0) {
+        co_return FailedPreconditionError("no disc to separate");
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.separate_per_disc));
+      if (--arm.discs_held == 0) {
+        arm.carrying = false;
+      }
+      co_return OkStatus();
+    }
+
+    case PlcOp::kCollectDisc: {
+      if (arm.discs_held >= kDiscsPerTray) {
+        co_return FailedPreconditionError("carried array already full");
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.collect_per_disc));
+      arm.carrying = true;
+      ++arm.discs_held;
+      co_return OkStatus();
+    }
+
+    case PlcOp::kOpenDriveTrays:
+      co_return co_await Actuate(timing_.drive_trays_open);
+
+    case PlcOp::kEjectDriveTrays:
+      co_return co_await Actuate(timing_.drive_trays_eject);
+  }
+  co_return InternalError("unhandled PLC opcode");
+}
+
+}  // namespace ros::mech

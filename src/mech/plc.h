@@ -1,0 +1,122 @@
+// The Programmable Logic Controller (PLC) of ROS (§3.3).
+//
+// The PLC "defines an instruction set to execute basic mechanical
+// operations": rotating the roller, moving the robotic arm, fanning trays
+// out/in, grabbing/placing disc arrays, separating/collecting individual
+// discs, and actuating drive trays. Every instruction runs in a feedback
+// control loop against simulated range sensors; a miscalibrated reading
+// triggers a recalibration retry with a fixed penalty.
+//
+// The system controller (olfs::MechController) talks to the PLC exactly the
+// way the paper describes — command in, delayed status out — so the rest of
+// the stack never sees simulated internals.
+#ifndef ROS_SRC_MECH_PLC_H_
+#define ROS_SRC_MECH_PLC_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/mech/geometry.h"
+#include "src/mech/timing.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace ros::mech {
+
+// PLC instruction opcodes, one per basic mechanical operation.
+enum class PlcOp {
+  kRotateRoller,   // bring a slot to face the robotic arm
+  kMoveArm,        // vertical travel to a layer (descent, sensor-guided)
+  kReturnArm,      // fast ascent back to the park/drive position
+  kFanOutTray,     // hook + partial rotation: tray swings out
+  kFanInTray,      // reverse rotation: tray swings back
+  kGrabArray,      // lift the 12-disc array off the fanned-out tray
+  kPlaceArray,     // put the carried array onto the fanned-out tray
+  kSeparateDisc,   // drop the bottom disc of the carried array into a drive
+  kCollectDisc,    // take one disc from a drive onto the carried array
+  kOpenDriveTrays, // open all 12 trays of a drive set
+  kEjectDriveTrays // eject all 12 trays of a drive set (discs visible)
+};
+
+std::string_view PlcOpName(PlcOp op);
+
+struct PlcInstruction {
+  PlcOp op;
+  int roller = 0;
+  int layer = 0;  // kMoveArm target
+  int slot = 0;   // kRotateRoller / kFanOutTray target
+};
+
+// Per-roller mechanical state tracked by the PLC's sensors.
+struct RollerState {
+  int facing_slot = 0;              // slot currently facing the arm
+  std::optional<int> fanned_out;    // slot of the fanned-out tray, if any
+};
+
+struct ArmState {
+  int layer = 0;          // current vertical position (0 = uppermost/park)
+  bool carrying = false;  // holding a disc array
+  int discs_held = 0;     // discs currently on the carried array
+};
+
+// Sensor/actuator fault model. `miscalibration_rate` is the per-instruction
+// probability that the feedback loop detects an out-of-tolerance position
+// and re-seats (costing MechTimingModel::recalibration_delay each retry).
+struct PlcFaultModel {
+  double miscalibration_rate = 0.0;
+  int max_retries = 3;
+};
+
+class Plc {
+ public:
+  Plc(sim::Simulator& sim, MechTimingModel timing, int rollers,
+      std::uint64_t seed = 1)
+      : sim_(sim), timing_(timing), rng_(seed), rollers_(rollers),
+        arms_(rollers) {
+    ROS_CHECK(rollers >= 1 && rollers <= kMaxRollers);
+  }
+
+  // Executes one instruction, charging its mechanical delay to simulated
+  // time and updating sensor state. Returns FailedPrecondition if the
+  // instruction is illegal in the current state (e.g. grabbing with a full
+  // arm), or Unavailable if recalibration retries are exhausted.
+  sim::Task<Status> Execute(PlcInstruction instruction);
+
+  const MechTimingModel& timing() const { return timing_; }
+  const RollerState& roller_state(int roller) const {
+    return rollers_.at(roller);
+  }
+  const ArmState& arm_state(int roller) const { return arms_.at(roller); }
+  int num_rollers() const { return static_cast<int>(rollers_.size()); }
+
+  void set_fault_model(PlcFaultModel model) { faults_ = model; }
+
+  // Telemetry.
+  std::uint64_t instructions_executed() const { return instructions_; }
+  std::uint64_t recalibrations() const { return recalibrations_; }
+  sim::Duration busy_time() const { return busy_time_; }
+
+ private:
+  // Runs the feedback loop for one actuation of duration `motion`.
+  sim::Task<Status> Actuate(sim::Duration motion);
+
+  sim::Simulator& sim_;
+  MechTimingModel timing_;
+  Rng rng_;
+  PlcFaultModel faults_;
+  std::vector<RollerState> rollers_;
+  std::vector<ArmState> arms_;
+
+  std::uint64_t instructions_ = 0;
+  std::uint64_t recalibrations_ = 0;
+  sim::Duration busy_time_ = 0;
+};
+
+}  // namespace ros::mech
+
+#endif  // ROS_SRC_MECH_PLC_H_

@@ -1,0 +1,64 @@
+// DAindex (§4.1): per disc-array state, "Empty", "Used" or "Failed", plus
+// allocation of empty arrays for new burn tasks.
+#ifndef ROS_SRC_OLFS_DA_INDEX_H_
+#define ROS_SRC_OLFS_DA_INDEX_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/mech/geometry.h"
+
+namespace ros::olfs {
+
+enum class ArrayState { kEmpty, kUsed, kFailed };
+
+class DaIndex {
+ public:
+  explicit DaIndex(int rollers)
+      : rollers_(rollers),
+        states_(static_cast<std::size_t>(rollers) * mech::kTraysPerRoller,
+                ArrayState::kEmpty) {}
+
+  ArrayState state(mech::TrayAddress tray) const {
+    return states_.at(static_cast<std::size_t>(tray.ToIndex()));
+  }
+
+  void set_state(mech::TrayAddress tray, ArrayState state) {
+    states_.at(static_cast<std::size_t>(tray.ToIndex())) = state;
+  }
+
+  // Allocates the next empty disc array, scanning from the last allocation
+  // (keeps consecutive burns near each other, minimizing arm travel).
+  StatusOr<mech::TrayAddress> AllocateEmpty() {
+    const int total = static_cast<int>(states_.size());
+    for (int step = 0; step < total; ++step) {
+      const int index = (cursor_ + step) % total;
+      if (states_[static_cast<std::size_t>(index)] == ArrayState::kEmpty) {
+        cursor_ = index + 1;
+        return mech::TrayAddress::FromIndex(index);
+      }
+    }
+    return ResourceExhaustedError("no empty disc arrays left in the rack");
+  }
+
+  int CountState(ArrayState state) const {
+    int n = 0;
+    for (ArrayState s : states_) {
+      if (s == state) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  int rollers() const { return rollers_; }
+
+ private:
+  int rollers_;
+  std::vector<ArrayState> states_;
+  int cursor_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_DA_INDEX_H_

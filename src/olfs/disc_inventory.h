@@ -1,0 +1,39 @@
+// The rack's physical disc inventory. Owned by RosSystem (not by the
+// controller software) so that media — and the data burned onto it —
+// survives a controller replacement, which is exactly the disaster the
+// namespace-recovery path (§4.4) exists for.
+#ifndef ROS_SRC_OLFS_DISC_INVENTORY_H_
+#define ROS_SRC_OLFS_DISC_INVENTORY_H_
+
+#include <map>
+#include <memory>
+
+#include "src/drive/disc.h"
+#include "src/mech/geometry.h"
+
+namespace ros::olfs {
+
+class DiscInventory {
+ public:
+  drive::Disc* GetOrCreate(mech::DiscAddress address, drive::DiscType type,
+                           std::uint64_t capacity_override) {
+    auto it = discs_.find(address.ToIndex());
+    if (it == discs_.end()) {
+      it = discs_
+               .emplace(address.ToIndex(),
+                        std::make_unique<drive::Disc>(
+                            address.ToString(), type, capacity_override))
+               .first;
+    }
+    return it->second.get();
+  }
+
+  std::size_t size() const { return discs_.size(); }
+
+ private:
+  std::map<int, std::unique_ptr<drive::Disc>> discs_;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_DISC_INVENTORY_H_

@@ -1,0 +1,91 @@
+#include "src/olfs/fetch_manager.h"
+
+#include "src/common/logging.h"
+
+namespace ros::olfs {
+
+sim::Task<StatusOr<FetchLease>> FetchManager::FetchDisc(
+    const std::string& image_id) {
+  ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
+                          images_->Lookup(image_id));
+  if (!record->disc.has_value()) {
+    co_return FailedPreconditionError("image " + image_id +
+                                      " is not on any disc");
+  }
+  const mech::DiscAddress address = *record->disc;
+
+  // Under the interrupt-and-swap policy, give burning bays a nudge before
+  // queueing: the interrupted burn unloads at the next chunk boundary and
+  // our AcquireBay wakes up first in FIFO order.
+  if (params_.busy_drive_policy == BusyDrivePolicy::kInterruptAndSwap) {
+    bool any_idle = false;
+    for (int bay = 0; bay < mech_->num_bays(); ++bay) {
+      if (mech_->bay_state(bay) != BayState::kBusy) {
+        any_idle = true;
+        break;
+      }
+    }
+    if (!any_idle) {
+      for (int bay = 0; bay < mech_->num_bays(); ++bay) {
+        (void)burns_->InterruptBay(bay);
+        break;  // interrupting one bay is enough
+      }
+    }
+  }
+
+  // Share an in-flight load of the same tray instead of double-loading
+  // (the second LoadArray would find the tray empty).
+  const int tray_index = address.tray.ToIndex();
+  int bay = -1;
+  while (true) {
+    auto inflight = inflight_.find(tray_index);
+    if (inflight != inflight_.end()) {
+      std::shared_ptr<sim::Event> done = inflight->second;
+      co_await done->Wait();
+      continue;  // loader finished; re-evaluate
+    }
+    ROS_CO_ASSIGN_OR_RETURN(
+        bay, co_await mech_->AcquireBay(address.tray, /*wait=*/true));
+
+    // Already loaded with the right array?
+    if (mech_->bay_tray(bay).has_value() &&
+        *mech_->bay_tray(bay) == address.tray) {
+      co_return FetchLease(mech_, bay,
+                           &mech_->drive_set(bay).drive(address.index));
+    }
+    // Another reader may have become the loader while our acquisition was
+    // pending; hand the bay back and wait for them instead.
+    if (inflight_.count(tray_index) > 0) {
+      mech_->ReleaseBay(bay);
+      continue;
+    }
+    break;  // we are the loader, holding `bay`
+  }
+
+  // Publish the in-flight marker so concurrent readers of this tray wait
+  // for us rather than racing (no suspension since the check above).
+  auto done = std::make_shared<sim::Event>(sim_);
+  inflight_.emplace(tray_index, done);
+
+  // Evict whatever idle array occupies the bay (the 155 s case).
+  Status status = OkStatus();
+  if (mech_->bay_tray(bay).has_value()) {
+    status = co_await mech_->UnloadArray(bay);
+  }
+  if (status.ok()) {
+    status = co_await mech_->LoadArray(address.tray, bay);
+  }
+  inflight_.erase(tray_index);
+  done->Set();
+  if (!status.ok()) {
+    mech_->ReleaseBay(bay);
+    co_return status;
+  }
+  ++fetches_;
+  ROS_LOG(kDebug) << "fetched disc array " << address.tray.ToString()
+                  << " for image " << image_id;
+  co_return FetchLease(mech_, bay,
+                       &mech_->drive_set(bay).drive(address.index));
+}
+
+}  // namespace ros::olfs

@@ -1,0 +1,85 @@
+// Fetching Task Management (FTM), §4.1, §4.8.
+//
+// When a read misses the disk buffer, FTM brings the disc holding the
+// requested image into a drive. The latency depends on where things stand
+// (Table 1): the disc may already sit in a drive (parked array), a free
+// bay may exist (one load), every bay may hold idle arrays (unload +
+// load), or every bay may be burning — in which case the configured
+// BusyDrivePolicy either waits for the burn or interrupts it.
+//
+// After a fetch the array stays parked in its bay so subsequent reads of
+// neighbouring discs hit the "disc in drive" case.
+#ifndef ROS_SRC_OLFS_FETCH_MANAGER_H_
+#define ROS_SRC_OLFS_FETCH_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/olfs/burn_manager.h"
+#include "src/olfs/disc_image_store.h"
+#include "src/olfs/mech_controller.h"
+#include "src/olfs/params.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace ros::olfs {
+
+// Exclusive use of a drive (and its bay) for the duration of a read.
+// Release() parks the array; the lease must be released exactly once.
+class FetchLease {
+ public:
+  FetchLease() = default;
+  FetchLease(MechController* mech, int bay, drive::OpticalDrive* drive)
+      : mech_(mech), bay_(bay), drive_(drive) {}
+
+  drive::OpticalDrive* drive() { return drive_; }
+  int bay() const { return bay_; }
+  bool valid() const { return drive_ != nullptr; }
+
+  void Release() {
+    if (mech_ != nullptr) {
+      mech_->ReleaseBay(bay_);
+      mech_ = nullptr;
+      drive_ = nullptr;
+    }
+  }
+
+ private:
+  MechController* mech_ = nullptr;
+  int bay_ = -1;
+  drive::OpticalDrive* drive_ = nullptr;
+};
+
+class FetchManager {
+ public:
+  FetchManager(sim::Simulator& sim, const OlfsParams& params,
+               DiscImageStore* images, MechController* mech,
+               BurnManager* burns)
+      : sim_(sim), params_(params), images_(images), mech_(mech),
+        burns_(burns) {}
+
+  // In-flight load deduplication: concurrent readers of discs in the same
+  // tray share one mechanical fetch (the MC "optimizes the usage of
+  // mechanical resources", §4.1).
+
+  // Ensures the disc holding `image_id` sits in a drive; returns the lease.
+  sim::Task<StatusOr<FetchLease>> FetchDisc(const std::string& image_id);
+
+  std::uint64_t fetches() const { return fetches_; }
+
+ private:
+  sim::Simulator& sim_;
+  OlfsParams params_;
+  DiscImageStore* images_;
+  MechController* mech_;
+  BurnManager* burns_;
+  // tray index -> completion event of the load currently in flight.
+  std::map<int, std::shared_ptr<sim::Event>> inflight_;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_FETCH_MANAGER_H_

@@ -1,0 +1,94 @@
+// File-granular read cache (§4.1's future-work refinement).
+//
+// The baseline Read Cache works at disc-image granularity. This cache
+// holds individual files fetched from discs, so repeated reads of a cold
+// file — and, with sibling prefetch, of its directory neighbours — hit the
+// disk buffer even after the disc array has left the drives. LRU over
+// bytes, like the image cache.
+#ifndef ROS_SRC_OLFS_FILE_CACHE_H_
+#define ROS_SRC_OLFS_FILE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ros::olfs {
+
+class FileCache {
+ public:
+  explicit FileCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  static std::string Key(const std::string& image_id,
+                         const std::string& internal_path) {
+    return image_id + "@" + internal_path;
+  }
+
+  // Inserts (or refreshes) a file's full content; evicts LRU overflow.
+  void Put(const std::string& key, std::vector<std::uint8_t> content) {
+    if (!enabled()) {
+      return;
+    }
+    Remove(key);
+    used_ += content.size();
+    lru_.push_front({key, std::move(content)});
+    index_[key] = lru_.begin();
+    while (used_ > capacity_ && !lru_.empty()) {
+      used_ -= lru_.back().content.size();
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+    }
+  }
+
+  // Returns the cached content (refreshing recency), or nullptr.
+  const std::vector<std::uint8_t>* Get(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return &lru_.front().content;
+  }
+
+  bool Contains(const std::string& key) const {
+    return index_.count(key) > 0;
+  }
+
+  void Remove(const std::string& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      return;
+    }
+    used_ -= it->second->content.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  std::uint64_t used_bytes() const { return used_; }
+  std::size_t size() const { return index_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<std::uint8_t> content;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_FILE_CACHE_H_

@@ -1,0 +1,171 @@
+#include "src/olfs/index_file.h"
+
+#include <algorithm>
+
+namespace ros::olfs {
+
+char LocationCode(LocationKind kind) {
+  switch (kind) {
+    case LocationKind::kBucket: return 'B';
+    case LocationKind::kImage: return 'I';
+    case LocationKind::kDisc: return 'D';
+  }
+  return '?';
+}
+
+StatusOr<LocationKind> LocationFromCode(char code) {
+  switch (code) {
+    case 'B': return LocationKind::kBucket;
+    case 'I': return LocationKind::kImage;
+    case 'D': return LocationKind::kDisc;
+    default:
+      return InvalidArgumentError(std::string("bad location code: ") + code);
+  }
+}
+
+StatusOr<const VersionEntry*> IndexFile::Latest() const {
+  if (entries_.empty()) {
+    return NotFoundError("no versions for " + path_);
+  }
+  const VersionEntry* latest = &entries_[0];
+  for (const VersionEntry& entry : entries_) {
+    if (entry.version > latest->version) {
+      latest = &entry;
+    }
+  }
+  if (latest->tombstone) {
+    return NotFoundError(path_ + " is deleted");
+  }
+  return latest;
+}
+
+StatusOr<const VersionEntry*> IndexFile::Version(int version) const {
+  for (const VersionEntry& entry : entries_) {
+    if (entry.version == version) {
+      return &entry;
+    }
+  }
+  return NotFoundError("version " + std::to_string(version) + " of " +
+                       path_ + " not in the current index ring");
+}
+
+void IndexFile::AddVersion(VersionEntry entry, int max_entries) {
+  entry.version = next_version_++;
+  if (static_cast<int>(entries_.size()) < max_entries) {
+    entries_.push_back(std::move(entry));
+    return;
+  }
+  // Ring full: overwrite the oldest entry (§4.6).
+  auto oldest = std::min_element(
+      entries_.begin(), entries_.end(),
+      [](const VersionEntry& a, const VersionEntry& b) {
+        return a.version < b.version;
+      });
+  *oldest = std::move(entry);
+}
+
+Status IndexFile::UpdateLatest(const VersionEntry& entry) {
+  if (entries_.empty()) {
+    return NotFoundError("no versions to update for " + path_);
+  }
+  VersionEntry* latest = &entries_[0];
+  for (VersionEntry& candidate : entries_) {
+    if (candidate.version > latest->version) {
+      latest = &candidate;
+    }
+  }
+  const int keep_version = latest->version;
+  *latest = entry;
+  latest->version = keep_version;
+  return OkStatus();
+}
+
+std::string IndexFile::ToJson() const {
+  json::Object root;
+  root["path"] = json::Value(path_);
+  root["type"] = json::Value(type_ == EntryType::kFile ? "file" : "dir");
+  root["next_ver"] = json::Value(next_version_);
+  json::Array entries;
+  for (const VersionEntry& entry : entries_) {
+    json::Object e;
+    e["ver"] = json::Value(entry.version);
+    e["loc"] = json::Value(std::string(1, LocationCode(entry.location)));
+    e["size"] = json::Value(entry.total_size);
+    e["del"] = json::Value(entry.tombstone);
+    json::Array parts;
+    for (const FilePart& part : entry.parts) {
+      json::Object p;
+      p["img"] = json::Value(part.image_id);
+      p["size"] = json::Value(part.size);
+      parts.push_back(json::Value(std::move(p)));
+    }
+    e["parts"] = json::Value(std::move(parts));
+    entries.push_back(json::Value(std::move(e)));
+  }
+  root["entries"] = json::Value(std::move(entries));
+  if (!forepart_.empty()) {
+    // Hex-encoded forepart: JSON-safe and platform independent.
+    std::string hex;
+    hex.reserve(forepart_.size() * 2);
+    constexpr char kDigits[] = "0123456789abcdef";
+    for (std::uint8_t byte : forepart_) {
+      hex.push_back(kDigits[byte >> 4]);
+      hex.push_back(kDigits[byte & 0xF]);
+    }
+    root["forepart"] = json::Value(std::move(hex));
+  }
+  return json::Value(std::move(root)).Dump();
+}
+
+StatusOr<IndexFile> IndexFile::FromJson(std::string_view text) {
+  ROS_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
+  if (!root.is_object()) {
+    return InvalidArgumentError("index file is not a JSON object");
+  }
+  IndexFile index;
+  index.path_ = root["path"].as_string();
+  index.type_ =
+      root["type"].as_string() == "dir" ? EntryType::kDirectory
+                                        : EntryType::kFile;
+  index.next_version_ = static_cast<int>(root["next_ver"].as_int());
+  for (const json::Value& e : root["entries"].as_array()) {
+    VersionEntry entry;
+    entry.version = static_cast<int>(e["ver"].as_int());
+    const std::string& loc = e["loc"].as_string();
+    if (loc.size() != 1) {
+      return InvalidArgumentError("bad loc field");
+    }
+    ROS_ASSIGN_OR_RETURN(entry.location, LocationFromCode(loc[0]));
+    entry.total_size = static_cast<std::uint64_t>(e["size"].as_int());
+    entry.tombstone = e["del"].is_bool() && e["del"].as_bool();
+    for (const json::Value& p : e["parts"].as_array()) {
+      entry.parts.push_back(
+          {p["img"].as_string(),
+           static_cast<std::uint64_t>(p["size"].as_int())});
+    }
+    index.entries_.push_back(std::move(entry));
+  }
+  if (root.contains("forepart")) {
+    const std::string& hex = root["forepart"].as_string();
+    if (hex.size() % 2 != 0) {
+      return InvalidArgumentError("bad forepart encoding");
+    }
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    index.forepart_.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      const int hi = nibble(hex[i]);
+      const int lo = nibble(hex[i + 1]);
+      if (hi < 0 || lo < 0) {
+        return InvalidArgumentError("bad forepart hex digit");
+      }
+      index.forepart_.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+  }
+  return index;
+}
+
+}  // namespace ros::olfs

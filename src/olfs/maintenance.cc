@@ -1,0 +1,205 @@
+#include "src/olfs/maintenance.h"
+
+#include "src/udf/serializer.h"
+
+namespace ros::olfs {
+
+namespace {
+
+const char* TierName(ImageTier tier) {
+  switch (tier) {
+    case ImageTier::kOpenBucket: return "open-bucket";
+    case ImageTier::kBuffered: return "buffered";
+    case ImageTier::kBurnedCached: return "burned+cached";
+    case ImageTier::kBurnedOnly: return "burned";
+  }
+  return "?";
+}
+
+}  // namespace
+
+json::Value Maintenance::StatusReport() const {
+  json::Object report;
+
+  json::Object arrays;
+  arrays["empty"] = json::Value(
+      olfs_->da_index().CountState(ArrayState::kEmpty));
+  arrays["used"] = json::Value(
+      olfs_->da_index().CountState(ArrayState::kUsed));
+  arrays["failed"] = json::Value(
+      olfs_->da_index().CountState(ArrayState::kFailed));
+  report["disc_arrays"] = json::Value(std::move(arrays));
+
+  json::Object pipeline;
+  pipeline["buckets_created"] =
+      json::Value(olfs_->buckets().buckets_created());
+  pipeline["arrays_burned"] = json::Value(olfs_->burns().arrays_burned());
+  pipeline["active_burns"] = json::Value(olfs_->burns().active_burns());
+  pipeline["pending_images"] = json::Value(
+      static_cast<std::int64_t>(olfs_->images().UnburnedClosed().size()));
+  pipeline["fetches"] =
+      json::Value(static_cast<std::int64_t>(olfs_->fetches().fetches()));
+  report["pipeline"] = json::Value(std::move(pipeline));
+
+  json::Object cache;
+  cache["image_cache_bytes"] =
+      json::Value(static_cast<std::int64_t>(olfs_->cache().used_bytes()));
+  cache["image_hits"] =
+      json::Value(static_cast<std::int64_t>(olfs_->cache().hits()));
+  cache["image_misses"] =
+      json::Value(static_cast<std::int64_t>(olfs_->cache().misses()));
+  cache["file_cache_bytes"] = json::Value(
+      static_cast<std::int64_t>(olfs_->file_cache().used_bytes()));
+  report["caches"] = json::Value(std::move(cache));
+
+  json::Object namespace_info;
+  namespace_info["entries"] =
+      json::Value(static_cast<std::int64_t>(olfs_->mv().index_count()));
+  namespace_info["images"] =
+      json::Value(static_cast<std::int64_t>(olfs_->images().image_count()));
+  report["namespace"] = json::Value(std::move(namespace_info));
+
+  json::Array tiers;
+  for (const ImageRecord* record : olfs_->images().AllRecords()) {
+    json::Object entry;
+    entry["id"] = json::Value(record->id);
+    entry["tier"] = json::Value(std::string(TierName(record->tier)));
+    if (record->disc.has_value()) {
+      entry["disc"] = json::Value(record->disc->ToString());
+    }
+    tiers.push_back(json::Value(std::move(entry)));
+  }
+  report["images"] = json::Value(std::move(tiers));
+  return json::Value(std::move(report));
+}
+
+sim::Task<Status> Maintenance::Checkpoint() {
+  json::Object state;
+
+  // DAindex.
+  json::Array used;
+  json::Array failed;
+  for (int t = 0;
+       t < olfs_->da_index().rollers() * mech::kTraysPerRoller; ++t) {
+    switch (olfs_->da_index().state(mech::TrayAddress::FromIndex(t))) {
+      case ArrayState::kUsed: used.push_back(json::Value(t)); break;
+      case ArrayState::kFailed: failed.push_back(json::Value(t)); break;
+      case ArrayState::kEmpty: break;
+    }
+  }
+  state["da_used"] = json::Value(std::move(used));
+  state["da_failed"] = json::Value(std::move(failed));
+  state["bucket_counter"] =
+      json::Value(olfs_->buckets().buckets_created());
+
+  // Image registry + buffered structures flushed to the disk buffer.
+  json::Array images;
+  for (const ImageRecord* record : olfs_->images().AllRecords()) {
+    json::Object entry;
+    entry["id"] = json::Value(record->id);
+    entry["parity"] = json::Value(record->parity);
+    entry["tier"] = json::Value(static_cast<int>(record->tier));
+    entry["bytes"] = json::Value(record->logical_bytes);
+    entry["vol"] = json::Value(record->volume_index);
+    entry["file"] = json::Value(record->volume_file);
+    if (record->disc.has_value()) {
+      entry["disc"] = json::Value(record->disc->ToIndex());
+    }
+    json::Array members;
+    for (const std::string& member : record->array_members) {
+      members.push_back(json::Value(member));
+    }
+    entry["members"] = json::Value(std::move(members));
+    images.push_back(json::Value(std::move(entry)));
+
+    // Persist the serialized structure of every image whose bytes live
+    // only in controller memory + buffer (open buckets included: the
+    // checkpoint closes over their current content).
+    if (record->image != nullptr && !record->parity) {
+      disk::Volume* volume = olfs_->buckets().volume(record->volume_index);
+      const std::string name = CheckpointFileName(record->id);
+      if (!volume->Exists(name)) {
+        ROS_CO_RETURN_IF_ERROR(co_await volume->Create(name));
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await volume->WriteAll(
+          name, udf::Serializer::Serialize(*record->image)));
+    }
+  }
+  state["images"] = json::Value(std::move(images));
+  co_return co_await olfs_->mv().PutState(kCheckpointKey,
+                                          json::Value(std::move(state)));
+}
+
+sim::Task<Status> Maintenance::RestoreFromCheckpoint() {
+  ROS_CO_ASSIGN_OR_RETURN(json::Value state,
+                          co_await olfs_->mv().GetState(kCheckpointKey));
+  for (const json::Value& t : state["da_used"].as_array()) {
+    olfs_->da_index().set_state(
+        mech::TrayAddress::FromIndex(static_cast<int>(t.as_int())),
+        ArrayState::kUsed);
+  }
+  for (const json::Value& t : state["da_failed"].as_array()) {
+    olfs_->da_index().set_state(
+        mech::TrayAddress::FromIndex(static_cast<int>(t.as_int())),
+        ArrayState::kFailed);
+  }
+  olfs_->buckets().RestoreCounter(
+      static_cast<int>(state["bucket_counter"].as_int()));
+
+  for (const json::Value& entry : state["images"].as_array()) {
+    ImageRecord record;
+    record.id = entry["id"].as_string();
+    record.parity = entry["parity"].as_bool();
+    record.logical_bytes =
+        static_cast<std::uint64_t>(entry["bytes"].as_int());
+    record.volume_index = static_cast<int>(entry["vol"].as_int());
+    record.volume_file = entry["file"].as_string();
+    if (entry.contains("disc")) {
+      record.disc = mech::DiscAddress::FromIndex(
+          static_cast<int>(entry["disc"].as_int()));
+    }
+    for (const json::Value& member : entry["members"].as_array()) {
+      record.array_members.push_back(member.as_string());
+    }
+    const auto tier = static_cast<ImageTier>(entry["tier"].as_int());
+    // Open buckets are closed by the crash; their checkpointed content
+    // survives as a buffered image awaiting burn.
+    record.tier = tier == ImageTier::kOpenBucket ? ImageTier::kBuffered
+                                                 : tier;
+
+    // Reload the serialized structure for buffer-resident data images.
+    if ((record.tier == ImageTier::kBuffered ||
+         record.tier == ImageTier::kBurnedCached) &&
+        !record.parity) {
+      disk::Volume* volume = olfs_->buckets().volume(record.volume_index);
+      const std::string name = CheckpointFileName(record.id);
+      auto bytes = co_await volume->ReadAll(name);
+      if (bytes.ok()) {
+        auto image = udf::Serializer::Parse(*bytes);
+        if (image.ok()) {
+          record.image =
+              std::make_shared<udf::Image>(std::move(*image));
+          record.logical_bytes = record.image->used_bytes();
+        }
+      }
+      if (record.image == nullptr) {
+        if (!record.disc.has_value()) {
+          co_return DataLossError("image " + record.id +
+                                  " lost: no checkpoint copy and not on "
+                                  "any disc");
+        }
+        record.tier = ImageTier::kBurnedOnly;  // still safe on its disc
+      }
+    }
+    // Parity images in the buffer cannot be reloaded (their bytes are
+    // derived); regenerate by re-burning if needed, or keep disc copies.
+    if (record.parity && !record.disc.has_value()) {
+      continue;  // will be regenerated with its array's next burn
+    }
+    ROS_CO_RETURN_IF_ERROR(
+        olfs_->images().RestoreRecord(std::move(record)));
+  }
+  co_return OkStatus();
+}
+
+}  // namespace ros::olfs

@@ -1,0 +1,132 @@
+#include "src/olfs/metadata_volume.h"
+
+#include <algorithm>
+
+namespace ros::olfs {
+
+namespace {
+std::vector<std::uint8_t> ToBytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+std::string ToString(const std::vector<std::uint8_t>& v) {
+  return {v.begin(), v.end()};
+}
+}  // namespace
+
+sim::Task<Status> MetadataVolume::Put(const IndexFile& index) {
+  const std::string name = IndexName(index.path());
+  if (!volume_->Exists(name)) {
+    ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
+  }
+  co_return co_await volume_->WriteAll(name, ToBytes(index.ToJson()));
+}
+
+sim::Task<StatusOr<IndexFile>> MetadataVolume::Get(
+    const std::string& path) const {
+  auto data = co_await volume_->ReadAll(IndexName(path));
+  if (!data.ok()) {
+    co_return data.status();
+  }
+  co_return IndexFile::FromJson(ToString(*data));
+}
+
+sim::Task<Status> MetadataVolume::Remove(const std::string& path) {
+  co_return co_await volume_->Delete(IndexName(path));
+}
+
+std::vector<std::string> MetadataVolume::ListChildren(
+    const std::string& path) const {
+  const std::string prefix =
+      path == "/" ? IndexName("/") : IndexName(path) + "/";
+  std::vector<std::string> children;
+  for (const std::string& name : volume_->List(prefix)) {
+    std::string_view rest = std::string_view(name).substr(prefix.size());
+    if (rest.empty() || rest.find('/') != std::string_view::npos) {
+      continue;  // not a direct child
+    }
+    children.emplace_back(rest);
+  }
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+std::vector<std::string> MetadataVolume::AllPaths() const {
+  std::vector<std::string> paths;
+  for (const std::string& name : volume_->List("/idx/")) {
+    paths.push_back(name.substr(4));  // strip "/idx"
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::uint64_t MetadataVolume::index_count() const {
+  return volume_->List("/idx/").size();
+}
+
+sim::Task<Status> MetadataVolume::PutState(const std::string& key,
+                                           const json::Value& v) {
+  const std::string name = "/state/" + key;
+  if (!volume_->Exists(name)) {
+    ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
+  }
+  co_return co_await volume_->WriteAll(name, ToBytes(v.Dump()));
+}
+
+sim::Task<StatusOr<json::Value>> MetadataVolume::GetState(
+    const std::string& key) const {
+  auto data = co_await volume_->ReadAll("/state/" + key);
+  if (!data.ok()) {
+    co_return data.status();
+  }
+  co_return json::Parse(ToString(*data));
+}
+
+sim::Task<StatusOr<udf::Image>> MetadataVolume::BuildSnapshotImage(
+    const std::string& image_id, std::uint64_t capacity) const {
+  udf::Image image(image_id, capacity);
+  for (const std::string& name : volume_->List("/idx/")) {
+    auto data = co_await volume_->ReadAll(name);
+    if (!data.ok()) {
+      co_return data.status();
+    }
+    // "/idx/a/b" -> "/.mv/a/b#idx" (the suffix keeps directory index
+    // files from colliding with their children's paths).
+    const std::string path =
+        std::string(kSnapshotDir) + name.substr(4) + "#idx";
+    Status status = image.AddFile(path, std::move(*data));
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return image;
+}
+
+sim::Task<Status> MetadataVolume::RestoreFromSnapshot(
+    const udf::Image& snapshot) {
+  Status failure = OkStatus();
+  std::vector<std::pair<std::string, const udf::Node*>> files;
+  snapshot.Walk([&](const std::string& path, const udf::Node& node) {
+    if (node.type == udf::NodeType::kFile &&
+        path.rfind(std::string(kSnapshotDir) + "/", 0) == 0) {
+      files.emplace_back(path, &node);
+    }
+  });
+  for (const auto& [path, node] : files) {
+    std::string global_path = path.substr(kSnapshotDir.size());
+    constexpr std::string_view kSuffix = "#idx";
+    if (global_path.size() > kSuffix.size() &&
+        global_path.ends_with(kSuffix)) {
+      global_path.resize(global_path.size() - kSuffix.size());
+    }
+    const std::string name = IndexName(global_path);
+    if (!volume_->Exists(name)) {
+      ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
+    }
+    std::vector<std::uint8_t> content(node->data);
+    ROS_CO_RETURN_IF_ERROR(co_await volume_->WriteAll(name,
+                                                      std::move(content)));
+  }
+  co_return failure;
+}
+
+}  // namespace ros::olfs

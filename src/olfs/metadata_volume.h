@@ -1,0 +1,78 @@
+// The Metadata Volume (MV), §4.2.
+//
+// MV maintains the updatable map between millions of global-namespace
+// entries and thousands of discs. It lives on a small, fast ext4-style
+// volume (a pair of SSDs in RAID-1 with 1 KiB blocks and 128-byte inodes)
+// and stores one JSON index file per namespace entry, plus system running
+// state. Metadata and data storage are physically decoupled: nothing here
+// holds file payloads (except the optional forepart).
+#ifndef ROS_SRC_OLFS_METADATA_VOLUME_H_
+#define ROS_SRC_OLFS_METADATA_VOLUME_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/status.h"
+#include "src/disk/volume.h"
+#include "src/olfs/index_file.h"
+#include "src/sim/task.h"
+#include "src/udf/image.h"
+
+namespace ros::olfs {
+
+class MetadataVolume {
+ public:
+  explicit MetadataVolume(disk::Volume* volume) : volume_(volume) {}
+
+  // --- index files ---
+
+  bool Exists(const std::string& path) const {
+    return volume_->Exists(IndexName(path));
+  }
+
+  sim::Task<Status> Put(const IndexFile& index);
+  sim::Task<StatusOr<IndexFile>> Get(const std::string& path) const;
+  sim::Task<Status> Remove(const std::string& path);
+
+  // Direct children (leaf names) of a directory in the global namespace.
+  std::vector<std::string> ListChildren(const std::string& path) const;
+
+  // All namespace paths (for snapshots and consistency checks).
+  std::vector<std::string> AllPaths() const;
+
+  // --- system running state (also JSON, §4.2) ---
+
+  sim::Task<Status> PutState(const std::string& key, const json::Value& v);
+  sim::Task<StatusOr<json::Value>> GetState(const std::string& key) const;
+
+  // --- durability (§4.2: MV is periodically burned into discs) ---
+
+  // Packs every index file into a self-describing UDF image (under
+  // /.mv/...) that the burn pipeline writes to discs like any other image.
+  sim::Task<StatusOr<udf::Image>> BuildSnapshotImage(
+      const std::string& image_id, std::uint64_t capacity) const;
+
+  // Restores the namespace from a snapshot image (inverse of the above).
+  // Existing index files are replaced.
+  sim::Task<Status> RestoreFromSnapshot(const udf::Image& snapshot);
+
+  // Wipes the namespace (simulating MV loss before a recovery).
+  void WipeAll() { volume_->FormatQuick(); }
+
+  std::uint64_t index_count() const;
+  disk::Volume* volume() { return volume_; }
+
+  // MV file-name mapping (exposed for tests).
+  static std::string IndexName(const std::string& path) {
+    return "/idx" + path;
+  }
+  static constexpr std::string_view kSnapshotDir = "/.mv";
+
+ private:
+  disk::Volume* volume_;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_METADATA_VOLUME_H_

@@ -1,0 +1,243 @@
+// The Optical Library File System (OLFS) facade — the PI module (§4.1).
+//
+// Olfs exposes the POSIX-style global namespace and orchestrates all the
+// subsystems underneath: the metadata volume (index files), preliminary
+// bucket writing, delayed parity, burn/fetch task management, the read
+// cache and the mechanical controller. Every operation both performs the
+// real work (bytes move through the volumes, images, discs) and charges
+// the paper's measured software-overhead model: ~2.5 ms per internal OLFS
+// operation plus a kernel-user mode switch between consecutive operations
+// (Fig 7).
+#ifndef ROS_SRC_OLFS_OLFS_H_
+#define ROS_SRC_OLFS_OLFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/olfs/bucket_manager.h"
+#include "src/olfs/burn_manager.h"
+#include "src/olfs/da_index.h"
+#include "src/olfs/disc_image_store.h"
+#include "src/olfs/fetch_manager.h"
+#include "src/olfs/file_cache.h"
+#include "src/olfs/mech_controller.h"
+#include "src/olfs/metadata_volume.h"
+#include "src/olfs/params.h"
+#include "src/olfs/parity.h"
+#include "src/olfs/read_cache.h"
+#include "src/olfs/system.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace ros::olfs {
+
+struct FileInfo {
+  std::uint64_t size = 0;
+  int version = 0;
+  bool is_directory = false;
+  LocationKind location = LocationKind::kBucket;
+};
+
+struct RecoveryReport {
+  int discs_scanned = 0;
+  int images_parsed = 0;
+  int files_recovered = 0;
+  int unreadable_discs = 0;
+};
+
+class Olfs {
+ public:
+  Olfs(sim::Simulator& sim, RosSystem* system, OlfsParams params = {});
+
+  // ------------------------------------------------------------------
+  // POSIX-style interface (PI)
+  // ------------------------------------------------------------------
+
+  // Creates a new file (fails if it exists). `data` may be sparse
+  // relative to `logical_size` (pass data.size() for fully-real files).
+  sim::Task<Status> Create(const std::string& path,
+                           std::vector<std::uint8_t> data,
+                           std::uint64_t logical_size);
+  sim::Task<Status> Create(const std::string& path,
+                           std::vector<std::uint8_t> data);
+
+  // Regenerating update (§4.6): writes a new version of an existing file.
+  sim::Task<Status> Update(const std::string& path,
+                           std::vector<std::uint8_t> data,
+                           std::uint64_t logical_size);
+
+  // Appending update: extends the latest version in place while its
+  // bucket is still open, otherwise regenerates a new version with the
+  // combined content.
+  sim::Task<Status> Append(const std::string& path,
+                           std::vector<std::uint8_t> data);
+
+  // Reads the latest version.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> Read(const std::string& path,
+                                                      std::uint64_t offset,
+                                                      std::uint64_t length);
+
+  // Reads a historic version still in the index ring (data provenance).
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadVersion(
+      const std::string& path, int version, std::uint64_t offset,
+      std::uint64_t length);
+
+  // Serves the first bytes of a file from MV within ~2 ms (§4.8's
+  // forepart-data-stored mechanism). Requires forepart_enabled.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadForepart(
+      const std::string& path);
+
+  // ------------------------------------------------------------------
+  // Streaming handles (the FUSE open / write* / release sequence): each
+  // AppendStream/ReadStream charges a single internal operation; the MV
+  // index is written back by CloseStream (release). This is the data path
+  // behind filebench's singlestream workloads (Fig 6).
+  // ------------------------------------------------------------------
+  sim::Task<Status> AppendStream(const std::string& path,
+                                 std::vector<std::uint8_t> data,
+                                 std::uint64_t logical_grow);
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadStream(
+      const std::string& path, std::uint64_t offset, std::uint64_t length);
+  sim::Task<Status> CloseStream(const std::string& path);
+
+  sim::Task<StatusOr<FileInfo>> Stat(const std::string& path);
+  sim::Task<Status> Mkdir(const std::string& path);
+  sim::Task<StatusOr<std::vector<std::string>>> ReadDir(
+      const std::string& path);
+  // Logical delete: a tombstone version (WORM media keeps the bytes).
+  sim::Task<Status> Unlink(const std::string& path);
+
+  // ------------------------------------------------------------------
+  // Control plane
+  // ------------------------------------------------------------------
+
+  // Closes the open bucket and burns everything pending, including a
+  // partial final array; waits for the pipeline to drain.
+  sim::Task<Status> FlushAndDrain();
+
+  // Burns a snapshot of the MV namespace as a disc image (§4.2).
+  sim::Task<Status> BurnMvSnapshot();
+
+  // Background policies:
+  //  - "MV is periodically burned into discs" (§4.2): a snapshot image is
+  //    admitted to the burn pipeline every `interval` while dirty;
+  //  - stale buffered data is flushed (a "pre-defined burning policy",
+  //    §4.3) when the open bucket has been idle for `interval`.
+  //  - burned arrays are scrubbed for sector errors during idle periods
+  //    (§4.7) every `scrub_interval`, repairing from parity.
+  // All run until the simulation ends. Intervals of 0 disable them.
+  void StartBackgroundPolicies(sim::Duration mv_snapshot_interval,
+                               sim::Duration auto_flush_interval,
+                               sim::Duration scrub_interval = 0);
+
+  // Periodic scrub (§4.7): checks burned discs for sector errors and
+  // recovers damaged images from their array's parity onto fresh media
+  // (a new bucket -> image -> burn cycle). Returns repaired image count.
+  sim::Task<StatusOr<int>> ScrubAndRepair();
+
+  // Rebuilds the global namespace by physically scanning the given disc
+  // arrays (§4.4). Wipes the current MV first. Used after MV loss.
+  sim::Task<StatusOr<RecoveryReport>> RebuildNamespace(
+      std::vector<mech::TrayAddress> trays);
+
+  // ------------------------------------------------------------------
+  // Introspection
+  // ------------------------------------------------------------------
+
+  // Internal-op trace of the most recent PI operation (Fig 7).
+  const std::vector<std::string>& last_op_trace() const { return op_trace_; }
+
+  // Drops the cached parsed view of a disc-mounted image (used with
+  // OpticalDrive::InvalidateVfs by benches staging Table 1's scenarios).
+  void DropDiscMount(const std::string& image_id) {
+    disc_mounts_.erase(image_id);
+  }
+
+  MetadataVolume& mv() { return *mv_; }
+  DiscImageStore& images() { return *images_; }
+  BucketManager& buckets() { return *buckets_; }
+  BurnManager& burns() { return *burns_; }
+  FetchManager& fetches() { return *fetcher_; }
+  ReadCache& cache() { return *cache_; }
+  FileCache& file_cache() { return *file_cache_; }
+  MechController& mech() { return *mech_; }
+  DaIndex& da_index() { return *da_; }
+  const OlfsParams& params() const { return params_; }
+
+ private:
+  // Charges one internal OLFS operation (plus the mode switch separating
+  // it from the previous one) and records it in the trace.
+  sim::Task<void> ChargeOp(const char* name, bool first = false);
+
+  sim::Task<void> MvSnapshotLoop(sim::Duration interval);
+  sim::Task<void> AutoFlushLoop(sim::Duration interval);
+  sim::Task<void> ScrubLoop(sim::Duration interval);
+
+  // Ensures every ancestor directory has an MV index entry.
+  sim::Task<Status> EnsureAncestors(const std::string& path);
+
+  // Writes one version of `path` and updates its index file.
+  sim::Task<Status> WriteVersion(const std::string& path,
+                                 std::vector<std::uint8_t> data,
+                                 std::uint64_t logical_size, bool create);
+
+  // Reads `length` bytes at `offset` of a resolved version entry.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadEntry(
+      const std::string& path, const VersionEntry& entry,
+      std::uint64_t offset, std::uint64_t length);
+
+  // Reads a byte range of one part, resolving its current tier.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadPart(
+      const std::string& internal_path, const FilePart& part,
+      std::uint64_t offset, std::uint64_t length);
+
+  // Reads a file from a disc in a drive, parsing the mounted image.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadFromDisc(
+      const std::string& image_id, const std::string& internal_path,
+      std::uint64_t offset, std::uint64_t length);
+
+  // Background file-cache population: pulls the whole file (and up to
+  // prefetch_siblings directory neighbours) off the fetched disc.
+  sim::Task<void> PrefetchTask(std::string image_id,
+                               std::string internal_path);
+
+  sim::Simulator& sim_;
+  RosSystem* system_;
+  OlfsParams params_;
+
+  std::unique_ptr<MetadataVolume> mv_;
+  std::unique_ptr<DiscImageStore> images_;
+  std::unique_ptr<BucketManager> buckets_;
+  std::unique_ptr<ParityBuilder> parity_;
+  std::unique_ptr<DaIndex> da_;
+  std::unique_ptr<ReadCache> cache_;
+  std::unique_ptr<FileCache> file_cache_;
+  std::unique_ptr<MechController> mech_;
+  std::unique_ptr<BurnManager> burns_;
+  std::unique_ptr<FetchManager> fetcher_;
+
+  // Parsed metadata of disc-mounted images (the in-kernel UDF view).
+  std::map<std::string, std::shared_ptr<udf::Image>> disc_mounts_;
+
+  // Open streaming handles: cached index files, flushed on CloseStream.
+  std::map<std::string, IndexFile> stream_handles_;
+
+  // Per-path write serialization: concurrent mutations of one file are
+  // read-modify-write cycles on its index and must not interleave.
+  sim::Task<sim::Mutex::ScopedLock> LockPath(const std::string& path);
+  std::map<std::string, std::unique_ptr<sim::Mutex>> path_locks_;
+
+  std::vector<std::string> op_trace_;
+  int mv_snapshot_counter_ = 0;
+  int repaired_generation_ = 0;
+  std::uint64_t namespace_writes_ = 0;      // dirtiness since last snapshot
+  std::uint64_t last_snapshot_writes_ = 0;
+  sim::TimePoint last_write_time_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_OLFS_H_

@@ -1,0 +1,178 @@
+#include "src/olfs/parity.h"
+
+#include <algorithm>
+
+#include "src/common/gf256.h"
+#include "src/olfs/bucket_manager.h"
+#include "src/udf/serializer.h"
+
+namespace ros::olfs {
+
+sim::Task<StatusOr<std::vector<ParityImage>>> ParityBuilder::Build(
+    const std::vector<std::string>& data_ids,
+    std::vector<disk::Volume*> data_volumes, int parity_volume_index) {
+  if (data_ids.empty()) {
+    co_return InvalidArgumentError("no data images");
+  }
+
+  // Serialize each member and charge the buffer read of its stripes.
+  std::vector<std::vector<std::uint8_t>> streams;
+  std::vector<std::uint64_t> logical_sizes;
+  streams.reserve(data_ids.size());
+  std::uint64_t max_logical = 0;
+  std::size_t max_stream = 0;
+  for (const std::string& id : data_ids) {
+    ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record, images_->Lookup(id));
+    if (record->image == nullptr) {
+      co_return FailedPreconditionError("image " + id + " not buffered");
+    }
+    disk::Volume* volume = data_volumes.at(
+        static_cast<std::size_t>(record->volume_index));
+    auto size = volume->FileSize(record->volume_file);
+    if (size.ok() && *size > 0) {
+      ROS_CO_RETURN_IF_ERROR(
+          co_await volume->ReadDiscard(record->volume_file, 0, *size));
+    }
+    streams.push_back(udf::Serializer::Serialize(*record->image));
+    logical_sizes.push_back(record->image->used_bytes());
+    max_logical = std::max(max_logical, logical_sizes.back());
+    max_stream = std::max(max_stream, streams.back().size());
+  }
+
+  // Compute P (and Q) over the padded streams.
+  const int generation = generation_++;
+  std::vector<ParityImage> parities;
+  for (int p = 0; p < params_.parity_images; ++p) {
+    ParityImage parity;
+    parity.index = p;
+    parity.id = "par-" + std::to_string(generation) + "-" +
+                data_ids.front() + (p == 0 ? "-P" : "-Q");
+    parity.bytes.assign(max_stream, 0);
+    parity.logical_bytes = max_logical;
+    parity.member_ids = data_ids;
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      if (p == 0) {
+        gf256::XorAcc(parity.bytes, streams[k]);
+      } else {
+        gf256::MulAcc(parity.bytes, gf256::Pow2(static_cast<unsigned>(k)),
+                      streams[k]);
+      }
+    }
+
+    // Write the parity image to its (ideally independent) volume.
+    disk::Volume* volume = data_volumes.at(
+        static_cast<std::size_t>(parity_volume_index) %
+        data_volumes.size());
+    const std::string file = BucketManager::VolumeFileName(parity.id);
+    if (!volume->Exists(file)) {
+      ROS_CO_RETURN_IF_ERROR(co_await volume->Create(file));
+    }
+    // Real parity bytes are the serialized-stream parity; the disc
+    // footprint matches the largest member image.
+    std::vector<std::uint8_t> stored = parity.bytes;
+    ROS_CO_RETURN_IF_ERROR(co_await volume->AppendSparse(
+        file, std::move(stored), std::max<std::uint64_t>(max_logical,
+                                                         parity.bytes.size())));
+    ROS_CO_RETURN_IF_ERROR(images_->RegisterParity(
+        parity.id, parity_volume_index % static_cast<int>(data_volumes.size()),
+        file, parity.logical_bytes));
+    parities.push_back(parity);
+    built_.push_back(std::move(parity));
+  }
+  co_return parities;
+}
+
+StatusOr<std::vector<std::uint8_t>> ParityBuilder::Recover(
+    const std::vector<std::vector<std::uint8_t>>& member_streams,
+    const std::vector<std::vector<std::uint8_t>>& parity_streams,
+    int missing_index) {
+  if (parity_streams.empty()) {
+    return FailedPreconditionError("no parity streams");
+  }
+  if (missing_index < 0 ||
+      missing_index >= static_cast<int>(member_streams.size())) {
+    return InvalidArgumentError("bad missing index");
+  }
+  // Single loss: P alone suffices.
+  const std::vector<std::uint8_t>& p_stream = parity_streams[0];
+  std::vector<std::uint8_t> out(p_stream);
+  for (std::size_t k = 0; k < member_streams.size(); ++k) {
+    if (static_cast<int>(k) == missing_index) {
+      if (!member_streams[k].empty()) {
+        return InvalidArgumentError("missing slot must be empty");
+      }
+      continue;
+    }
+    if (member_streams[k].empty()) {
+      return FailedPreconditionError(
+          "two members missing; use Q-parity recovery per stream pair");
+    }
+    gf256::XorAcc(out, member_streams[k]);
+  }
+  // Trim zero padding down to the serialized anchor; the UDF parser
+  // validates the CRC, so callers parse the full buffer safely.
+  return out;
+}
+
+StatusOr<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>>
+ParityBuilder::RecoverTwo(
+    const std::vector<std::vector<std::uint8_t>>& member_streams,
+    const std::vector<std::uint8_t>& p_stream,
+    const std::vector<std::uint8_t>& q_stream, int missing_a,
+    int missing_b) {
+  const int n = static_cast<int>(member_streams.size());
+  if (missing_a < 0 || missing_b < 0 || missing_a >= n || missing_b >= n ||
+      missing_a == missing_b) {
+    return InvalidArgumentError("bad missing indices");
+  }
+  if (missing_a > missing_b) {
+    std::swap(missing_a, missing_b);
+  }
+  if (!member_streams[missing_a].empty() ||
+      !member_streams[missing_b].empty()) {
+    return InvalidArgumentError("missing slots must be empty");
+  }
+  if (p_stream.size() != q_stream.size()) {
+    return InvalidArgumentError("P and Q streams differ in length");
+  }
+  // P' = P ^ sum(surviving D_i);  Q' = Q ^ sum(g^i D_i).
+  std::vector<std::uint8_t> pp(p_stream);
+  std::vector<std::uint8_t> qp(q_stream);
+  for (int k = 0; k < n; ++k) {
+    if (k == missing_a || k == missing_b) {
+      continue;
+    }
+    if (member_streams[k].empty()) {
+      return FailedPreconditionError("more than two members missing");
+    }
+    if (member_streams[k].size() > pp.size()) {
+      return InvalidArgumentError("member stream longer than parity");
+    }
+    gf256::XorAcc(pp, member_streams[k]);
+    gf256::MulAcc(qp, gf256::Pow2(static_cast<unsigned>(k)),
+                  member_streams[k]);
+  }
+  const std::uint8_t ga = gf256::Pow2(static_cast<unsigned>(missing_a));
+  const std::uint8_t gb = gf256::Pow2(static_cast<unsigned>(missing_b));
+  const std::uint8_t inv = gf256::Inv(static_cast<std::uint8_t>(ga ^ gb));
+  std::vector<std::uint8_t> da(pp.size());
+  std::vector<std::uint8_t> db(pp.size());
+  for (std::size_t i = 0; i < pp.size(); ++i) {
+    const std::uint8_t v = gf256::Mul(
+        inv, static_cast<std::uint8_t>(qp[i] ^ gf256::Mul(gb, pp[i])));
+    da[i] = v;
+    db[i] = pp[i] ^ v;
+  }
+  return std::pair{std::move(da), std::move(db)};
+}
+
+StatusOr<const ParityImage*> ParityBuilder::Get(const std::string& id) const {
+  for (const ParityImage& parity : built_) {
+    if (parity.id == id) {
+      return &parity;
+    }
+  }
+  return NotFoundError("no parity image " + id);
+}
+
+}  // namespace ros::olfs

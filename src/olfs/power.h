@@ -1,0 +1,84 @@
+// Power model of the ROS rack (§5.1: "the idle and peak powers of ROS are
+// 185 W and 652 W respectively"; §3.2: rotating the roller consumes less
+// than 50 W; §5.1: each drive peaks at 8 W).
+//
+// The model is compositional: a base server platform plus per-component
+// draws as a function of activity. It reproduces the prototype's idle and
+// peak figures and lets benches estimate energy for a workload from the
+// component busy times the simulation already tracks.
+#ifndef ROS_SRC_OLFS_POWER_H_
+#define ROS_SRC_OLFS_POWER_H_
+
+#include "src/olfs/system.h"
+
+namespace ros::olfs {
+
+struct PowerModel {
+  // Server platform (2x Xeon, 64 GB DDR4, NICs, HBAs) at idle / loaded.
+  double controller_idle_w = 120.0;
+  double controller_busy_w = 255.0;
+  // Disks spun up (SSDs + HDDs) contribute to the idle floor.
+  double ssd_idle_w = 1.5;
+  double ssd_busy_w = 5.0;
+  double hdd_idle_w = 3.4;
+  double hdd_busy_w = 7.5;
+  // Optical drives: negligible asleep, 8 W peak while reading/burning.
+  double drive_sleep_w = 0.2;
+  double drive_busy_w = 8.0;
+  // Mechanics: roller rotation < 50 W, arm travel ~30 W, both transient.
+  double roller_active_w = 50.0;
+  double arm_active_w = 30.0;
+  // PLC + sensors, always on.
+  double plc_w = 10.0;
+
+  struct Activity {
+    bool controller_busy = false;
+    int ssds_busy = 0;
+    int hdds_busy = 0;
+    int drives_busy = 0;
+    bool roller_rotating = false;
+    bool arm_moving = false;
+  };
+
+  // Instantaneous draw of a rack with the given hardware complement.
+  double Watts(const SystemConfig& config, const Activity& activity) const {
+    const int ssds = 2;
+    const int hdds = config.data_volumes * config.hdds_per_volume;
+    const int drives = config.drive_sets * 12;
+    double w = (activity.controller_busy ? controller_busy_w
+                                         : controller_idle_w) +
+               plc_w;
+    w += activity.ssds_busy * ssd_busy_w +
+         (ssds - activity.ssds_busy) * ssd_idle_w;
+    w += activity.hdds_busy * hdd_busy_w +
+         (hdds - activity.hdds_busy) * hdd_idle_w;
+    w += activity.drives_busy * drive_busy_w +
+         (drives - activity.drives_busy) * drive_sleep_w;
+    if (activity.roller_rotating) {
+      w += roller_active_w;
+    }
+    if (activity.arm_moving) {
+      w += arm_active_w;
+    }
+    return w;
+  }
+
+  // The §5.1 reference points for the prototype complement.
+  double IdleWatts(const SystemConfig& config) const {
+    return Watts(config, Activity{});
+  }
+  double PeakWatts(const SystemConfig& config) const {
+    Activity peak;
+    peak.controller_busy = true;
+    peak.ssds_busy = 2;
+    peak.hdds_busy = config.data_volumes * config.hdds_per_volume;
+    peak.drives_busy = config.drive_sets * 12;
+    peak.roller_rotating = true;
+    peak.arm_moving = true;
+    return Watts(config, peak);
+  }
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_POWER_H_

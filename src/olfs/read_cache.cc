@@ -1,0 +1,47 @@
+#include "src/olfs/read_cache.h"
+
+namespace ros::olfs {
+
+void ReadCache::Admit(const std::string& image_id, std::uint64_t bytes) {
+  auto it = index_.find(image_id);
+  if (it != index_.end()) {
+    used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front({image_id, bytes});
+  index_[image_id] = lru_.begin();
+  used_ += bytes;
+}
+
+void ReadCache::Touch(const std::string& image_id) {
+  auto it = index_.find(image_id);
+  if (it == index_.end()) {
+    return;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+void ReadCache::Remove(const std::string& image_id) {
+  auto it = index_.find(image_id);
+  if (it == index_.end()) {
+    return;
+  }
+  used_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+std::vector<std::string> ReadCache::EvictionCandidates() const {
+  std::vector<std::string> out;
+  std::uint64_t projected = used_;
+  for (auto it = lru_.rbegin(); it != lru_.rend() && projected > capacity_;
+       ++it) {
+    out.push_back(it->id);
+    projected -= it->bytes;
+  }
+  return out;
+}
+
+}  // namespace ros::olfs

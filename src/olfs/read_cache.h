@@ -1,0 +1,65 @@
+// Read Cache (RC), §4.1: disc-image-granular LRU over the disk buffer.
+//
+// Burned images stay cached until capacity pressure evicts the least
+// recently used; unburned images are pinned (their only copy is the
+// buffer). The cache tracks bytes, not image counts, because image sizes
+// vary (partially-filled final buckets, parity images).
+#ifndef ROS_SRC_OLFS_READ_CACHE_H_
+#define ROS_SRC_OLFS_READ_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ros::olfs {
+
+class ReadCache {
+ public:
+  explicit ReadCache(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  // Records a (cached, burned) image as most recently used.
+  void Admit(const std::string& image_id, std::uint64_t bytes);
+
+  // Marks a hit, refreshing recency. Unknown ids are ignored.
+  void Touch(const std::string& image_id);
+
+  // Removes an image (because it was evicted or re-opened).
+  void Remove(const std::string& image_id);
+
+  bool Contains(const std::string& image_id) const {
+    return index_.count(image_id) > 0;
+  }
+
+  // Ids to evict (LRU first) until the cache fits its capacity again.
+  std::vector<std::string> EvictionCandidates() const;
+
+  std::uint64_t used_bytes() const { return used_; }
+  std::uint64_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void RecordMiss() { ++misses_; }
+
+ private:
+  struct Entry {
+    std::string id;
+    std::uint64_t bytes;
+  };
+
+  std::uint64_t capacity_;
+  std::uint64_t used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_READ_CACHE_H_

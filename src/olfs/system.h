@@ -1,0 +1,123 @@
+// Hardware assembly of a ROS rack (§5.1 prototype by default).
+//
+// RosSystem wires up the physical substrate: SSDs in RAID-1 for the MV,
+// HDDs in one or more RAID-5 data volumes for the disk buffer, rollers +
+// robotic arms behind the PLC, and 12-drive sets per bay. Olfs (olfs.h)
+// builds the software stack on top.
+#ifndef ROS_SRC_OLFS_SYSTEM_H_
+#define ROS_SRC_OLFS_SYSTEM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/disk/raid.h"
+#include "src/disk/volume.h"
+#include "src/drive/optical_drive.h"
+#include "src/mech/library.h"
+#include "src/olfs/disc_inventory.h"
+#include "src/olfs/params.h"
+#include "src/sim/simulator.h"
+
+namespace ros::olfs {
+
+struct SystemConfig {
+  int rollers = 2;
+  int drive_sets = 2;        // 24 drives, the prototype's complement
+  int data_volumes = 2;      // two independent RAID-5 arrays (§4.7)
+  int hdds_per_volume = 7;
+  std::uint64_t hdd_capacity = 4 * kTB;
+  std::uint64_t ssd_capacity = 240 * kGB;
+  mech::LibraryConfig MechConfig() const {
+    mech::LibraryConfig config;
+    config.rollers = rollers;
+    config.drive_sets = drive_sets;
+    return config;
+  }
+};
+
+// A small rig for unit tests: 1 roller, 1 drive set, modest disks.
+inline SystemConfig TestSystemConfig() {
+  SystemConfig config;
+  config.rollers = 1;
+  config.drive_sets = 1;
+  config.data_volumes = 2;
+  config.hdds_per_volume = 3;
+  config.hdd_capacity = 2 * kGiB;
+  config.ssd_capacity = 256 * kMiB;
+  return config;
+}
+
+class RosSystem {
+ public:
+  RosSystem(sim::Simulator& sim, const SystemConfig& config)
+      : config_(config) {
+    for (int i = 0; i < 2; ++i) {
+      ssds_.push_back(std::make_unique<disk::StorageDevice>(
+          sim, "ssd" + std::to_string(i), config.ssd_capacity,
+          disk::SsdPerf()));
+    }
+    mv_raid_ = std::make_unique<disk::RaidVolume>(
+        sim, disk::RaidLevel::kRaid1,
+        std::vector<disk::StorageDevice*>{ssds_[0].get(), ssds_[1].get()});
+    mv_volume_ = std::make_unique<disk::Volume>(
+        sim, mv_raid_.get(), disk::MetadataVolumeParams());
+
+    for (int v = 0; v < config.data_volumes; ++v) {
+      std::vector<disk::StorageDevice*> members;
+      for (int i = 0; i < config.hdds_per_volume; ++i) {
+        hdds_.push_back(std::make_unique<disk::StorageDevice>(
+            sim, "hdd" + std::to_string(v) + "_" + std::to_string(i),
+            config.hdd_capacity, disk::HddPerf()));
+        members.push_back(hdds_.back().get());
+      }
+      data_raids_.push_back(std::make_unique<disk::RaidVolume>(
+          sim, disk::RaidLevel::kRaid5, members));
+      data_volumes_.push_back(std::make_unique<disk::Volume>(
+          sim, data_raids_.back().get(),
+          disk::VolumeParams{.journal_metadata = false}));
+    }
+
+    library_ = std::make_unique<mech::Library>(sim, config.MechConfig());
+    for (int i = 0; i < config.drive_sets; ++i) {
+      drive_sets_.push_back(std::make_unique<drive::DriveSet>(sim, i));
+    }
+  }
+
+  disk::Volume* mv_volume() { return mv_volume_.get(); }
+  std::vector<disk::Volume*> data_volumes() {
+    std::vector<disk::Volume*> out;
+    for (auto& v : data_volumes_) {
+      out.push_back(v.get());
+    }
+    return out;
+  }
+  disk::RaidVolume* data_raid(int i) { return data_raids_.at(i).get(); }
+  disk::RaidVolume* mv_raid() { return mv_raid_.get(); }
+  mech::Library* library() { return library_.get(); }
+  std::vector<drive::DriveSet*> drive_sets() {
+    std::vector<drive::DriveSet*> out;
+    for (auto& s : drive_sets_) {
+      out.push_back(s.get());
+    }
+    return out;
+  }
+  const SystemConfig& config() const { return config_; }
+  DiscInventory& discs() { return discs_; }
+
+ private:
+  SystemConfig config_;
+  std::vector<std::unique_ptr<disk::StorageDevice>> ssds_;
+  std::vector<std::unique_ptr<disk::StorageDevice>> hdds_;
+  std::unique_ptr<disk::RaidVolume> mv_raid_;
+  std::vector<std::unique_ptr<disk::RaidVolume>> data_raids_;
+  std::unique_ptr<disk::Volume> mv_volume_;
+  std::vector<std::unique_ptr<disk::Volume>> data_volumes_;
+  std::unique_ptr<mech::Library> library_;
+  std::vector<std::unique_ptr<drive::DriveSet>> drive_sets_;
+  DiscInventory discs_;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_SYSTEM_H_

@@ -1,0 +1,52 @@
+// Fork/join helper for running Status-returning tasks concurrently.
+#ifndef ROS_SRC_SIM_JOIN_H_
+#define ROS_SRC_SIM_JOIN_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace ros::sim {
+
+namespace internal {
+struct JoinState {
+  explicit JoinState(Simulator& sim) : done(sim) {}
+  int remaining = 0;
+  Status first_error;
+  Event done;
+};
+
+inline Task<void> RunOne(Task<Status> task, std::shared_ptr<JoinState> state) {
+  Status status = co_await std::move(task);
+  if (!status.ok() && state->first_error.ok()) {
+    state->first_error = status;
+  }
+  if (--state->remaining == 0) {
+    state->done.Set();
+  }
+}
+}  // namespace internal
+
+// Runs all tasks concurrently; completes when every task has completed.
+// Returns the first error encountered (by completion order), or OK.
+inline Task<Status> AllOk(Simulator& sim, std::vector<Task<Status>> tasks) {
+  if (tasks.empty()) {
+    co_return OkStatus();
+  }
+  auto state = std::make_shared<internal::JoinState>(sim);
+  state->remaining = static_cast<int>(tasks.size());
+  for (auto& task : tasks) {
+    sim.Spawn(internal::RunOne(std::move(task), state));
+  }
+  co_await state->done.Wait();
+  co_return state->first_error;
+}
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_JOIN_H_

@@ -1,0 +1,91 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+
+namespace ros::sim {
+
+Simulator::~Simulator() = default;
+
+void Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  ROS_CHECK(when >= now_);
+  queue_.push(Event{when, next_seq_++, nullptr, std::move(fn)});
+}
+
+void Simulator::ScheduleHandle(TimePoint when,
+                               std::coroutine_handle<> handle) {
+  ROS_CHECK(when >= now_);
+  ROS_CHECK(handle != nullptr);
+  queue_.push(Event{when, next_seq_++, handle, nullptr});
+}
+
+void Simulator::Spawn(Task<void> task) {
+  ROS_CHECK(task.valid());
+  auto handle = task.raw_handle();
+  spawned_.push_back(std::move(task));
+  // Start the task inline; it will suspend at its first co_await.
+  handle.resume();
+  if (handle.done()) {
+    // Surface exceptions from tasks that completed synchronously.
+    handle.promise().RethrowIfException();
+  }
+  ReapFinishedSpawns();
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Event event = queue_.top();
+  queue_.pop();
+  ROS_CHECK(event.when >= now_);
+  now_ = event.when;
+  ++events_processed_;
+  if (event.handle) {
+    event.handle.resume();
+  } else {
+    event.fn();
+  }
+  return true;
+}
+
+TimePoint Simulator::Run() {
+  while (Step()) {
+  }
+  ReapFinishedSpawns();
+  return now_;
+}
+
+TimePoint Simulator::RunUntil(TimePoint deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  ReapFinishedSpawns();
+  return now_;
+}
+
+void Simulator::DrainWhile(const std::function<bool()>& keep_going) {
+  while (keep_going()) {
+    if (!Step()) {
+      break;
+    }
+  }
+  ReapFinishedSpawns();
+}
+
+void Simulator::ReapFinishedSpawns() {
+  // Propagate exceptions from finished background tasks before reaping:
+  // a crashed burner/fetcher must fail the run loudly, not vanish.
+  for (auto& task : spawned_) {
+    if (task.valid() && task.done()) {
+      task.raw_handle().promise().RethrowIfException();
+    }
+  }
+  spawned_.erase(std::remove_if(spawned_.begin(), spawned_.end(),
+                                [](const Task<void>& t) { return t.done(); }),
+                 spawned_.end());
+}
+
+}  // namespace ros::sim

@@ -1,0 +1,133 @@
+// The discrete-event simulator driving all ROS hardware models.
+//
+// The simulator owns a virtual clock and an event queue. Model code is
+// written as coroutines (Task<T>) that co_await Delay(...) to let virtual
+// time pass; the simulator resumes them in timestamp order. Within one
+// timestamp, events run in FIFO scheduling order, which makes runs fully
+// deterministic.
+#ifndef ROS_SRC_SIM_SIMULATOR_H_
+#define ROS_SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ros::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  TimePoint now() const { return now_; }
+
+  // Total events processed; useful for run statistics and loop guards.
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  // Awaitable that resumes the awaiting coroutine `d` later. A zero delay
+  // still yields through the event queue (it never runs inline).
+  auto Delay(Duration d) {
+    struct Awaiter {
+      Simulator* sim;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        sim->ScheduleHandle(sim->now_ + d, h);
+      }
+      void await_resume() const noexcept {}
+    };
+    ROS_CHECK(d >= 0);
+    return Awaiter{this, d};
+  }
+
+  // Schedules a plain callback at an absolute time.
+  void ScheduleAt(TimePoint when, std::function<void()> fn);
+  void ScheduleAfter(Duration d, std::function<void()> fn) {
+    ScheduleAt(now_ + d, std::move(fn));
+  }
+
+  // Resumes a suspended coroutine at an absolute time. Used by Delay and by
+  // the synchronization primitives in sync.h.
+  void ScheduleHandle(TimePoint when, std::coroutine_handle<> handle);
+
+  // Starts a detached background task. The simulator keeps the coroutine
+  // frame alive until it completes (or the simulator is destroyed).
+  void Spawn(Task<void> task);
+
+  // Runs events until the queue is empty. Returns the final time.
+  TimePoint Run();
+
+  // Runs events with timestamp <= deadline. Pending later events remain.
+  TimePoint RunUntil(TimePoint deadline);
+  TimePoint RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  // Starts `task`, runs the simulation until it completes, and returns its
+  // result. Aborts if the event queue drains before the task finishes
+  // (which would indicate a deadlock in model code).
+  template <typename T>
+  T RunUntilComplete(Task<T> task) {
+    std::optional<T> result;
+    Task<void> wrapper = CompletionWrapper(std::move(task), &result);
+    auto handle = wrapper.raw_handle();
+    handle.resume();
+    DrainWhile([&] { return !handle.done(); });
+    ROS_CHECK(handle.done());
+    handle.promise().TakeValue();  // rethrows task exceptions, if any
+    return std::move(*result);
+  }
+
+  void RunUntilComplete(Task<void> task) {
+    auto handle = task.raw_handle();
+    handle.resume();
+    DrainWhile([&] { return !handle.done(); });
+    ROS_CHECK(handle.done());
+    handle.promise().TakeValue();
+  }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t seq;
+    std::coroutine_handle<> handle;  // exactly one of handle/fn is set
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  template <typename T>
+  static Task<void> CompletionWrapper(Task<T> task, std::optional<T>* out) {
+    *out = co_await std::move(task);
+  }
+
+  // Processes one event. Returns false if the queue is empty.
+  bool Step();
+  void DrainWhile(const std::function<bool()>& keep_going);
+  void ReapFinishedSpawns();
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::vector<Task<void>> spawned_;
+};
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,161 @@
+// Coroutine task type for the discrete-event simulator.
+//
+// Task<T> is a lazily-started coroutine: nothing runs until the task is
+// co_awaited (by another task) or spawned onto a Simulator. When the task
+// finishes, control transfers symmetrically back to the awaiter. Exceptions
+// escaping the coroutine body are captured and rethrown at the await site.
+#ifndef ROS_SRC_SIM_TASK_H_
+#define ROS_SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace ros::sim {
+
+template <typename T>
+class Task;
+
+namespace internal {
+
+class PromiseBase {
+ public:
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  // At final suspend, hand control back to whoever awaited this task.
+  struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<> h) noexcept {
+      auto& promise =
+          std::coroutine_handle<PromiseBase>::from_address(h.address())
+              .promise();
+      if (promise.continuation_) {
+        return promise.continuation_;
+      }
+      return std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() { exception_ = std::current_exception(); }
+
+  void set_continuation(std::coroutine_handle<> continuation) {
+    continuation_ = continuation;
+  }
+
+  void RethrowIfException() {
+    if (exception_) {
+      std::rethrow_exception(exception_);
+    }
+  }
+
+ private:
+  std::coroutine_handle<> continuation_;
+  std::exception_ptr exception_;
+};
+
+template <typename T>
+class Promise : public PromiseBase {
+ public:
+  Task<T> get_return_object();
+  void return_value(T value) { value_.emplace(std::move(value)); }
+
+  T TakeValue() {
+    RethrowIfException();
+    ROS_CHECK(value_.has_value());
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+};
+
+template <>
+class Promise<void> : public PromiseBase {
+ public:
+  Task<void> get_return_object();
+  void return_void() {}
+  void TakeValue() { RethrowIfException(); }
+};
+
+}  // namespace internal
+
+// An owning handle to a lazily-started coroutine producing T.
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  using promise_type = internal::Promise<T>;
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+
+  Task(Task&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Awaiting a task starts it and suspends the awaiter until it completes.
+  auto operator co_await() && {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+        handle.promise().set_continuation(awaiter);
+        return handle;  // symmetric transfer: start the child task
+      }
+      T await_resume() { return handle.promise().TakeValue(); }
+    };
+    return Awaiter{handle_};
+  }
+
+  // Used by the Simulator to start/observe a detached task.
+  std::coroutine_handle<promise_type> raw_handle() const { return handle_; }
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace internal {
+
+template <typename T>
+Task<T> Promise<T>::get_return_object() {
+  return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void> Promise<void>::get_return_object() {
+  return Task<void>(std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+}  // namespace internal
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_TASK_H_

@@ -1,0 +1,51 @@
+// Simulated time types. The DES clock counts nanoseconds from simulation
+// start; all hardware latencies in the ROS model are expressed as Durations.
+#ifndef ROS_SRC_SIM_TIME_H_
+#define ROS_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace ros::sim {
+
+// Nanoseconds. A signed 64-bit count covers ~292 years of simulated time,
+// comfortably beyond the 100-year TCO horizon in the paper.
+using Duration = std::int64_t;
+using TimePoint = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+inline constexpr Duration kHour = 60 * kMinute;
+
+constexpr Duration Seconds(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+constexpr Duration Millis(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration Micros(double us) {
+  return static_cast<Duration>(us * static_cast<double>(kMicrosecond));
+}
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+// Duration to move `bytes` at `bytes_per_second`.
+constexpr Duration TransferTime(std::uint64_t bytes, double bytes_per_second) {
+  if (bytes_per_second <= 0) {
+    return 0;
+  }
+  return static_cast<Duration>(static_cast<double>(bytes) /
+                               bytes_per_second *
+                               static_cast<double>(kSecond));
+}
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_TIME_H_

@@ -1,0 +1,61 @@
+#include "src/workload/filebench.h"
+
+#include <cmath>
+
+namespace ros::workload {
+
+sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
+    sim::Simulator& sim, frontend::FrontendStack& stack,
+    const std::string& path, std::uint64_t total_bytes,
+    std::uint64_t io_size) {
+  StreamResult result;
+  const sim::TimePoint start = sim.now();
+  for (std::uint64_t written = 0; written < total_bytes;
+       written += io_size) {
+    const std::uint64_t n = std::min(io_size, total_bytes - written);
+    ROS_CO_RETURN_IF_ERROR(co_await stack.StreamWrite(path, n));
+    result.bytes += n;
+  }
+  result.elapsed = sim.now() - start;
+  co_return result;
+}
+
+sim::Task<StatusOr<StreamResult>> SinglestreamRead(
+    sim::Simulator& sim, frontend::FrontendStack& stack,
+    const std::string& path, std::uint64_t total_bytes,
+    std::uint64_t io_size) {
+  StreamResult result;
+  const sim::TimePoint start = sim.now();
+  for (std::uint64_t done = 0; done < total_bytes; done += io_size) {
+    const std::uint64_t n = std::min(io_size, total_bytes - done);
+    ROS_CO_RETURN_IF_ERROR(co_await stack.StreamRead(path, done, n));
+    result.bytes += n;
+  }
+  result.elapsed = sim.now() - start;
+  co_return result;
+}
+
+std::vector<ArchivalFile> GenerateArchivalFiles(Rng& rng, int count,
+                                                const std::string& root,
+                                                std::uint64_t min_size,
+                                                std::uint64_t max_size) {
+  std::vector<ArchivalFile> files;
+  files.reserve(static_cast<std::size_t>(count));
+  const char* kCategories[] = {"records", "sensors", "media", "logs",
+                               "science"};
+  for (int i = 0; i < count; ++i) {
+    ArchivalFile file;
+    file.path = root + "/" + kCategories[rng.Below(5)] + "/batch" +
+                std::to_string(i / 50) + "/item" + std::to_string(i);
+    // Log-uniform sizes: many small records, few huge payloads.
+    const double t = rng.NextDouble();
+    const double lo = static_cast<double>(min_size);
+    const double hi = static_cast<double>(max_size);
+    file.size = static_cast<std::uint64_t>(lo *
+                                           std::pow(hi / lo, t));
+    files.push_back(std::move(file));
+  }
+  return files;
+}
+
+}  // namespace ros::workload

@@ -1,0 +1,59 @@
+// filebench-style workloads (§5.2): the paper evaluates the software stack
+// with filebench's singlestreamread / singlestreamwrite personalities at a
+// 1 MB I/O size, plus archival ingest mixes for the examples and benches.
+#ifndef ROS_SRC_WORKLOAD_FILEBENCH_H_
+#define ROS_SRC_WORKLOAD_FILEBENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/frontend/stack.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace ros::workload {
+
+struct StreamResult {
+  std::uint64_t bytes = 0;
+  sim::Duration elapsed = 0;
+
+  double bytes_per_sec() const {
+    return elapsed > 0
+               ? static_cast<double>(bytes) / sim::ToSeconds(elapsed)
+               : 0.0;
+  }
+};
+
+// Sequentially writes `total_bytes` in `io_size` chunks to one file
+// through the given stack (filebench singlestreamwrite, default 1 MB I/O).
+sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
+    sim::Simulator& sim, frontend::FrontendStack& stack,
+    const std::string& path, std::uint64_t total_bytes,
+    std::uint64_t io_size = 1 * kMB);
+
+// Sequentially reads `total_bytes` in `io_size` chunks (the file must
+// exist; filebench singlestreamread).
+sim::Task<StatusOr<StreamResult>> SinglestreamRead(
+    sim::Simulator& sim, frontend::FrontendStack& stack,
+    const std::string& path, std::uint64_t total_bytes,
+    std::uint64_t io_size = 1 * kMB);
+
+// A synthetic archival ingest description: file sizes follow a mixed
+// small/large distribution typical of archives (metadata-heavy records
+// plus bulky payloads).
+struct ArchivalFile {
+  std::string path;
+  std::uint64_t size;
+};
+
+std::vector<ArchivalFile> GenerateArchivalFiles(Rng& rng, int count,
+                                                const std::string& root,
+                                                std::uint64_t min_size,
+                                                std::uint64_t max_size);
+
+}  // namespace ros::workload
+
+#endif  // ROS_SRC_WORKLOAD_FILEBENCH_H_

@@ -1,0 +1,53 @@
+#include "src/workload/tco.h"
+
+#include <cmath>
+
+namespace ros::workload {
+
+MediaProfile OpticalProfile() {
+  // ~40,000 25 GB archival discs per PB at ~$1 each; >50-year life means a
+  // single mid-horizon migration; no climate control (§2.1).
+  return {.name = "optical",
+          .media_cost_per_pb = 40'000,
+          .media_lifetime_years = 50,
+          .migration_cost_per_pb = 20'000,
+          .annual_op_cost_per_pb = 1'500};
+}
+
+MediaProfile HddProfile() {
+  // Commodity nearline drives: cheap per purchase but a 5-year life means
+  // 20 generations, each with a full-fleet migration, plus spinning power.
+  return {.name = "hdd",
+          .media_cost_per_pb = 25'000,
+          .media_lifetime_years = 5,
+          .migration_cost_per_pb = 5'000,
+          .annual_op_cost_per_pb = 1'600};
+}
+
+MediaProfile TapeProfile() {
+  // Tape media is cheap, but §2.1: constant temperature, strict humidity
+  // and biennial rewinds dominate the operational budget.
+  return {.name = "tape",
+          .media_cost_per_pb = 10'000,
+          .media_lifetime_years = 10,
+          .migration_cost_per_pb = 5'000,
+          .annual_op_cost_per_pb = 3'500};
+}
+
+TcoBreakdown ComputeTco(const MediaProfile& profile, double petabytes,
+                        double horizon_years) {
+  TcoBreakdown out;
+  out.name = profile.name;
+  out.purchases = std::ceil(horizon_years / profile.media_lifetime_years);
+  out.media_cost = out.purchases * profile.media_cost_per_pb * petabytes;
+  // A migration accompanies every media replacement (all but the first
+  // purchase).
+  out.migration_cost =
+      (out.purchases - 1) * profile.migration_cost_per_pb * petabytes;
+  out.operations_cost =
+      horizon_years * profile.annual_op_cost_per_pb * petabytes;
+  out.total = out.media_cost + out.migration_cost + out.operations_cost;
+  return out;
+}
+
+}  // namespace ros::workload

@@ -1,0 +1,44 @@
+// Total-cost-of-ownership model for long-term preservation (§2.1).
+//
+// The paper cites Gupta et al.'s analytical model for a 1 PB datacenter
+// over 100 years: the optical-disc design lands at ~250 K$/PB, roughly a
+// third of an HDD datacenter and half of a tape datacenter, because HDDs
+// (5-year life) force repeated repurchase+migration and tapes (10-year
+// life) add strict climate control and biennial rewinds.
+#ifndef ROS_SRC_WORKLOAD_TCO_H_
+#define ROS_SRC_WORKLOAD_TCO_H_
+
+#include <string>
+#include <vector>
+
+namespace ros::workload {
+
+struct MediaProfile {
+  std::string name;
+  double media_cost_per_pb;       // $ per PB of raw media (one purchase)
+  double media_lifetime_years;    // reliable retention period
+  double migration_cost_per_pb;   // $ per PB per media-generation migration
+  double annual_op_cost_per_pb;   // power, climate, floor space, handling
+};
+
+// Parameter sets calibrated to §2.1's discussion.
+MediaProfile OpticalProfile();
+MediaProfile HddProfile();
+MediaProfile TapeProfile();
+
+struct TcoBreakdown {
+  std::string name;
+  double purchases = 0;          // number of full media generations bought
+  double media_cost = 0;         // $
+  double migration_cost = 0;     // $
+  double operations_cost = 0;    // $
+  double total = 0;              // $
+};
+
+// Computes the 100-year (by default) TCO of storing `petabytes` of data.
+TcoBreakdown ComputeTco(const MediaProfile& profile, double petabytes = 1.0,
+                        double horizon_years = 100.0);
+
+}  // namespace ros::workload
+
+#endif  // ROS_SRC_WORKLOAD_TCO_H_

@@ -1,0 +1,102 @@
+// Buffer-space lifecycle: the disk buffer is finite; burning + eviction
+// must reclaim it so ingest can continue indefinitely (the steady state a
+// PB-scale archival deployment lives in).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/olfs/olfs.h"
+#include "src/sim/time.h"
+
+namespace ros::olfs {
+namespace {
+
+using sim::Seconds;
+
+class BufferLifecycleTest : public ::testing::Test {
+ protected:
+  BufferLifecycleTest() {
+    SystemConfig config = TestSystemConfig();
+    config.hdd_capacity = 256 * kMiB;  // tiny buffer: pressure builds fast
+    system_ = std::make_unique<RosSystem>(sim_, config);
+    OlfsParams params;
+    params.disc_capacity_override = 16 * kMiB;
+    params.read_cache_bytes = 0;  // burned images leave the buffer at once
+    olfs_ = std::make_unique<Olfs>(sim_, system_.get(), params);
+    olfs_->burns().burn_start_interval = Seconds(1);
+  }
+
+  std::uint64_t FreeBufferBytes() {
+    std::uint64_t free = 0;
+    for (int i = 0; i < olfs_->buckets().num_volumes(); ++i) {
+      free += olfs_->buckets().volume(i)->free_bytes();
+    }
+    return free;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<RosSystem> system_;
+  std::unique_ptr<Olfs> olfs_;
+};
+
+TEST_F(BufferLifecycleTest, BurnAndEvictionReclaimBufferSpace) {
+  const std::uint64_t initial_free = FreeBufferBytes();
+
+  // Several waves of ingest, each flushed to discs: total logical volume
+  // far exceeds the buffer, yet every wave fits because eviction reclaims.
+  for (int wave = 0; wave < 6; ++wave) {
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_TRUE(sim_.RunUntilComplete(
+                      olfs_->Create("/w" + std::to_string(wave) + "/f" +
+                                        std::to_string(i),
+                                    std::vector<std::uint8_t>(512, 0x77),
+                                    10 * kMiB))
+                      .ok())
+          << "wave " << wave << " file " << i;
+    }
+    ASSERT_TRUE(sim_.RunUntilComplete(olfs_->FlushAndDrain()).ok())
+        << "wave " << wave << ": "
+        << olfs_->burns().fatal_error().ToString();
+    // Burned + evicted: the buffer is (nearly) back to its initial state.
+    EXPECT_GT(FreeBufferBytes(), initial_free - 24 * kMiB)
+        << "wave " << wave;
+  }
+  // 6 waves x 80 MiB >> the 2 x ~170 MiB buffer volumes: reclamation is
+  // the only reason this sequence of ingests fits.
+  EXPECT_GE(olfs_->burns().arrays_burned(), 6);
+
+  // Old data is still fully readable from discs.
+  auto data = sim_.RunUntilComplete(olfs_->Read("/w0/f3", 0, 512));
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(*data, std::vector<std::uint8_t>(512, 0x77));
+}
+
+TEST_F(BufferLifecycleTest, BufferExhaustionSurfacesCleanly) {
+  // Without flushing, ingest beyond the raw buffer must fail with
+  // ResourceExhausted — not corrupt state.
+  Status status = OkStatus();
+  int accepted = 0;
+  while (status.ok() && accepted < 200) {
+    status = sim_.RunUntilComplete(olfs_->Create(
+        "/flood/f" + std::to_string(accepted),
+        std::vector<std::uint8_t>(512, 1), 12 * kMiB));
+    accepted += status.ok() ? 1 : 0;
+  }
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(accepted, 5);
+
+  // Accepted data remains readable; draining recovers the system.
+  auto data = sim_.RunUntilComplete(olfs_->Read("/flood/f0", 0, 512));
+  ASSERT_TRUE(data.ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(olfs_->FlushAndDrain()).ok());
+  // And ingest works again after reclamation.
+  EXPECT_TRUE(sim_.RunUntilComplete(
+                  olfs_->Create("/after/ok",
+                                std::vector<std::uint8_t>(512, 2),
+                                4 * kMiB))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace ros::olfs

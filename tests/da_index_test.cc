@@ -1,0 +1,75 @@
+#include "src/olfs/da_index.h"
+
+#include <gtest/gtest.h>
+
+namespace ros::olfs {
+namespace {
+
+TEST(DaIndex, StartsAllEmpty) {
+  DaIndex index(2);
+  EXPECT_EQ(index.CountState(ArrayState::kEmpty), 2 * mech::kTraysPerRoller);
+  EXPECT_EQ(index.CountState(ArrayState::kUsed), 0);
+}
+
+TEST(DaIndex, AllocateAdvancesSequentially) {
+  DaIndex index(1);
+  auto first = index.AllocateEmpty();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->ToIndex(), 0);
+  index.set_state(*first, ArrayState::kUsed);
+  auto second = index.AllocateEmpty();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->ToIndex(), 1);
+}
+
+TEST(DaIndex, AllocateSkipsUsedAndFailed) {
+  DaIndex index(1);
+  index.set_state(mech::TrayAddress::FromIndex(0), ArrayState::kUsed);
+  index.set_state(mech::TrayAddress::FromIndex(1), ArrayState::kFailed);
+  auto tray = index.AllocateEmpty();
+  ASSERT_TRUE(tray.ok());
+  EXPECT_EQ(tray->ToIndex(), 2);
+}
+
+TEST(DaIndex, ExhaustionReported) {
+  DaIndex index(1);
+  for (int i = 0; i < mech::kTraysPerRoller; ++i) {
+    auto tray = index.AllocateEmpty();
+    ASSERT_TRUE(tray.ok());
+    index.set_state(*tray, ArrayState::kUsed);
+  }
+  EXPECT_EQ(index.AllocateEmpty().status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(DaIndex, StateTransitions) {
+  DaIndex index(1);
+  mech::TrayAddress tray{0, 10, 3};
+  EXPECT_EQ(index.state(tray), ArrayState::kEmpty);
+  index.set_state(tray, ArrayState::kUsed);
+  EXPECT_EQ(index.state(tray), ArrayState::kUsed);
+  index.set_state(tray, ArrayState::kFailed);
+  EXPECT_EQ(index.state(tray), ArrayState::kFailed);
+  EXPECT_EQ(index.CountState(ArrayState::kFailed), 1);
+}
+
+TEST(DaIndex, CursorWrapsAround) {
+  DaIndex index(1);
+  // Allocate two, free the first, exhaust the rest; the wrap-around scan
+  // must find the freed one.
+  auto a = index.AllocateEmpty();
+  ASSERT_TRUE(a.ok());
+  index.set_state(*a, ArrayState::kUsed);
+  for (int i = 1; i < mech::kTraysPerRoller; ++i) {
+    auto t = index.AllocateEmpty();
+    ASSERT_TRUE(t.ok());
+    index.set_state(*t, ArrayState::kUsed);
+  }
+  index.set_state(*a, ArrayState::kEmpty);
+  auto again = index.AllocateEmpty();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToIndex(), a->ToIndex());
+}
+
+}  // namespace
+}  // namespace ros::olfs

@@ -1,0 +1,98 @@
+// Tests of the DriveSet bandwidth arbitration (§3.3): the shared burn-path
+// cap that shapes Figure 9 and the read-side HBA contention of Table 2.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/drive/optical_drive.h"
+#include "src/sim/join.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ros::drive {
+namespace {
+
+using sim::Seconds;
+using sim::ToSeconds;
+
+struct Rig {
+  Rig() : set(sim, 0) {
+    for (int i = 0; i < set.size(); ++i) {
+      discs.push_back(std::make_unique<Disc>("d" + std::to_string(i),
+                                             DiscType::kBdr25));
+      ROS_CHECK(set.drive(i).InsertDisc(discs.back().get()).ok());
+    }
+  }
+
+  sim::Simulator sim;
+  DriveSet set;
+  std::vector<std::unique_ptr<Disc>> discs;
+};
+
+TEST(DriveSet, SingleBurnRunsAtProfileSpeed) {
+  Rig rig;
+  sim::TimePoint t0 = rig.sim.now();
+  auto result = rig.sim.RunUntilComplete(
+      rig.set.drive(0).BurnImage("img", 25 * kGB, {}));
+  ASSERT_TRUE(result.ok());
+  // One drive never hits the 380 MB/s cap: ~675 s + 2 s wake.
+  EXPECT_NEAR(ToSeconds(rig.sim.now() - t0), 677.0, 12.0);
+}
+
+TEST(DriveSet, TwelveSimultaneousBurnsHitTheCap) {
+  Rig rig;
+  sim::TimePoint t0 = rig.sim.now();
+  std::vector<sim::Task<Status>> burns;
+  for (int i = 0; i < rig.set.size(); ++i) {
+    burns.push_back([](OpticalDrive* d) -> sim::Task<Status> {
+      auto r = co_await d->BurnImage("img", 25 * kGB, {});
+      co_return r.status().ok() ? OkStatus() : r.status();
+    }(&rig.set.drive(i)));
+  }
+  ASSERT_TRUE(rig.sim.RunUntilComplete(
+                  sim::AllOk(rig.sim, std::move(burns))).ok());
+  const double seconds = ToSeconds(rig.sim.now() - t0);
+  // Uncapped, 12 synchronized drives would finish in ~677 s; the shared
+  // 380 MB/s write path stretches the array to ~300 GB / 380 MB/s.
+  const double cap_bound = 12.0 * 25e9 / DriveSet::kBurnBandwidthCap;
+  EXPECT_GT(seconds, cap_bound * 0.95);
+  EXPECT_LT(seconds, cap_bound * 1.25);
+}
+
+TEST(DriveSet, ArbiterTracksDesiredRates) {
+  Rig rig;
+  EXPECT_EQ(rig.set.active_burners(), 0);
+  EXPECT_EQ(rig.set.total_desired_burn_rate(), 0.0);
+  // Below the cap: demand passes through unthrottled.
+  EXPECT_DOUBLE_EQ(rig.set.EffectiveBurnRate(50e6), 50e6);
+}
+
+TEST(DriveSet, ReadContentionScalesWithActiveReaders) {
+  Rig rig;
+  const double single = ReadSpeedBytesPerSec(DiscType::kBdr25);
+  rig.set.AddReader();
+  EXPECT_DOUBLE_EQ(rig.set.EffectiveReadRate(single), single);
+  for (int i = 0; i < 11; ++i) {
+    rig.set.AddReader();
+  }
+  // 12 active readers: each loses 11 contention steps.
+  EXPECT_NEAR(rig.set.EffectiveReadRate(single),
+              single * (1 - 11 * DriveSet::kReadContentionPerDrive), 1.0);
+  for (int i = 0; i < 12; ++i) {
+    rig.set.RemoveReader();
+  }
+  EXPECT_EQ(rig.set.active_readers(), 0);
+}
+
+TEST(DriveSet, FindImageLocatesBurnedDisc) {
+  Rig rig;
+  ASSERT_TRUE(rig.discs[5]->AppendSession("wanted", kMB, {}, true).ok());
+  OpticalDrive* found = rig.set.FindImage("wanted");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->id(), rig.set.drive(5).id());
+  EXPECT_EQ(rig.set.FindImage("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace ros::drive

@@ -1,0 +1,84 @@
+// Additional frontend-stack coverage: the ext4/samba (non-OLFS) timed
+// paths, layer-cost arithmetic, and configuration naming.
+#include "src/frontend/stack.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/disk/block_device.h"
+#include "src/disk/volume.h"
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ros::frontend {
+namespace {
+
+TEST(StackConfigName, AllNamed) {
+  EXPECT_EQ(StackConfigName(StackConfig::kExt4), "ext4");
+  EXPECT_EQ(StackConfigName(StackConfig::kExt4Fuse), "ext4+FUSE");
+  EXPECT_EQ(StackConfigName(StackConfig::kExt4Olfs), "ext4+OLFS");
+  EXPECT_EQ(StackConfigName(StackConfig::kSamba), "samba");
+  EXPECT_EQ(StackConfigName(StackConfig::kSambaFuse), "samba+FUSE");
+  EXPECT_EQ(StackConfigName(StackConfig::kSambaOlfs), "samba+OLFS");
+}
+
+TEST(LayerCosts, DerivedFromFig6Normalization) {
+  LayerCosts costs;
+  // ext4 baselines.
+  EXPECT_NEAR(1.0 / costs.ext4_read, 1.2e9, 1);
+  EXPECT_NEAR(1.0 / costs.ext4_write, 1.0e9, 1);
+  // Composing ext4 + fuse must give Fig 6's 0.759 / 0.482.
+  EXPECT_NEAR(1.0 / (costs.ext4_read + costs.fuse_read) / 1.2e9, 0.759,
+              1e-9);
+  EXPECT_NEAR(1.0 / (costs.ext4_write + costs.fuse_write) / 1.0e9, 0.482,
+              1e-9);
+  // samba likewise.
+  EXPECT_NEAR(1.0 / (costs.ext4_read + costs.samba_read) / 1.2e9, 0.311,
+              1e-9);
+  EXPECT_NEAR(1.0 / (costs.ext4_write + costs.samba_write) / 1.0e9, 0.320,
+              1e-9);
+}
+
+class NonOlfsStackTest : public ::testing::Test {
+ protected:
+  NonOlfsStackTest()
+      : device_(sim_, "hdd", 8 * kGiB, disk::HddPerf()),
+        volume_(sim_, &device_,
+                disk::VolumeParams{.journal_metadata = false}) {}
+
+  sim::Simulator sim_;
+  disk::StorageDevice device_;
+  disk::Volume volume_;
+};
+
+TEST_F(NonOlfsStackTest, TimedCreateAndReadOnExt4) {
+  FrontendStack stack(sim_, StackConfig::kExt4, &volume_, nullptr);
+  auto create = sim_.RunUntilComplete(stack.TimedCreate("/f", 1 * kKiB));
+  ASSERT_TRUE(create.ok());
+  EXPECT_LT(sim::ToMillis(*create), 20.0);  // raw ext4 is fast
+  auto read = sim_.RunUntilComplete(stack.TimedRead("/f", 1 * kKiB));
+  ASSERT_TRUE(read.ok());
+  EXPECT_LT(sim::ToMillis(*read), 10.0);
+  EXPECT_EQ(stack.last_op_trace(), (std::vector<std::string>{"read"}));
+}
+
+TEST_F(NonOlfsStackTest, SambaAddsProtocolWorkToSmallOps) {
+  FrontendStack ext4(sim_, StackConfig::kExt4, &volume_, nullptr);
+  FrontendStack samba(sim_, StackConfig::kSamba, &volume_, nullptr);
+  auto plain = sim_.RunUntilComplete(ext4.TimedCreate("/a", 1 * kKiB));
+  auto remote = sim_.RunUntilComplete(samba.TimedCreate("/b", 1 * kKiB));
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(remote.ok());
+  // 7 extra stats + protocol round trips dominate.
+  EXPECT_GT(sim::ToMillis(*remote), sim::ToMillis(*plain) + 30.0);
+}
+
+TEST_F(NonOlfsStackTest, StreamReadRequiresExistingFile) {
+  FrontendStack stack(sim_, StackConfig::kExt4, &volume_, nullptr);
+  EXPECT_FALSE(sim_.RunUntilComplete(
+                   stack.StreamRead("/missing", 0, 1024)).ok());
+}
+
+}  // namespace
+}  // namespace ros::frontend

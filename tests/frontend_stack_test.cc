@@ -1,0 +1,163 @@
+// Tests of the NAS stack model against the paper's Figure 6 / Figure 7
+// numbers.
+#include "src/frontend/stack.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/olfs/olfs.h"
+#include "src/sim/time.h"
+#include "src/workload/filebench.h"
+
+namespace ros::frontend {
+namespace {
+
+using olfs::Olfs;
+using olfs::OlfsParams;
+using olfs::RosSystem;
+using olfs::TestSystemConfig;
+
+class FrontendStackTest : public ::testing::Test {
+ protected:
+  FrontendStackTest() {
+    olfs::SystemConfig config = TestSystemConfig();
+    config.hdds_per_volume = 7;  // the paper's RAID-5 geometry
+    config.hdd_capacity = 8 * kGiB;
+    system_ = std::make_unique<RosSystem>(sim_, config);
+    OlfsParams params;
+    params.disc_capacity_override = 2 * kGiB;
+    olfs_ = std::make_unique<Olfs>(sim_, system_.get(), params);
+  }
+
+  // Runs a singlestream workload and returns throughput in MB/s.
+  double MeasureWrite(StackConfig config, std::uint64_t total,
+                      bool big_writes = true) {
+    FrontendStack stack(sim_, config, system_->data_volumes()[0],
+                        olfs_.get());
+    stack.big_writes = big_writes;
+    auto result = sim_.RunUntilComplete(workload::SinglestreamWrite(
+        sim_, stack, "/bench/w-" + std::string(StackConfigName(config)) +
+                         (big_writes ? "" : "-4k"),
+        total));
+    ROS_CHECK(result.ok());
+    return result->bytes_per_sec() / 1e6;
+  }
+
+  double MeasureRead(StackConfig config, std::uint64_t total) {
+    const std::string path =
+        "/bench/r-" + std::string(StackConfigName(config));
+    FrontendStack stack(sim_, config, system_->data_volumes()[0],
+                        olfs_.get());
+    ROS_CHECK(sim_.RunUntilComplete(
+                  workload::SinglestreamWrite(sim_, stack, path, total))
+                  .ok());
+    auto result = sim_.RunUntilComplete(
+        workload::SinglestreamRead(sim_, stack, path, total));
+    ROS_CHECK(result.ok());
+    return result->bytes_per_sec() / 1e6;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<RosSystem> system_;
+  std::unique_ptr<Olfs> olfs_;
+};
+
+constexpr std::uint64_t kStream = 512 * kMB;
+
+// Fig 6 baseline: ext4 on one RAID-5 volume reads ~1.2 GB/s and writes
+// ~1.0 GB/s.
+TEST_F(FrontendStackTest, Ext4BaselineMatchesPaper) {
+  double write = MeasureWrite(StackConfig::kExt4, kStream);
+  EXPECT_NEAR(write, 1000.0, 120.0);
+  double read = MeasureRead(StackConfig::kExt4, kStream);
+  EXPECT_NEAR(read, 1200.0, 130.0);
+}
+
+// Fig 6: FUSE costs 24.1% of read and 51.8% of write throughput.
+TEST_F(FrontendStackTest, FuseOverheadMatchesFigure6) {
+  double write = MeasureWrite(StackConfig::kExt4Fuse, kStream);
+  EXPECT_NEAR(write, 0.482 * 1000.0, 60.0);
+  double read = MeasureRead(StackConfig::kExt4Fuse, kStream);
+  EXPECT_NEAR(read, 0.759 * 1200.0, 100.0);
+}
+
+// Fig 6: OLFS on FUSE loses a further 28.9% read / 10.1% write.
+TEST_F(FrontendStackTest, OlfsOverheadMatchesFigure6) {
+  double write = MeasureWrite(StackConfig::kExt4Olfs, kStream);
+  EXPECT_NEAR(write, 0.433 * 1000.0, 60.0);
+  double read = MeasureRead(StackConfig::kExt4Olfs, kStream);
+  EXPECT_NEAR(read, 0.540 * 1200.0, 90.0);
+}
+
+// Fig 6: Samba alone degrades ~68.9% read / 68.0% write.
+TEST_F(FrontendStackTest, SambaOverheadMatchesFigure6) {
+  double write = MeasureWrite(StackConfig::kSamba, kStream);
+  EXPECT_NEAR(write, 0.320 * 1000.0, 45.0);
+  double read = MeasureRead(StackConfig::kSamba, kStream);
+  EXPECT_NEAR(read, 0.311 * 1200.0, 55.0);
+}
+
+// The deployed samba+OLFS stack: ~323 MB/s read, ~236 MB/s write
+// (abstract; §5.3's prose swaps the two labels).
+TEST_F(FrontendStackTest, SambaOlfsThroughputMatchesAbstract) {
+  double write = MeasureWrite(StackConfig::kSambaOlfs, kStream);
+  EXPECT_NEAR(write, 236.0, 40.0);
+  double read = MeasureRead(StackConfig::kSambaOlfs, kStream);
+  EXPECT_NEAR(read, 323.0, 55.0);
+}
+
+// Ordering sanity: each added layer slows the stack down.
+TEST_F(FrontendStackTest, LayeringIsMonotone) {
+  double ext4 = MeasureWrite(StackConfig::kExt4, 128 * kMB);
+  double fuse = MeasureWrite(StackConfig::kExt4Fuse, 128 * kMB);
+  double olfs = MeasureWrite(StackConfig::kExt4Olfs, 128 * kMB);
+  double samba_olfs = MeasureWrite(StackConfig::kSambaOlfs, 128 * kMB);
+  EXPECT_GT(ext4, fuse);
+  EXPECT_GT(fuse, olfs);
+  EXPECT_GT(olfs, samba_olfs);
+}
+
+// §4.8: without the big_writes mount option FUSE flushes 4 KiB at a time,
+// collapsing write throughput.
+TEST_F(FrontendStackTest, BigWritesAblation) {
+  double big = MeasureWrite(StackConfig::kExt4Fuse, 64 * kMB, true);
+  double plain = MeasureWrite(StackConfig::kExt4Fuse, 64 * kMB, false);
+  EXPECT_GT(big, 4 * plain);
+  EXPECT_LT(plain, 120.0);  // collapses to tens of MB/s
+}
+
+// Fig 7: per-operation latencies and internal-op breakdowns.
+TEST_F(FrontendStackTest, OpLatenciesMatchFigure7) {
+  FrontendStack olfs_stack(sim_, StackConfig::kExt4Olfs, nullptr,
+                           olfs_.get());
+  auto write_lat = sim_.RunUntilComplete(
+      olfs_stack.TimedCreate("/lat/ext4olfs", 1 * kKiB));
+  ASSERT_TRUE(write_lat.ok());
+  EXPECT_NEAR(sim::ToMillis(*write_lat), 16.0, 2.5);
+  auto read_lat = sim_.RunUntilComplete(
+      olfs_stack.TimedRead("/lat/ext4olfs", 1 * kKiB));
+  ASSERT_TRUE(read_lat.ok());
+  EXPECT_NEAR(sim::ToMillis(*read_lat), 9.0, 1.5);
+
+  FrontendStack samba_stack(sim_, StackConfig::kSambaOlfs, nullptr,
+                            olfs_.get());
+  auto samba_write = sim_.RunUntilComplete(
+      samba_stack.TimedCreate("/lat/sambaolfs", 1 * kKiB));
+  ASSERT_TRUE(samba_write.ok());
+  EXPECT_NEAR(sim::ToMillis(*samba_write), 53.0, 7.0);
+  // Fig 7: 7 extra stats precede the OLFS write sequence.
+  int stats = 0;
+  for (const std::string& op : samba_stack.last_op_trace()) {
+    stats += (op == "stat");
+  }
+  EXPECT_GE(stats, 8);  // 7 samba stats + OLFS's own
+
+  auto samba_read = sim_.RunUntilComplete(
+      samba_stack.TimedRead("/lat/sambaolfs", 1 * kKiB));
+  ASSERT_TRUE(samba_read.ok());
+  EXPECT_NEAR(sim::ToMillis(*samba_read), 15.0, 3.0);
+}
+
+}  // namespace
+}  // namespace ros::frontend

@@ -1,0 +1,89 @@
+#include "src/common/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ros::gf256 {
+namespace {
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    EXPECT_EQ(Mul(static_cast<std::uint8_t>(a), 1), a);
+    EXPECT_EQ(Mul(1, static_cast<std::uint8_t>(a)), a);
+    EXPECT_EQ(Mul(static_cast<std::uint8_t>(a), 0), 0);
+  }
+}
+
+TEST(Gf256, MulCommutative) {
+  for (int a = 1; a < 256; a += 7) {
+    for (int b = 1; b < 256; b += 11) {
+      EXPECT_EQ(Mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b)),
+                Mul(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    std::uint8_t inv = Inv(static_cast<std::uint8_t>(a));
+    EXPECT_EQ(Mul(static_cast<std::uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(Gf256, DivUndoesMul) {
+  for (int a = 0; a < 256; a += 5) {
+    for (int b = 1; b < 256; b += 9) {
+      std::uint8_t prod = Mul(static_cast<std::uint8_t>(a),
+                              static_cast<std::uint8_t>(b));
+      EXPECT_EQ(Div(prod, static_cast<std::uint8_t>(b)), a);
+    }
+  }
+}
+
+TEST(Gf256, GeneratorPowersCycle) {
+  EXPECT_EQ(Pow2(0), 1);
+  EXPECT_EQ(Pow2(1), 2);
+  EXPECT_EQ(Pow2(255), 1);  // g^255 = 1
+  // All powers 0..254 are distinct (g is primitive).
+  std::vector<bool> seen(256, false);
+  for (unsigned i = 0; i < 255; ++i) {
+    std::uint8_t v = Pow2(i);
+    EXPECT_FALSE(seen[v]) << "repeat at " << i;
+    seen[v] = true;
+  }
+}
+
+TEST(Gf256, MulDistributesOverXor) {
+  for (int a = 1; a < 256; a += 13) {
+    for (int x = 0; x < 256; x += 17) {
+      for (int y = 0; y < 256; y += 19) {
+        EXPECT_EQ(
+            Mul(static_cast<std::uint8_t>(a),
+                static_cast<std::uint8_t>(x ^ y)),
+            Mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(x)) ^
+                Mul(static_cast<std::uint8_t>(a),
+                    static_cast<std::uint8_t>(y)));
+      }
+    }
+  }
+}
+
+TEST(Gf256, BufferOps) {
+  std::vector<std::uint8_t> acc(8, 0);
+  std::vector<std::uint8_t> in{1, 2, 3, 4, 5, 6, 7, 8};
+  XorAcc(acc, in);
+  EXPECT_EQ(acc, in);
+  XorAcc(acc, in);
+  EXPECT_EQ(acc, std::vector<std::uint8_t>(8, 0));
+
+  MulAcc(acc, 3, in);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(acc[i], Mul(3, in[i]));
+  }
+  Scale(acc, Inv(3));
+  EXPECT_EQ(acc, in);
+}
+
+}  // namespace
+}  // namespace ros::gf256

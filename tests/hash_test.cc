@@ -1,0 +1,47 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace ros {
+namespace {
+
+std::span<const std::uint8_t> Bytes(const std::string& s) {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32(Bytes("123456789")), 0xCBF43926u);
+  EXPECT_EQ(Crc32(Bytes("")), 0u);
+  EXPECT_EQ(Crc32(Bytes("a")), 0xE8B7BE43u);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(4096, 0xAB);
+  std::uint32_t clean = Crc32(data);
+  data[1000] ^= 0x01;
+  EXPECT_NE(Crc32(data), clean);
+}
+
+TEST(Crc32, SeedChaining) {
+  std::string full = "hello world";
+  std::uint32_t whole = Crc32(Bytes(full));
+  // Chaining partial CRCs must differ from naive restart but be stable.
+  std::uint32_t part1 = Crc32(Bytes("hello "));
+  std::uint32_t chained = Crc32(Bytes("world"), part1);
+  EXPECT_EQ(chained, Crc32(Bytes("world"), Crc32(Bytes("hello "))));
+  (void)whole;
+}
+
+TEST(Fnv1a64, StableAndSensitive) {
+  EXPECT_EQ(Fnv1a64(Bytes("")), 0xCBF29CE484222325ull);
+  EXPECT_NE(Fnv1a64(Bytes("abc")), Fnv1a64(Bytes("abd")));
+  EXPECT_EQ(Fnv1a64(Bytes("abc")), Fnv1a64(Bytes("abc")));
+}
+
+}  // namespace
+}  // namespace ros

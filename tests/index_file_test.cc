@@ -1,0 +1,132 @@
+#include "src/olfs/index_file.h"
+
+#include <gtest/gtest.h>
+
+namespace ros::olfs {
+namespace {
+
+VersionEntry MakeEntry(LocationKind loc, const std::string& image,
+                       std::uint64_t size) {
+  VersionEntry entry;
+  entry.location = loc;
+  entry.total_size = size;
+  entry.parts.push_back({image, size});
+  return entry;
+}
+
+TEST(IndexFile, LocationCodesRoundTrip) {
+  for (LocationKind kind : {LocationKind::kBucket, LocationKind::kImage,
+                            LocationKind::kDisc}) {
+    auto back = LocationFromCode(LocationCode(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(LocationFromCode('X').ok());
+}
+
+TEST(IndexFile, VersionsIncrementMonotonically) {
+  IndexFile index("/a", EntryType::kFile);
+  EXPECT_FALSE(index.has_versions());
+  EXPECT_FALSE(index.Latest().ok());
+  for (int i = 1; i <= 5; ++i) {
+    index.AddVersion(MakeEntry(LocationKind::kBucket, "img", 10 * i), 15);
+  }
+  EXPECT_EQ(index.latest_version(), 5);
+  auto latest = index.Latest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)->total_size, 50u);
+  auto v2 = index.Version(2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ((*v2)->total_size, 20u);
+}
+
+// §4.6: the 15-entry ring overwrites the oldest entry when full.
+TEST(IndexFile, RingOverwritesOldest) {
+  IndexFile index("/a", EntryType::kFile);
+  for (int i = 1; i <= 20; ++i) {
+    index.AddVersion(MakeEntry(LocationKind::kBucket, "img", i), 15);
+  }
+  EXPECT_EQ(index.entries().size(), 15u);
+  EXPECT_EQ(index.latest_version(), 20);
+  // Versions 1..5 fell out of the ring; 6..20 remain.
+  EXPECT_FALSE(index.Version(5).ok());
+  EXPECT_TRUE(index.Version(6).ok());
+  EXPECT_TRUE(index.Version(20).ok());
+}
+
+TEST(IndexFile, UpdateLatestKeepsVersionNumber) {
+  IndexFile index("/a", EntryType::kFile);
+  index.AddVersion(MakeEntry(LocationKind::kBucket, "img-1", 100), 15);
+  index.AddVersion(MakeEntry(LocationKind::kBucket, "img-2", 200), 15);
+  VersionEntry updated = MakeEntry(LocationKind::kImage, "img-2", 250);
+  ASSERT_TRUE(index.UpdateLatest(updated).ok());
+  auto latest = index.Latest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)->version, 2);
+  EXPECT_EQ((*latest)->total_size, 250u);
+  EXPECT_EQ((*latest)->location, LocationKind::kImage);
+}
+
+TEST(IndexFile, TombstoneHidesLatest) {
+  IndexFile index("/a", EntryType::kFile);
+  index.AddVersion(MakeEntry(LocationKind::kBucket, "img", 10), 15);
+  VersionEntry tomb;
+  tomb.tombstone = true;
+  index.AddVersion(std::move(tomb), 15);
+  EXPECT_FALSE(index.Latest().ok());
+  // Historic version still reachable (data provenance, §4.6).
+  EXPECT_TRUE(index.Version(1).ok());
+}
+
+TEST(IndexFile, JsonRoundTrip) {
+  IndexFile index("/archive/data.bin", EntryType::kFile);
+  VersionEntry entry = MakeEntry(LocationKind::kDisc, "img-000001", 5000);
+  entry.parts.push_back({"img-000002", 7000});
+  entry.total_size = 12000;
+  index.AddVersion(std::move(entry), 15);
+  index.set_forepart({0x01, 0xFF, 0x00, 0xAB});
+
+  auto parsed = IndexFile::FromJson(index.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->path(), "/archive/data.bin");
+  EXPECT_EQ(parsed->type(), EntryType::kFile);
+  EXPECT_EQ(parsed->latest_version(), 1);
+  auto latest = parsed->Latest();
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ((*latest)->parts.size(), 2u);
+  EXPECT_EQ((*latest)->parts[1].image_id, "img-000002");
+  EXPECT_EQ((*latest)->total_size, 12000u);
+  EXPECT_EQ(parsed->forepart(),
+            (std::vector<std::uint8_t>{0x01, 0xFF, 0x00, 0xAB}));
+  // Round-trip is byte-stable.
+  EXPECT_EQ(parsed->ToJson(), index.ToJson());
+}
+
+TEST(IndexFile, DirectoryEntryJson) {
+  IndexFile dir("/archive", EntryType::kDirectory);
+  auto parsed = IndexFile::FromJson(dir.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->type(), EntryType::kDirectory);
+}
+
+// §4.2: a typical index file is a few hundred bytes (the paper says ~388).
+TEST(IndexFile, TypicalSizeMatchesPaper) {
+  IndexFile index("/archive/2016/jan/records/file-000001.dat",
+                  EntryType::kFile);
+  index.AddVersion(MakeEntry(LocationKind::kDisc, "img-001234", 123456789),
+                   15);
+  EXPECT_GT(index.ApproximateSize(), 150u);
+  EXPECT_LT(index.ApproximateSize(), 500u);
+}
+
+TEST(IndexFile, MalformedJsonRejected) {
+  EXPECT_FALSE(IndexFile::FromJson("not json").ok());
+  EXPECT_FALSE(IndexFile::FromJson("[]").ok());
+  EXPECT_FALSE(IndexFile::FromJson(
+                   R"({"path":"/a","type":"file","next_ver":2,)"
+                   R"("entries":[{"ver":1,"loc":"Z","size":0,"parts":[]}]})")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ros::olfs

@@ -1,0 +1,122 @@
+#include "src/common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ros::json {
+namespace {
+
+TEST(JsonValue, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+}
+
+TEST(JsonValue, ScalarRoundTrip) {
+  EXPECT_EQ(Value(true).Dump(), "true");
+  EXPECT_EQ(Value(false).Dump(), "false");
+  EXPECT_EQ(Value(nullptr).Dump(), "null");
+  EXPECT_EQ(Value(42).Dump(), "42");
+  EXPECT_EQ(Value(-7).Dump(), "-7");
+  EXPECT_EQ(Value("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonValue, ObjectKeysSortedDeterministically) {
+  Object obj;
+  obj["zeta"] = Value(1);
+  obj["alpha"] = Value(2);
+  EXPECT_EQ(Value(std::move(obj)).Dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(JsonValue, NestedStructureDump) {
+  Object inner;
+  inner["id"] = Value(7);
+  Array arr;
+  arr.push_back(Value(std::move(inner)));
+  arr.push_back(Value("x"));
+  Object root;
+  root["entries"] = Value(std::move(arr));
+  EXPECT_EQ(Value(std::move(root)).Dump(), "{\"entries\":[{\"id\":7},\"x\"]}");
+}
+
+TEST(JsonValue, StringEscapes) {
+  EXPECT_EQ(Value("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonValue, FieldAccessOnMissingKeyReturnsNull) {
+  Object obj;
+  obj["present"] = Value(1);
+  Value v(std::move(obj));
+  EXPECT_TRUE(v["absent"].is_null());
+  EXPECT_TRUE(v.contains("present"));
+  EXPECT_FALSE(v.contains("absent"));
+  EXPECT_EQ(v["present"].as_int(), 1);
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_EQ(Parse("true")->as_bool(), true);
+  EXPECT_EQ(Parse("-12")->as_int(), -12);
+  EXPECT_DOUBLE_EQ(Parse("2.5")->as_double(), 2.5);
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("\"abc\"")->as_string(), "abc");
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  auto v = Parse("  { \"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ((*v)["a"].as_array().size(), 2u);
+}
+
+TEST(JsonParse, EscapeSequences) {
+  auto v = Parse(R"("line1\nline2\t\"q\" A")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "line1\nline2\t\"q\" A");
+}
+
+TEST(JsonParse, UnicodeEscapeMultibyte) {
+  auto v = Parse(R"("é中")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->as_string(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(JsonParse, MalformedInputsRejected) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("tru").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("1 2").ok());
+  EXPECT_FALSE(Parse("{\"a\":1,}").ok());
+}
+
+TEST(JsonParse, DeepNestingGuard) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonRoundTrip, DumpThenParseIsIdentity) {
+  Object meta;
+  meta["path"] = Value("/archive/2016/trace.bin");
+  meta["size"] = Value(std::int64_t{123456789});
+  Array versions;
+  Object v1;
+  v1["ver"] = Value(1);
+  v1["loc"] = Value("B");
+  v1["vol"] = Value("bucket-0007");
+  versions.push_back(Value(std::move(v1)));
+  meta["versions"] = Value(std::move(versions));
+  Value original{std::move(meta)};
+
+  auto reparsed = Parse(original.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, original);
+  // Pretty output parses back to the same value too.
+  auto repretty = Parse(original.DumpPretty());
+  ASSERT_TRUE(repretty.ok());
+  EXPECT_EQ(*repretty, original);
+}
+
+}  // namespace
+}  // namespace ros::json

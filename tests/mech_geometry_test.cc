@@ -1,0 +1,83 @@
+#include "src/mech/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace ros::mech {
+namespace {
+
+TEST(Geometry, PaperCapacityConstants) {
+  // §3.2: 510 trays x 12 discs = 6120 discs per roller; 12240 per rack.
+  EXPECT_EQ(kTraysPerRoller, 510);
+  EXPECT_EQ(kDiscsPerRoller, 6120);
+  EXPECT_EQ(kMaxDiscsPerRack, 12240);
+  EXPECT_EQ(kLayersPerRoller, 85);
+  EXPECT_EQ(kSlotsPerLayer, 6);
+  EXPECT_EQ(kDiscsPerTray, 12);
+}
+
+TEST(TrayAddress, IndexRoundTrip) {
+  for (int roller = 0; roller < kMaxRollers; ++roller) {
+    for (int layer = 0; layer < kLayersPerRoller; layer += 7) {
+      for (int slot = 0; slot < kSlotsPerLayer; ++slot) {
+        TrayAddress addr{roller, layer, slot};
+        EXPECT_EQ(TrayAddress::FromIndex(addr.ToIndex()), addr);
+      }
+    }
+  }
+}
+
+TEST(TrayAddress, IndexIsDense) {
+  EXPECT_EQ((TrayAddress{0, 0, 0}.ToIndex()), 0);
+  EXPECT_EQ((TrayAddress{0, 0, 1}.ToIndex()), 1);
+  EXPECT_EQ((TrayAddress{0, 1, 0}.ToIndex()), kSlotsPerLayer);
+  EXPECT_EQ((TrayAddress{1, 0, 0}.ToIndex()), kTraysPerRoller);
+  EXPECT_EQ((TrayAddress{1, 84, 5}.ToIndex()), 2 * kTraysPerRoller - 1);
+}
+
+TEST(TrayAddress, Validity) {
+  EXPECT_TRUE((TrayAddress{0, 0, 0}.IsValid()));
+  EXPECT_TRUE((TrayAddress{1, 84, 5}.IsValid()));
+  EXPECT_FALSE((TrayAddress{2, 0, 0}.IsValid()));
+  EXPECT_FALSE((TrayAddress{0, 85, 0}.IsValid()));
+  EXPECT_FALSE((TrayAddress{0, 0, 6}.IsValid()));
+  EXPECT_FALSE((TrayAddress{-1, 0, 0}.IsValid()));
+  EXPECT_FALSE((TrayAddress{1, 0, 0}.IsValid(/*rollers=*/1)));
+}
+
+TEST(DiscAddress, IndexRoundTrip) {
+  for (int tray_index = 0; tray_index < 2 * kTraysPerRoller;
+       tray_index += 13) {
+    for (int disc = 0; disc < kDiscsPerTray; ++disc) {
+      DiscAddress addr{TrayAddress::FromIndex(tray_index), disc};
+      EXPECT_EQ(DiscAddress::FromIndex(addr.ToIndex()), addr);
+    }
+  }
+}
+
+TEST(DiscAddress, FullRackEnumeration) {
+  // Every index in [0, 12240) maps to a unique valid address and back.
+  for (int i = 0; i < kMaxDiscsPerRack; i += 101) {
+    DiscAddress addr = DiscAddress::FromIndex(i);
+    EXPECT_TRUE(addr.IsValid());
+    EXPECT_EQ(addr.ToIndex(), i);
+  }
+  EXPECT_FALSE(DiscAddress::FromIndex(kMaxDiscsPerRack).IsValid());
+}
+
+TEST(SlotDistance, ShortestAngularPath) {
+  EXPECT_EQ(SlotDistance(0, 0), 0);
+  EXPECT_EQ(SlotDistance(0, 1), 1);
+  EXPECT_EQ(SlotDistance(0, 3), 3);  // half turn, worst case
+  EXPECT_EQ(SlotDistance(0, 4), 2);  // shorter to rotate backwards
+  EXPECT_EQ(SlotDistance(0, 5), 1);
+  EXPECT_EQ(SlotDistance(5, 0), 1);
+  EXPECT_EQ(SlotDistance(2, 5), 3);
+}
+
+TEST(Addresses, StringFormsAreReadable) {
+  EXPECT_EQ((TrayAddress{1, 84, 5}.ToString()), "r1/L84/s5");
+  EXPECT_EQ((DiscAddress{{0, 2, 3}, 11}.ToString()), "r0/L2/s3/d11");
+}
+
+}  // namespace
+}  // namespace ros::mech

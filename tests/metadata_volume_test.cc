@@ -1,0 +1,137 @@
+// Unit tests for the Metadata Volume (§4.2).
+#include "src/olfs/metadata_volume.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/disk/block_device.h"
+#include "src/sim/simulator.h"
+
+namespace ros::olfs {
+namespace {
+
+class MetadataVolumeTest : public ::testing::Test {
+ protected:
+  MetadataVolumeTest()
+      : device_(sim_, "ssd", 64 * kMiB, disk::SsdPerf()),
+        volume_(sim_, &device_, disk::MetadataVolumeParams()),
+        mv_(&volume_) {}
+
+  IndexFile FileIndex(const std::string& path, std::uint64_t size) {
+    IndexFile index(path, EntryType::kFile);
+    VersionEntry entry;
+    entry.total_size = size;
+    entry.parts.push_back({"img-000000", size});
+    index.AddVersion(std::move(entry), 15);
+    return index;
+  }
+
+  sim::Simulator sim_;
+  disk::StorageDevice device_;
+  disk::Volume volume_;
+  MetadataVolume mv_;
+};
+
+TEST_F(MetadataVolumeTest, PutGetRoundTrip) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/a/b", 123))).ok());
+  EXPECT_TRUE(mv_.Exists("/a/b"));
+  auto index = sim_.RunUntilComplete(mv_.Get("/a/b"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(index->path(), "/a/b");
+  EXPECT_EQ((*index->Latest())->total_size, 123u);
+}
+
+TEST_F(MetadataVolumeTest, PutOverwritesInPlace) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/f", 1))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/f", 2))).ok());
+  auto index = sim_.RunUntilComplete(mv_.Get("/f"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index->Latest())->total_size, 2u);
+  EXPECT_EQ(mv_.index_count(), 1u);
+}
+
+TEST_F(MetadataVolumeTest, GetMissingFails) {
+  EXPECT_EQ(sim_.RunUntilComplete(mv_.Get("/nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetadataVolumeTest, RemoveDeletesIndex) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/f", 1))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Remove("/f")).ok());
+  EXPECT_FALSE(mv_.Exists("/f"));
+}
+
+TEST_F(MetadataVolumeTest, ListChildrenDirectOnly) {
+  for (const char* path : {"/d", "/d/x", "/d/y", "/d/sub", "/d/sub/deep",
+                           "/other"}) {
+    IndexFile index(path, EntryType::kDirectory);
+    ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(index)).ok());
+  }
+  auto children = mv_.ListChildren("/d");
+  EXPECT_EQ(children, (std::vector<std::string>{"sub", "x", "y"}));
+  EXPECT_EQ(mv_.ListChildren("/"),
+            (std::vector<std::string>{"d", "other"}));
+  EXPECT_TRUE(mv_.ListChildren("/d/x").empty());
+}
+
+TEST_F(MetadataVolumeTest, SystemStateRoundTrip) {
+  json::Object state;
+  state["arrays_burned"] = json::Value(7);
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.PutState("checkpoint", json::Value(std::move(state))))
+                  .ok());
+  auto loaded = sim_.RunUntilComplete(mv_.GetState("checkpoint"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)["arrays_burned"].as_int(), 7);
+  // Overwrite works too.
+  json::Object state2;
+  state2["arrays_burned"] = json::Value(8);
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.PutState("checkpoint", json::Value(std::move(state2))))
+                  .ok());
+  loaded = sim_.RunUntilComplete(mv_.GetState("checkpoint"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)["arrays_burned"].as_int(), 8);
+}
+
+TEST_F(MetadataVolumeTest, SnapshotRoundTripRestoresNamespace) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/p/a", 10))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/p/b", 20))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.Put(IndexFile("/p", EntryType::kDirectory))).ok());
+
+  auto snapshot = sim_.RunUntilComplete(
+      mv_.BuildSnapshotImage("mv-snap-0", 64 * kMiB));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->file_count(), 3u);
+
+  mv_.WipeAll();
+  EXPECT_EQ(mv_.index_count(), 0u);
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.RestoreFromSnapshot(*snapshot)).ok());
+  EXPECT_EQ(mv_.index_count(), 3u);
+  auto index = sim_.RunUntilComplete(mv_.Get("/p/b"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index->Latest())->total_size, 20u);
+}
+
+TEST_F(MetadataVolumeTest, SnapshotHandlesDirectoryChildCollision) {
+  // A directory index file and its children must coexist in the snapshot
+  // (regression: the "#idx" suffix prevents path collisions).
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.Put(IndexFile("/snap", EntryType::kDirectory))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/snap/f", 1))).ok());
+  auto snapshot = sim_.RunUntilComplete(
+      mv_.BuildSnapshotImage("mv-snap-1", 64 * kMiB));
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+}
+
+TEST_F(MetadataVolumeTest, AllPathsSorted) {
+  for (const char* path : {"/z", "/a", "/m/k"}) {
+    ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex(path, 1))).ok());
+  }
+  EXPECT_EQ(mv_.AllPaths(), (std::vector<std::string>{"/a", "/m/k", "/z"}));
+}
+
+}  // namespace
+}  // namespace ros::olfs

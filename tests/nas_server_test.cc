@@ -1,0 +1,144 @@
+// Tests of the NAS front end and §4.8's direct-writing mode.
+#include "src/frontend/nas_server.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace ros::frontend {
+namespace {
+
+using olfs::Olfs;
+using olfs::OlfsParams;
+using olfs::RosSystem;
+using sim::Seconds;
+using sim::ToSeconds;
+
+std::vector<std::uint8_t> RandomBytes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+class NasServerTest : public ::testing::Test {
+ protected:
+  NasServerTest() {
+    system_ = std::make_unique<RosSystem>(sim_, olfs::TestSystemConfig());
+    OlfsParams params;
+    params.disc_capacity_override = 16 * kMiB;
+    olfs_ = std::make_unique<Olfs>(sim_, system_.get(), params);
+    olfs_->burns().burn_start_interval = Seconds(1);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<RosSystem> system_;
+  std::unique_ptr<Olfs> olfs_;
+};
+
+TEST_F(NasServerTest, NormalModeRoundTrip) {
+  NasServer nas(sim_, olfs_.get());
+  auto payload = RandomBytes(32 * kKiB, 1);
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  nas.Upload("/nas/a.bin", payload, payload.size())).ok());
+  auto data = sim_.RunUntilComplete(
+      nas.Download("/nas/a.bin", 0, payload.size()));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, payload);
+  EXPECT_EQ(nas.delivered(), 0u);  // nothing staged in normal mode
+}
+
+TEST_F(NasServerTest, NormalModeUploadToExistingCreatesVersion) {
+  NasServer nas(sim_, olfs_.get());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  nas.Upload("/nas/v.bin", RandomBytes(1000, 1), 1000)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  nas.Upload("/nas/v.bin", RandomBytes(900, 2), 900)).ok());
+  auto info = sim_.RunUntilComplete(olfs_->Stat("/nas/v.bin"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 2);
+}
+
+// Direct mode acknowledges at wire speed: far faster than the FUSE path
+// for large files, with delivery happening in the background.
+TEST_F(NasServerTest, DirectModeAcksAtWireSpeed) {
+  NasConfig direct;
+  direct.direct_write_mode = true;
+  NasServer nas(sim_, olfs_.get(), direct);
+  NasServer normal(sim_, olfs_.get());
+
+  const std::uint64_t big = 4 * kMiB;
+  auto payload = RandomBytes(64 * kKiB, 7);
+
+  sim::TimePoint t0 = sim_.now();
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  normal.Upload("/nas/slow.bin", payload, big)).ok());
+  const double normal_seconds = ToSeconds(sim_.now() - t0);
+
+  t0 = sim_.now();
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  nas.Upload("/nas/fast.bin", payload, big)).ok());
+  const double direct_seconds = ToSeconds(sim_.now() - t0);
+
+  EXPECT_LT(direct_seconds, normal_seconds);
+  EXPECT_EQ(nas.staged_pending(), 1u);
+
+  // Delivery completes in the background; the file is then fully in OLFS.
+  ASSERT_TRUE(sim_.RunUntilComplete(nas.DrainDeliveries()).ok());
+  EXPECT_EQ(nas.delivered(), 1u);
+  EXPECT_EQ(nas.staged_pending(), 0u);
+  auto data = sim_.RunUntilComplete(
+      olfs_->Read("/nas/fast.bin", 0, payload.size()));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, payload);
+}
+
+TEST_F(NasServerTest, DirectModeCleansStagingFiles) {
+  NasConfig direct;
+  direct.direct_write_mode = true;
+  NasServer nas(sim_, olfs_.get(), direct);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    nas.Upload("/nas/d" + std::to_string(i),
+                               RandomBytes(2000, i), 2000))
+                    .ok());
+  }
+  ASSERT_TRUE(sim_.RunUntilComplete(nas.DrainDeliveries()).ok());
+  EXPECT_EQ(nas.delivered(), 5u);
+  // No staging files remain on the SSD tier.
+  EXPECT_TRUE(olfs_->mv().volume()->List("/staging/").empty());
+}
+
+TEST_F(NasServerTest, DirectModeVersionsExistingFiles) {
+  NasConfig direct;
+  direct.direct_write_mode = true;
+  NasServer nas(sim_, olfs_.get(), direct);
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  nas.Upload("/nas/f", RandomBytes(500, 1), 500)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(nas.DrainDeliveries()).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  nas.Upload("/nas/f", RandomBytes(600, 2), 600)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(nas.DrainDeliveries()).ok());
+  auto info = sim_.RunUntilComplete(olfs_->Stat("/nas/f"));
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->version, 2);
+  auto data = sim_.RunUntilComplete(olfs_->Read("/nas/f", 0, 600));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, RandomBytes(600, 2));
+}
+
+TEST_F(NasServerTest, DownloadMissingFails) {
+  NasServer nas(sim_, olfs_.get());
+  EXPECT_EQ(sim_.RunUntilComplete(nas.Download("/none", 0, 1))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ros::frontend

@@ -1,0 +1,144 @@
+// Instruction-level tests of the PLC state machine (§3.3).
+#include "src/mech/plc.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ros::mech {
+namespace {
+
+using sim::Seconds;
+using sim::ToSeconds;
+
+class PlcTest : public ::testing::Test {
+ protected:
+  PlcTest() : plc_(sim_, MechTimingModel{}, /*rollers=*/2) {}
+
+  Status Exec(PlcInstruction instruction) {
+    return sim_.RunUntilComplete(plc_.Execute(instruction));
+  }
+
+  sim::Simulator sim_;
+  Plc plc_;
+};
+
+TEST_F(PlcTest, OpNamesAreStable) {
+  EXPECT_EQ(PlcOpName(PlcOp::kRotateRoller), "ROTATE_ROLLER");
+  EXPECT_EQ(PlcOpName(PlcOp::kSeparateDisc), "SEPARATE_DISC");
+  EXPECT_EQ(PlcOpName(PlcOp::kEjectDriveTrays), "EJECT_DRIVE_TRAYS");
+}
+
+TEST_F(PlcTest, RotateTracksFacingSlot) {
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .slot = 4}).ok());
+  EXPECT_EQ(plc_.roller_state(0).facing_slot, 4);
+  // Re-rotating to the same slot is free.
+  sim::TimePoint t0 = sim_.now();
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .slot = 4}).ok());
+  EXPECT_EQ(sim_.now(), t0);
+}
+
+TEST_F(PlcTest, RotateWorstCaseUnderTwoSeconds) {
+  sim::TimePoint t0 = sim_.now();
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .slot = 3}).ok());
+  EXPECT_LE(ToSeconds(sim_.now() - t0), 2.0);
+}
+
+TEST_F(PlcTest, RotateBlockedWhileTrayFannedOut) {
+  ASSERT_TRUE(Exec({.op = PlcOp::kFanOutTray, .slot = 0}).ok());
+  EXPECT_EQ(Exec({.op = PlcOp::kRotateRoller, .slot = 1}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(Exec({.op = PlcOp::kFanInTray}).ok());
+  EXPECT_TRUE(Exec({.op = PlcOp::kRotateRoller, .slot = 1}).ok());
+}
+
+TEST_F(PlcTest, FanOutRequiresFacingSlot) {
+  EXPECT_EQ(Exec({.op = PlcOp::kFanOutTray, .slot = 3}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .slot = 3}).ok());
+  EXPECT_TRUE(Exec({.op = PlcOp::kFanOutTray, .slot = 3}).ok());
+  // Only one tray can be fanned out at a time.
+  EXPECT_EQ(Exec({.op = PlcOp::kFanOutTray, .slot = 3}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlcTest, GrabAndSeparateLifecycle) {
+  // Grab requires a fanned-out tray.
+  EXPECT_EQ(Exec({.op = PlcOp::kGrabArray}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(Exec({.op = PlcOp::kFanOutTray, .slot = 0}).ok());
+  ASSERT_TRUE(Exec({.op = PlcOp::kGrabArray}).ok());
+  EXPECT_TRUE(plc_.arm_state(0).carrying);
+  EXPECT_EQ(plc_.arm_state(0).discs_held, kDiscsPerTray);
+  // Cannot double-grab.
+  EXPECT_EQ(Exec({.op = PlcOp::kGrabArray}).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Separate all 12; the 13th fails.
+  for (int i = 0; i < kDiscsPerTray; ++i) {
+    ASSERT_TRUE(Exec({.op = PlcOp::kSeparateDisc}).ok()) << i;
+  }
+  EXPECT_FALSE(plc_.arm_state(0).carrying);
+  EXPECT_EQ(Exec({.op = PlcOp::kSeparateDisc}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlcTest, CollectRebuildsArray) {
+  for (int i = 0; i < kDiscsPerTray; ++i) {
+    ASSERT_TRUE(Exec({.op = PlcOp::kCollectDisc}).ok());
+  }
+  EXPECT_EQ(plc_.arm_state(0).discs_held, kDiscsPerTray);
+  EXPECT_EQ(Exec({.op = PlcOp::kCollectDisc}).code(),
+            StatusCode::kFailedPrecondition);
+  // Place it back.
+  ASSERT_TRUE(Exec({.op = PlcOp::kFanOutTray, .slot = 0}).ok());
+  ASSERT_TRUE(Exec({.op = PlcOp::kPlaceArray}).ok());
+  EXPECT_FALSE(plc_.arm_state(0).carrying);
+  EXPECT_EQ(Exec({.op = PlcOp::kPlaceArray}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(PlcTest, ArmTravelAndReturn) {
+  ASSERT_TRUE(Exec({.op = PlcOp::kMoveArm, .layer = 84}).ok());
+  EXPECT_EQ(plc_.arm_state(0).layer, 84);
+  sim::TimePoint t0 = sim_.now();
+  ASSERT_TRUE(Exec({.op = PlcOp::kReturnArm}).ok());
+  EXPECT_EQ(plc_.arm_state(0).layer, 0);
+  // Fast return: under the descent time.
+  EXPECT_LT(ToSeconds(sim_.now() - t0), 3.0);
+}
+
+TEST_F(PlcTest, RollersAreIndependent) {
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .roller = 0, .slot = 2}).ok());
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .roller = 1, .slot = 5}).ok());
+  EXPECT_EQ(plc_.roller_state(0).facing_slot, 2);
+  EXPECT_EQ(plc_.roller_state(1).facing_slot, 5);
+  EXPECT_EQ(plc_.arm_state(1).layer, 0);
+}
+
+TEST_F(PlcTest, InvalidArgumentsRejected) {
+  EXPECT_EQ(Exec({.op = PlcOp::kRotateRoller, .roller = 7}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Exec({.op = PlcOp::kRotateRoller, .slot = 6}).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Exec({.op = PlcOp::kMoveArm, .layer = 85}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(PlcTest, FaultExhaustionSurfacesUnavailable) {
+  plc_.set_fault_model({.miscalibration_rate = 1.0, .max_retries = 2});
+  EXPECT_EQ(Exec({.op = PlcOp::kRotateRoller, .slot = 1}).code(),
+            StatusCode::kUnavailable);
+  EXPECT_GT(plc_.recalibrations(), 0u);
+}
+
+TEST_F(PlcTest, TelemetryAccumulates) {
+  ASSERT_TRUE(Exec({.op = PlcOp::kRotateRoller, .slot = 1}).ok());
+  ASSERT_TRUE(Exec({.op = PlcOp::kMoveArm, .layer = 10}).ok());
+  EXPECT_EQ(plc_.instructions_executed(), 2u);
+  EXPECT_GT(plc_.busy_time(), 0);
+}
+
+}  // namespace
+}  // namespace ros::mech

@@ -1,0 +1,78 @@
+#include "src/olfs/read_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace ros::olfs {
+namespace {
+
+TEST(ReadCache, AdmitAndContains) {
+  ReadCache cache(1000);
+  cache.Admit("a", 400);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_FALSE(cache.Contains("b"));
+  EXPECT_EQ(cache.used_bytes(), 400u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReadCache, ReAdmitReplacesSize) {
+  ReadCache cache(1000);
+  cache.Admit("a", 400);
+  cache.Admit("a", 250);
+  EXPECT_EQ(cache.used_bytes(), 250u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ReadCache, EvictionCandidatesAreLruOrdered) {
+  ReadCache cache(1000);
+  cache.Admit("a", 400);
+  cache.Admit("b", 400);
+  cache.Admit("c", 400);  // 1200 > 1000
+  auto victims = cache.EvictionCandidates();
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], "a");
+}
+
+TEST(ReadCache, TouchRefreshesRecency) {
+  ReadCache cache(1000);
+  cache.Admit("a", 400);
+  cache.Admit("b", 400);
+  cache.Touch("a");        // now b is the least recent
+  cache.Admit("c", 400);
+  auto victims = cache.EvictionCandidates();
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], "b");
+}
+
+TEST(ReadCache, MultipleEvictionsUntilFit) {
+  ReadCache cache(500);
+  cache.Admit("a", 300);
+  cache.Admit("b", 300);
+  cache.Admit("c", 300);
+  auto victims = cache.EvictionCandidates();
+  ASSERT_EQ(victims.size(), 2u);
+  EXPECT_EQ(victims[0], "a");
+  EXPECT_EQ(victims[1], "b");
+}
+
+TEST(ReadCache, RemoveReleasesBytes) {
+  ReadCache cache(1000);
+  cache.Admit("a", 700);
+  cache.Remove("a");
+  EXPECT_EQ(cache.used_bytes(), 0u);
+  EXPECT_FALSE(cache.Contains("a"));
+  cache.Remove("a");  // idempotent
+}
+
+TEST(ReadCache, HitMissCounters) {
+  ReadCache cache(1000);
+  cache.Admit("a", 100);
+  cache.Touch("a");
+  cache.Touch("a");
+  cache.Touch("ghost");  // unknown: not a hit
+  cache.RecordMiss();
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace ros::olfs

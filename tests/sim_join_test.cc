@@ -1,0 +1,68 @@
+#include "src/sim/join.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ros::sim {
+namespace {
+
+Task<Status> SleepOk(Simulator& sim, Duration d) {
+  co_await sim.Delay(d);
+  co_return OkStatus();
+}
+
+Task<Status> SleepFail(Simulator& sim, Duration d, StatusCode code) {
+  co_await sim.Delay(d);
+  co_return Status(code, "boom");
+}
+
+TEST(AllOk, EmptyCompletesImmediately) {
+  Simulator sim;
+  EXPECT_TRUE(sim.RunUntilComplete(AllOk(sim, {})).ok());
+  EXPECT_EQ(sim.now(), 0);
+}
+
+TEST(AllOk, RunsConcurrently) {
+  Simulator sim;
+  std::vector<Task<Status>> tasks;
+  for (int i = 1; i <= 5; ++i) {
+    tasks.push_back(SleepOk(sim, Seconds(i)));
+  }
+  EXPECT_TRUE(sim.RunUntilComplete(AllOk(sim, std::move(tasks))).ok());
+  // Max, not sum.
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(AllOk, ReturnsFirstErrorByCompletion) {
+  Simulator sim;
+  std::vector<Task<Status>> tasks;
+  tasks.push_back(SleepFail(sim, Seconds(3), StatusCode::kInternal));
+  tasks.push_back(SleepFail(sim, Seconds(1), StatusCode::kDataLoss));
+  tasks.push_back(SleepOk(sim, Seconds(2)));
+  Status status = sim.RunUntilComplete(AllOk(sim, std::move(tasks)));
+  // The DataLoss task finished first; its error wins.
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  // But everything still ran to completion.
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(AllOk, WaitsForAllEvenAfterError) {
+  Simulator sim;
+  bool late_finished = false;
+  auto late = [](Simulator& s, bool* done) -> Task<Status> {
+    co_await s.Delay(Seconds(10));
+    *done = true;
+    co_return OkStatus();
+  };
+  std::vector<Task<Status>> tasks;
+  tasks.push_back(SleepFail(sim, Seconds(1), StatusCode::kUnavailable));
+  tasks.push_back(late(sim, &late_finished));
+  Status status = sim.RunUntilComplete(AllOk(sim, std::move(tasks)));
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(late_finished);
+}
+
+}  // namespace
+}  // namespace ros::sim

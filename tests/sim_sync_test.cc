@@ -1,0 +1,179 @@
+#include "src/sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/time.h"
+
+namespace ros::sim {
+namespace {
+
+TEST(Event, WaitersReleasedOnSet) {
+  Simulator sim;
+  Event event(sim);
+  std::vector<int> log;
+  auto waiter = [&](Simulator& s, int id) -> Task<void> {
+    co_await event.Wait();
+    log.push_back(id);
+    (void)s;
+  };
+  sim.Spawn(waiter(sim, 1));
+  sim.Spawn(waiter(sim, 2));
+  sim.ScheduleAfter(Seconds(5), [&] { event.Set(); });
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(Event, SetBeforeWaitCompletesImmediately) {
+  Simulator sim;
+  Event event(sim);
+  event.Set();
+  bool ran = false;
+  auto waiter = [&](Simulator& s) -> Task<void> {
+    co_await event.Wait();
+    ran = true;
+    EXPECT_EQ(s.now(), 0);
+  };
+  sim.RunUntilComplete(waiter(sim));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Event, PulseWakesWithoutLatching) {
+  Simulator sim;
+  Event event(sim);
+  int wakeups = 0;
+  auto waiter = [&](Simulator&) -> Task<void> {
+    co_await event.Wait();
+    ++wakeups;
+    co_await event.Wait();  // must block again after pulse
+    ++wakeups;
+  };
+  sim.Spawn(waiter(sim));
+  sim.ScheduleAfter(Seconds(1), [&] { event.Pulse(); });
+  sim.Run();
+  EXPECT_EQ(wakeups, 1);
+  EXPECT_FALSE(event.is_set());
+  event.Set();
+  sim.Run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore drives(sim, 2);
+  int active = 0;
+  int peak = 0;
+  auto worker = [&](Simulator& s) -> Task<void> {
+    co_await drives.Acquire();
+    ++active;
+    peak = std::max(peak, active);
+    co_await s.Delay(Seconds(10));
+    --active;
+    drives.Release();
+  };
+  for (int i = 0; i < 6; ++i) {
+    sim.Spawn(worker(sim));
+  }
+  sim.Run();
+  EXPECT_EQ(peak, 2);
+  // 6 jobs, 2 at a time, 10 s each -> 30 s.
+  EXPECT_EQ(sim.now(), Seconds(30));
+}
+
+TEST(Semaphore, FifoFairness) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  auto worker = [&](Simulator& s, int id) -> Task<void> {
+    co_await sem.Acquire();
+    order.push_back(id);
+    co_await s.Delay(Seconds(1));
+    sem.Release();
+  };
+  for (int id = 0; id < 5; ++id) {
+    sim.Spawn(worker(sim, id));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Semaphore, TryAcquire) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  EXPECT_TRUE(sem.TryAcquire());
+  EXPECT_FALSE(sem.TryAcquire());
+  sem.Release();
+  EXPECT_TRUE(sem.TryAcquire());
+}
+
+TEST(Mutex, ScopedLockSerializesCriticalSections) {
+  Simulator sim;
+  Mutex mutex(sim);
+  bool inside = false;
+  int entries = 0;
+  auto worker = [&](Simulator& s) -> Task<void> {
+    Mutex::ScopedLock lock = co_await mutex.Lock();
+    EXPECT_FALSE(inside);
+    inside = true;
+    ++entries;
+    co_await s.Delay(Seconds(1));
+    inside = false;
+    // lock released by destructor
+  };
+  for (int i = 0; i < 4; ++i) {
+    sim.Spawn(worker(sim));
+  }
+  sim.Run();
+  EXPECT_EQ(entries, 4);
+  EXPECT_EQ(sim.now(), Seconds(4));
+}
+
+TEST(Mutex, ExplicitUnlockReleasesEarly) {
+  Simulator sim;
+  Mutex mutex(sim);
+  std::vector<int> order;
+  auto first = [&](Simulator& s) -> Task<void> {
+    Mutex::ScopedLock lock = co_await mutex.Lock();
+    order.push_back(1);
+    lock.Unlock();
+    co_await s.Delay(Seconds(10));
+    order.push_back(3);
+  };
+  auto second = [&](Simulator& s) -> Task<void> {
+    co_await s.Delay(Seconds(1));
+    Mutex::ScopedLock lock = co_await mutex.Lock();
+    order.push_back(2);
+  };
+  sim.Spawn(first(sim));
+  sim.Spawn(second(sim));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ConditionVariable, NotifyAllWakesAllWaiters) {
+  Simulator sim;
+  ConditionVariable cv(sim);
+  int ready = 0;
+  int observed = 0;
+  auto waiter = [&](Simulator&) -> Task<void> {
+    while (ready == 0) {
+      co_await cv.Wait();
+    }
+    ++observed;
+  };
+  for (int i = 0; i < 3; ++i) {
+    sim.Spawn(waiter(sim));
+  }
+  sim.ScheduleAfter(Seconds(2), [&] {
+    ready = 1;
+    cv.NotifyAll();
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 3);
+}
+
+}  // namespace
+}  // namespace ros::sim

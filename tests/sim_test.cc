@@ -1,0 +1,166 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace ros::sim {
+namespace {
+
+TEST(SimTime, Conversions) {
+  EXPECT_EQ(Seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(Millis(2.0), 2'000'000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(70.553)), 70.553);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(53)), 53.0);
+}
+
+TEST(SimTime, TransferTime) {
+  // 100 MB at 100 MB/s = 1 second.
+  EXPECT_EQ(TransferTime(100'000'000, 100'000'000.0), kSecond);
+  EXPECT_EQ(TransferTime(0, 100.0), 0);
+  EXPECT_EQ(TransferTime(100, 0.0), 0);
+}
+
+TEST(Simulator, CallbacksRunInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAfter(Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAfter(Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAfter(Seconds(2), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(Simulator, SameTimestampIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAfter(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, DelayAdvancesClock) {
+  Simulator sim;
+  auto task = [](Simulator& s) -> Task<void> {
+    EXPECT_EQ(s.now(), 0);
+    co_await s.Delay(Seconds(5));
+    EXPECT_EQ(s.now(), Seconds(5));
+    co_await s.Delay(Millis(250));
+    EXPECT_EQ(s.now(), Seconds(5) + Millis(250));
+  };
+  sim.RunUntilComplete(task(sim));
+}
+
+TEST(Simulator, RunUntilCompleteReturnsValue) {
+  Simulator sim;
+  auto task = [](Simulator& s) -> Task<int> {
+    co_await s.Delay(Seconds(1));
+    co_return 42;
+  };
+  EXPECT_EQ(sim.RunUntilComplete(task(sim)), 42);
+}
+
+TEST(Simulator, NestedTasksCompose) {
+  Simulator sim;
+  auto inner = [](Simulator& s, int x) -> Task<int> {
+    co_await s.Delay(Seconds(1));
+    co_return x * 2;
+  };
+  auto outer = [&inner](Simulator& s) -> Task<int> {
+    int a = co_await inner(s, 10);
+    int b = co_await inner(s, a);
+    co_return b;
+  };
+  EXPECT_EQ(sim.RunUntilComplete(outer(sim)), 40);
+  EXPECT_EQ(sim.now(), Seconds(2));
+}
+
+TEST(Simulator, SpawnedTasksRunConcurrently) {
+  Simulator sim;
+  std::vector<int> log;
+  auto worker = [&log](Simulator& s, int id, Duration d) -> Task<void> {
+    co_await s.Delay(d);
+    log.push_back(id);
+  };
+  sim.Spawn(worker(sim, 1, Seconds(2)));
+  sim.Spawn(worker(sim, 2, Seconds(1)));
+  sim.Spawn(worker(sim, 3, Seconds(3)));
+  sim.Run();
+  EXPECT_EQ(log, (std::vector<int>{2, 1, 3}));
+  // Concurrent: total time is max, not sum.
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAfter(Seconds(1), [&] { ++fired; });
+  sim.ScheduleAfter(Seconds(10), [&] { ++fired; });
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Seconds(5));
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ZeroDelayYieldsThroughQueue) {
+  Simulator sim;
+  std::vector<int> order;
+  auto a = [&order](Simulator& s) -> Task<void> {
+    order.push_back(1);
+    co_await s.Delay(0);
+    order.push_back(3);
+  };
+  sim.Spawn(a(sim));
+  order.push_back(2);
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ExceptionPropagatesFromTask) {
+  Simulator sim;
+  auto task = [](Simulator& s) -> Task<int> {
+    co_await s.Delay(Seconds(1));
+    throw std::runtime_error("boom");
+  };
+  EXPECT_THROW(sim.RunUntilComplete(task(sim)), std::runtime_error);
+}
+
+TEST(Simulator, EventsProcessedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.ScheduleAfter(Seconds(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run_once = []() {
+    Simulator sim;
+    std::vector<std::pair<TimePoint, int>> trace;
+    auto worker = [&trace](Simulator& s, int id) -> Task<void> {
+      for (int i = 0; i < 3; ++i) {
+        co_await s.Delay(Seconds(id));
+        trace.emplace_back(s.now(), id);
+      }
+    };
+    for (int id = 1; id <= 4; ++id) {
+      sim.Spawn(worker(sim, id));
+    }
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ros::sim

@@ -1,0 +1,100 @@
+#include "src/drive/speed_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+
+namespace ros::drive {
+namespace {
+
+// §5.4 / Fig 8: a full 25 GB burn averages 8.2X and takes ~675 s.
+TEST(SpeedProfile25, AverageAndTotalMatchPaper) {
+  auto profile = BurnSpeedProfile::For(DiscType::kBdr25);
+  EXPECT_NEAR(profile.AverageSpeedX(), 8.2, 0.15);
+  double seconds = profile.BurnSeconds(0, 25 * kGB, 25 * kGB);
+  EXPECT_NEAR(seconds, 675.0, 10.0);
+}
+
+// Fig 8: the ramp starts at 1.6X on the inner tracks and reaches 12X.
+TEST(SpeedProfile25, RampShape) {
+  auto profile = BurnSpeedProfile::For(DiscType::kBdr25);
+  EXPECT_DOUBLE_EQ(profile.SpeedAt(0.0), 1.6);
+  EXPECT_DOUBLE_EQ(profile.SpeedAt(0.99), 12.0);
+  // Monotonically non-decreasing through the zones.
+  double prev = 0;
+  for (double p = 0.0; p < 1.0; p += 0.01) {
+    double s = profile.SpeedAt(p);
+    EXPECT_GE(s, prev);
+    prev = s;
+  }
+}
+
+// §5.4 / Fig 10: 100 GB burns at ~6X with fail-safe dips to 4X; a full
+// disc takes ~3757 s and the average speed is ~5.9X.
+TEST(SpeedProfile100, AverageAndTotalMatchPaper) {
+  auto profile = BurnSpeedProfile::For(DiscType::kBdr100, /*seed=*/42);
+  EXPECT_NEAR(profile.AverageSpeedX(), 5.9, 0.1);
+  double seconds = profile.BurnSeconds(0, 100 * kGB, 100 * kGB);
+  EXPECT_NEAR(seconds, 3757.0, 40.0);
+}
+
+TEST(SpeedProfile100, OnlySixAndFourXSpeeds) {
+  auto profile = BurnSpeedProfile::For(DiscType::kBdr100, /*seed=*/7);
+  bool saw_dip = false;
+  for (double p = 0.0; p < 1.0; p += 0.001) {
+    double s = profile.SpeedAt(p);
+    EXPECT_TRUE(s == 6.0 || s == 4.0) << s;
+    saw_dip |= (s == 4.0);
+  }
+  EXPECT_TRUE(saw_dip);
+}
+
+TEST(SpeedProfile100, DipsAreSeedDeterministic) {
+  auto a = BurnSpeedProfile::For(DiscType::kBdr100, 9);
+  auto b = BurnSpeedProfile::For(DiscType::kBdr100, 9);
+  auto c = BurnSpeedProfile::For(DiscType::kBdr100, 10);
+  ASSERT_EQ(a.zones().size(), b.zones().size());
+  for (std::size_t i = 0; i < a.zones().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.zones()[i].progress_end, b.zones()[i].progress_end);
+  }
+  // Different seeds place dips differently.
+  bool differs = a.zones().size() != c.zones().size();
+  for (std::size_t i = 0; !differs && i < a.zones().size(); ++i) {
+    differs = a.zones()[i].progress_end != c.zones()[i].progress_end;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SpeedProfileRewritable, Constant2x) {
+  auto profile = BurnSpeedProfile::Rewritable();
+  EXPECT_DOUBLE_EQ(profile.SpeedAt(0.1), 2.0);
+  EXPECT_DOUBLE_EQ(profile.AverageSpeedX(), 2.0);
+}
+
+// Partial burns: time is additive over sub-ranges.
+TEST(SpeedProfile, BurnSecondsIsAdditive) {
+  auto profile = BurnSpeedProfile::For(DiscType::kBdr25);
+  const std::uint64_t cap = 25 * kGB;
+  double whole = profile.BurnSeconds(0, cap, cap);
+  double first = profile.BurnSeconds(0, cap / 3, cap);
+  double second = profile.BurnSeconds(cap / 3, cap - cap / 3, cap);
+  EXPECT_NEAR(first + second, whole, 1e-6);
+}
+
+// An append burn starting mid-disc runs in the faster outer zones.
+TEST(SpeedProfile, AppendBurnsFasterInOuterZones) {
+  auto profile = BurnSpeedProfile::For(DiscType::kBdr25);
+  const std::uint64_t cap = 25 * kGB;
+  double inner = profile.BurnSeconds(0, 5 * kGB, cap);
+  double outer = profile.BurnSeconds(20 * kGB, 5 * kGB, cap);
+  EXPECT_LT(outer, inner);
+}
+
+// Table 2 read speeds.
+TEST(ReadSpeed, MatchesTable2) {
+  EXPECT_DOUBLE_EQ(ReadSpeedBytesPerSec(DiscType::kBdr25), 24.1e6);
+  EXPECT_DOUBLE_EQ(ReadSpeedBytesPerSec(DiscType::kBdr100), 18.0e6);
+}
+
+}  // namespace
+}  // namespace ros::drive

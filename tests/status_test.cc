@@ -1,0 +1,88 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ros {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such disc");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such disc");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v = InvalidArgumentError("bad");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOr, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 5);
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status Pipeline(int x, int* out) {
+  ROS_ASSIGN_OR_RETURN(int h, Half(x));
+  ROS_ASSIGN_OR_RETURN(int q, Half(h));
+  *out = q;
+  return OkStatus();
+}
+
+TEST(StatusMacros, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(Pipeline(8, &out).ok());
+  EXPECT_EQ(out, 2);
+  EXPECT_EQ(Pipeline(6, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Pipeline(3, &out).code(), StatusCode::kInvalidArgument);
+}
+
+Status FailThrough() {
+  ROS_RETURN_IF_ERROR(OkStatus());
+  ROS_RETURN_IF_ERROR(DataLossError("burned sector"));
+  return InternalError("unreached");
+}
+
+TEST(StatusMacros, ReturnIfError) {
+  EXPECT_EQ(FailThrough().code(), StatusCode::kDataLoss);
+}
+
+TEST(StatusCodeName, AllCodesNamed) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_EQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+}  // namespace
+}  // namespace ros

@@ -1,0 +1,178 @@
+#include "src/udf/image.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace ros::udf {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(SplitPath, ValidAndInvalid) {
+  auto p = SplitPath("/a/b/c");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(*p, (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitPath("/")->empty());
+  EXPECT_FALSE(SplitPath("").ok());
+  EXPECT_FALSE(SplitPath("relative").ok());
+  EXPECT_FALSE(SplitPath("/a//b").ok());
+  EXPECT_FALSE(SplitPath("/a/../b").ok());
+  EXPECT_FALSE(SplitPath("/a/./b").ok());
+  EXPECT_FALSE(SplitPath("/a/").ok());
+}
+
+TEST(UdfImage, EmptyImageChargesRootEntry) {
+  Image image("img-1", 25 * kGB);
+  EXPECT_EQ(image.used_bytes(), kEntryOverhead);
+  EXPECT_EQ(image.file_count(), 0u);
+}
+
+TEST(UdfImage, AddFileCreatesAncestorDirectories) {
+  Image image("img-1", 25 * kGB);
+  ASSERT_TRUE(image.AddFile("/archive/2016/jan/trace.bin",
+                            Bytes("payload")).ok());
+  EXPECT_TRUE(image.Exists("/archive"));
+  EXPECT_TRUE(image.Exists("/archive/2016"));
+  EXPECT_TRUE(image.Exists("/archive/2016/jan"));
+  auto node = image.Lookup("/archive/2016/jan/trace.bin");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->type, NodeType::kFile);
+  EXPECT_EQ((*node)->logical_size, 7u);
+}
+
+TEST(UdfImage, SpaceAccountingMinimum2KPerEntry) {
+  Image image("img-1", 25 * kGB);
+  // 1-byte file at depth 2: root(already) + dir + entry + 1 data block.
+  const std::uint64_t before = image.used_bytes();
+  ASSERT_TRUE(image.AddFile("/d/f", Bytes("x")).ok());
+  EXPECT_EQ(image.used_bytes() - before, 3 * kBlockSize);
+}
+
+TEST(UdfImage, WorstCaseSmallFilesHalveCapacity) {
+  // §4.5: files < 2 KiB plus their 2 KiB entry mean only half the bucket
+  // stores data. Verify the accounting exhibits exactly that.
+  Image image("img-1", 10 * kMiB);
+  int added = 0;
+  while (image.AddFile("/f" + std::to_string(added),
+                       std::vector<std::uint8_t>(kBlockSize, 1)).ok()) {
+    ++added;
+  }
+  // Each file consumed 2 blocks (entry + 1 data block): data stored is
+  // half the capacity (minus the root entry).
+  const std::uint64_t data_bytes =
+      static_cast<std::uint64_t>(added) * kBlockSize;
+  EXPECT_NEAR(static_cast<double>(data_bytes) / (10 * kMiB), 0.5, 0.01);
+}
+
+TEST(UdfImage, DuplicatePathRejected) {
+  Image image("img-1", kGB);
+  ASSERT_TRUE(image.AddFile("/a", Bytes("1")).ok());
+  EXPECT_EQ(image.AddFile("/a", Bytes("2")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(UdfImage, FileAsDirectoryComponentRejected) {
+  Image image("img-1", kGB);
+  ASSERT_TRUE(image.AddFile("/a", Bytes("1")).ok());
+  EXPECT_EQ(image.AddFile("/a/b", Bytes("2")).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(UdfImage, ClosedImageIsWorm) {
+  Image image("img-1", kGB);
+  ASSERT_TRUE(image.AddFile("/a", Bytes("1")).ok());
+  image.Close();
+  EXPECT_EQ(image.AddFile("/b", Bytes("2")).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(image.AppendToFile("/a", Bytes("x"), 1).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(image.MakeDirs("/c").code(), StatusCode::kFailedPrecondition);
+  // Reads still work.
+  EXPECT_TRUE(image.ReadFile("/a", 0, 1).ok());
+}
+
+TEST(UdfImage, ReadFileSparseTail) {
+  Image image("img-1", kGB);
+  ASSERT_TRUE(image.AddFile("/big", Bytes("abc"), 10).ok());
+  auto data = image.ReadFile("/big", 1, 6);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, (std::vector<std::uint8_t>{'b', 'c', 0, 0, 0, 0}));
+  EXPECT_EQ(image.ReadFile("/big", 5, 6).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(UdfImage, AppendGrowsFileAndAccounting) {
+  Image image("img-1", kGB);
+  ASSERT_TRUE(image.AddFile("/log", Bytes("aa"), 2).ok());
+  const std::uint64_t before = image.used_bytes();
+  // Grow within the same block: no extra space.
+  ASSERT_TRUE(image.AppendToFile("/log", Bytes("bb"), 2).ok());
+  EXPECT_EQ(image.used_bytes(), before);
+  // Grow past the block boundary: one more block.
+  ASSERT_TRUE(image.AppendToFile("/log", std::vector<std::uint8_t>(kBlockSize, 7),
+                                 kBlockSize).ok());
+  EXPECT_EQ(image.used_bytes(), before + kBlockSize);
+  auto data = image.ReadFile("/log", 0, 4);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("aabb"));
+}
+
+TEST(UdfImage, LinkFilesForSplitFiles) {
+  Image image("img-2", kGB);
+  ASSERT_TRUE(image.AddLink("/data/huge.bin.part0", "img-1").ok());
+  auto node = image.Lookup("/data/huge.bin.part0");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->type, NodeType::kLink);
+  EXPECT_EQ((*node)->link_target_image, "img-1");
+}
+
+TEST(UdfImage, CapacityEnforced) {
+  Image image("img-1", 8 * kBlockSize);
+  // root(1) + file entry(1) + 5 data = 7 blocks: fits.
+  ASSERT_TRUE(image.AddFile("/f", {}, 5 * kBlockSize).ok());
+  // Another file would need 2 more blocks; only 1 left.
+  EXPECT_FALSE(image.WouldFit("/g", kBlockSize));
+  EXPECT_EQ(image.AddFile("/g", {}, kBlockSize).code(),
+            StatusCode::kResourceExhausted);
+  // A zero-byte file (entry only) still fits.
+  EXPECT_TRUE(image.AddFile("/empty", {}).ok());
+  EXPECT_EQ(image.free_bytes(), 0u);
+}
+
+TEST(UdfImage, CostOfCountsMissingAncestors) {
+  Image image("img-1", kGB);
+  EXPECT_EQ(image.CostOf("/a/b/c/f", 1),
+            3 * kEntryOverhead + kEntryOverhead + kBlockSize);
+  ASSERT_TRUE(image.MakeDirs("/a/b").ok());
+  EXPECT_EQ(image.CostOf("/a/b/c/f", 1),
+            kEntryOverhead + kEntryOverhead + kBlockSize);
+}
+
+TEST(UdfImage, ListAndWalk) {
+  Image image("img-1", kGB);
+  ASSERT_TRUE(image.AddFile("/x/1", Bytes("a")).ok());
+  ASSERT_TRUE(image.AddFile("/x/2", Bytes("b")).ok());
+  ASSERT_TRUE(image.AddFile("/y", Bytes("c")).ok());
+  auto ls = image.List("/x");
+  ASSERT_TRUE(ls.ok());
+  EXPECT_EQ(*ls, (std::vector<std::string>{"1", "2"}));
+  auto root = image.List("/");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, (std::vector<std::string>{"x", "y"}));
+
+  std::vector<std::string> walked;
+  image.Walk([&](const std::string& path, const Node&) {
+    walked.push_back(path);
+  });
+  EXPECT_EQ(walked,
+            (std::vector<std::string>{"/x", "/x/1", "/x/2", "/y"}));
+}
+
+}  // namespace
+}  // namespace ros::udf

@@ -1,0 +1,95 @@
+// Property tests of UDF image accounting invariants: used_bytes must equal
+// what a fresh walk recomputes, CostOf must predict AddFile's actual
+// consumption, and serialize/parse must preserve accounting across random
+// trees with files, directories, links and appends.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/udf/image.h"
+#include "src/udf/serializer.h"
+
+namespace ros::udf {
+namespace {
+
+// Recomputes the image's byte accounting from a tree walk.
+std::uint64_t RecomputeUsed(const Image& image) {
+  std::uint64_t used = kEntryOverhead;  // root
+  image.Walk([&](const std::string&, const Node& node) {
+    used += kEntryOverhead;
+    if (node.type == NodeType::kFile) {
+      used += BlocksFor(node.logical_size) * kBlockSize;
+    }
+  });
+  return used;
+}
+
+class UdfAccounting : public ::testing::TestWithParam<int> {};
+
+TEST_P(UdfAccounting, UsedBytesMatchesWalkUnderRandomOperations) {
+  Rng rng(GetParam());
+  Image image("acct-" + std::to_string(GetParam()), 64 * kMiB);
+  std::vector<std::string> files;
+
+  for (int step = 0; step < 120; ++step) {
+    const int op = static_cast<int>(rng.Below(10));
+    const std::string dir = "/d" + std::to_string(rng.Below(4));
+    if (op < 5) {  // add file
+      const std::string path = dir + "/f" + std::to_string(step);
+      const std::uint64_t logical = rng.Below(64 * kKiB);
+      const std::uint64_t real = rng.Below(logical + 1);
+      const std::uint64_t predicted = image.CostOf(path, logical);
+      const std::uint64_t before = image.used_bytes();
+      Status status = image.AddFile(
+          path, std::vector<std::uint8_t>(real, 0x11), logical);
+      if (status.ok()) {
+        // CostOf must have predicted the exact consumption.
+        EXPECT_EQ(image.used_bytes() - before, predicted) << path;
+        files.push_back(path);
+      }
+    } else if (op < 7 && !files.empty()) {  // append
+      const std::string& path = files[rng.Below(files.size())];
+      const std::uint64_t grow = rng.Below(8 * kKiB);
+      (void)image.AppendToFile(path, {}, grow);
+    } else if (op < 9) {  // directory chain
+      (void)image.MakeDirs(dir + "/sub" + std::to_string(rng.Below(3)));
+    } else {  // link
+      (void)image.AddLink(dir + "/link" + std::to_string(step), "other");
+    }
+    ASSERT_EQ(image.used_bytes(), RecomputeUsed(image)) << "step " << step;
+    ASSERT_LE(image.used_bytes(), image.capacity());
+  }
+
+  // Serialize/parse preserves the accounting exactly.
+  image.Close();
+  auto parsed = Serializer::Parse(Serializer::Serialize(image));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->used_bytes(), image.used_bytes());
+  EXPECT_EQ(parsed->file_count(), image.file_count());
+  EXPECT_EQ(RecomputeUsed(*parsed), parsed->used_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UdfAccounting, ::testing::Range(1, 9));
+
+// WouldFit is exact: filling an image by WouldFit-guided writes never
+// fails and stops precisely when the next write cannot fit.
+TEST(UdfAccounting, WouldFitIsExactAtTheBoundary) {
+  Rng rng(99);
+  Image image("fit", 256 * kKiB);
+  int added = 0;
+  while (true) {
+    const std::string path = "/x/f" + std::to_string(added);
+    const std::uint64_t size = rng.Below(16 * kKiB);
+    const bool fits = image.WouldFit(path, size);
+    Status status = image.AddFile(path, {}, size);
+    EXPECT_EQ(status.ok(), fits) << path;
+    if (!status.ok()) {
+      break;
+    }
+    ++added;
+  }
+  EXPECT_GT(added, 3);
+}
+
+}  // namespace
+}  // namespace ros::udf

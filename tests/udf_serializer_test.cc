@@ -1,0 +1,129 @@
+#include "src/udf/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/udf/image.h"
+
+namespace ros::udf {
+namespace {
+
+std::vector<std::uint8_t> Bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+Image SampleImage() {
+  Image image("image-0042", 25 * kGB);
+  ROS_CHECK(image.AddFile("/archive/2016/trace.bin", Bytes("trace-data"),
+                          4096).ok());
+  ROS_CHECK(image.AddFile("/archive/2016/notes.txt", Bytes("hello")).ok());
+  ROS_CHECK(image.AddLink("/archive/2017/huge.part1", "image-0041").ok());
+  ROS_CHECK(image.MakeDirs("/empty/dir/chain").ok());
+  image.Close();
+  return image;
+}
+
+TEST(UdfSerializer, RoundTripPreservesEverything) {
+  Image original = SampleImage();
+  auto bytes = Serializer::Serialize(original);
+  auto parsed = Serializer::Parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->id(), "image-0042");
+  EXPECT_EQ(parsed->capacity(), 25 * kGB);
+  EXPECT_TRUE(parsed->closed());
+  EXPECT_EQ(parsed->file_count(), original.file_count());
+  EXPECT_EQ(parsed->used_bytes(), original.used_bytes());
+
+  auto data = parsed->ReadFile("/archive/2016/trace.bin", 0, 10);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("trace-data"));
+  // Sparse logical size survives.
+  auto node = parsed->Lookup("/archive/2016/trace.bin");
+  ASSERT_TRUE(node.ok());
+  EXPECT_EQ((*node)->logical_size, 4096u);
+
+  auto link = parsed->Lookup("/archive/2017/huge.part1");
+  ASSERT_TRUE(link.ok());
+  EXPECT_EQ((*link)->link_target_image, "image-0041");
+
+  EXPECT_TRUE(parsed->Exists("/empty/dir/chain"));
+}
+
+TEST(UdfSerializer, WalkOrderIsDeterministic) {
+  Image original = SampleImage();
+  auto a = Serializer::Serialize(original);
+  auto b = Serializer::Serialize(original);
+  EXPECT_EQ(a, b);
+}
+
+TEST(UdfSerializer, CorruptionDetectedByCrc) {
+  auto bytes = Serializer::Serialize(SampleImage());
+  for (std::size_t pos : {std::size_t{20}, bytes.size() / 2,
+                          bytes.size() - 20}) {
+    auto corrupted = bytes;
+    corrupted[pos] ^= 0xFF;
+    auto parsed = Serializer::Parse(corrupted);
+    EXPECT_FALSE(parsed.ok()) << "flip at " << pos;
+  }
+}
+
+TEST(UdfSerializer, TruncationDetected) {
+  auto bytes = Serializer::Serialize(SampleImage());
+  for (std::size_t keep : {std::size_t{4}, std::size_t{30},
+                           bytes.size() - 1}) {
+    auto truncated = std::vector<std::uint8_t>(bytes.begin(),
+                                               bytes.begin() + keep);
+    EXPECT_FALSE(Serializer::Parse(truncated).ok()) << "keep " << keep;
+  }
+}
+
+TEST(UdfSerializer, BadMagicRejected) {
+  auto bytes = Serializer::Serialize(SampleImage());
+  bytes[0] = 'X';
+  EXPECT_EQ(Serializer::Parse(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(UdfSerializer, EmptyImageRoundTrips) {
+  Image empty("empty-img", kGB);
+  auto parsed = Serializer::Parse(Serializer::Serialize(empty));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->file_count(), 0u);
+  EXPECT_EQ(parsed->id(), "empty-img");
+}
+
+// Property sweep: random trees round-trip byte-identically.
+class SerializerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializerFuzz, RandomTreeRoundTrip) {
+  Rng rng(GetParam());
+  Image image("fuzz-" + std::to_string(GetParam()), kGB);
+  const char* dirs[] = {"/a", "/a/b", "/c", "/c/d/e", "/f"};
+  for (int i = 0; i < 40; ++i) {
+    std::string dir = dirs[rng.Below(5)];
+    std::string path = dir + "/file" + std::to_string(i);
+    std::vector<std::uint8_t> data(rng.Below(5000));
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.Next());
+    }
+    const std::uint64_t logical = data.size() + rng.Below(3) * 1000;
+    ROS_CHECK(image.AddFile(path, data, logical).ok());
+  }
+  image.Close();
+
+  auto bytes = Serializer::Serialize(image);
+  auto parsed = Serializer::Parse(bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(Serializer::Serialize(*parsed), bytes);
+  EXPECT_EQ(parsed->file_count(), image.file_count());
+  EXPECT_EQ(parsed->used_bytes(), image.used_bytes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzz, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ros::udf

@@ -1,0 +1,172 @@
+#include "src/disk/volume.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace ros::disk {
+namespace {
+
+class VolumeTest : public ::testing::Test {
+ protected:
+  VolumeTest()
+      : device_(sim_, "ssd", 64 * kMiB, SsdPerf()),
+        volume_(sim_, &device_, MetadataVolumeParams()) {}
+
+  std::vector<std::uint8_t> Bytes(const std::string& s) {
+    return {s.begin(), s.end()};
+  }
+
+  sim::Simulator sim_;
+  StorageDevice device_;
+  Volume volume_;
+};
+
+TEST_F(VolumeTest, CreateWriteReadDelete) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/idx/a.json")).ok());
+  EXPECT_TRUE(volume_.Exists("/idx/a.json"));
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.Write("/idx/a.json", 0, Bytes("hello")))
+                  .ok());
+  EXPECT_EQ(*volume_.FileSize("/idx/a.json"), 5u);
+  auto data = sim_.RunUntilComplete(volume_.ReadAll("/idx/a.json"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("hello"));
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Delete("/idx/a.json")).ok());
+  EXPECT_FALSE(volume_.Exists("/idx/a.json"));
+}
+
+TEST_F(VolumeTest, DuplicateCreateFails) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("f")).ok());
+  EXPECT_EQ(sim_.RunUntilComplete(volume_.Create("f")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(VolumeTest, MissingFileErrors) {
+  EXPECT_EQ(sim_.RunUntilComplete(volume_.Read("nope", 0, 1)).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(sim_.RunUntilComplete(volume_.Delete("nope")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(volume_.FileSize("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(VolumeTest, AppendGrowsFile) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("log")).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(sim_.RunUntilComplete(volume_.Append("log", Bytes("ab"))).ok());
+  }
+  EXPECT_EQ(*volume_.FileSize("log"), 10u);
+  auto data = sim_.RunUntilComplete(volume_.ReadAll("log"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("ababababab"));
+}
+
+TEST_F(VolumeTest, SparseWriteBeyondEnd) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("sparse")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("sparse", 5000, Bytes("X")))
+                  .ok());
+  EXPECT_EQ(*volume_.FileSize("sparse"), 5001u);
+  auto data = sim_.RunUntilComplete(volume_.Read("sparse", 4998, 3));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)[2], 'X');
+  EXPECT_EQ((*data)[0], 0);
+}
+
+TEST_F(VolumeTest, WriteAllTruncates) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("f")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.WriteAll("f", std::vector<std::uint8_t>(10000, 1)))
+                  .ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.WriteAll("f", Bytes("tiny"))).ok());
+  EXPECT_EQ(*volume_.FileSize("f"), 4u);
+  auto data = sim_.RunUntilComplete(volume_.ReadAll("f"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("tiny"));
+}
+
+TEST_F(VolumeTest, ReadBeyondEofRejected) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("f")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("f", 0, Bytes("abc"))).ok());
+  EXPECT_EQ(sim_.RunUntilComplete(volume_.Read("f", 2, 2)).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST_F(VolumeTest, ListByPrefix) {
+  for (const char* name : {"/a/1", "/a/2", "/b/1"}) {
+    ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create(name)).ok());
+  }
+  EXPECT_EQ(volume_.List("/a/").size(), 2u);
+  EXPECT_EQ(volume_.List().size(), 3u);
+  EXPECT_EQ(volume_.List("/c").size(), 0u);
+}
+
+TEST_F(VolumeTest, SpaceAccountingAndReuse) {
+  const std::uint64_t before = volume_.used_blocks();
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("big")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.Write("big", 0, std::vector<std::uint8_t>(
+                                              100 * volume_.block_size())))
+                  .ok());
+  EXPECT_EQ(volume_.used_blocks(), before + 100);
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Delete("big")).ok());
+  EXPECT_EQ(volume_.used_blocks(), before);
+}
+
+TEST_F(VolumeTest, FillsAndReportsExhaustion) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("huge")).ok());
+  const std::uint64_t free = volume_.free_bytes();
+  EXPECT_EQ(sim_.RunUntilComplete(
+                volume_.Write("huge", 0,
+                              std::vector<std::uint8_t>(free + kKiB)))
+                .code(),
+            StatusCode::kResourceExhausted);
+  // Failed allocation must not leak blocks.
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.Write("huge", 0, std::vector<std::uint8_t>(free)))
+                  .ok());
+}
+
+TEST_F(VolumeTest, FragmentationHandledByExtentChaining) {
+  // Create interleaved files, delete every other one, then write a file
+  // larger than any single hole.
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "frag" + std::to_string(i);
+    names.push_back(name);
+    ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create(name)).ok());
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    volume_.Write(name, 0, std::vector<std::uint8_t>(
+                                               8 * volume_.block_size(), 1)))
+                    .ok());
+  }
+  for (int i = 0; i < 20; i += 2) {
+    ASSERT_TRUE(sim_.RunUntilComplete(volume_.Delete(names[i])).ok());
+  }
+  Rng rng(4);
+  std::vector<std::uint8_t> data(60 * volume_.block_size());
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.Next());
+  }
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("big")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("big", 0, data)).ok());
+  auto read = sim_.RunUntilComplete(volume_.ReadAll("big"));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
+
+TEST_F(VolumeTest, MetadataVolumeUses1KBlocks) {
+  EXPECT_EQ(volume_.block_size(), 1 * kKiB);
+}
+
+TEST_F(VolumeTest, FormatQuickResets) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("x")).ok());
+  volume_.FormatQuick();
+  EXPECT_FALSE(volume_.Exists("x"));
+  EXPECT_EQ(volume_.file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace ros::disk

@@ -1,0 +1,75 @@
+#include "src/workload/filebench.h"
+#include "src/workload/tco.h"
+
+#include <gtest/gtest.h>
+
+namespace ros::workload {
+namespace {
+
+TEST(ArchivalGenerator, SizesWithinBoundsAndLogUniform) {
+  Rng rng(3);
+  auto files = GenerateArchivalFiles(rng, 2000, "/archive", 1024,
+                                     100 * 1024 * 1024);
+  ASSERT_EQ(files.size(), 2000u);
+  int small = 0;
+  for (const auto& file : files) {
+    EXPECT_GE(file.size, 1024u);
+    EXPECT_LE(file.size, 100u * 1024 * 1024);
+    EXPECT_EQ(file.path.rfind("/archive/", 0), 0u);
+    small += file.size < 1024 * 1024 ? 1 : 0;
+  }
+  // Log-uniform: around 60% of files fall below 1 MiB for this range.
+  EXPECT_GT(small, 1000);
+  EXPECT_LT(small, 1500);
+}
+
+TEST(ArchivalGenerator, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  auto fa = GenerateArchivalFiles(a, 50, "/r", 100, 1000);
+  auto fb = GenerateArchivalFiles(b, 50, "/r", 100, 1000);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].path, fb[i].path);
+    EXPECT_EQ(fa[i].size, fb[i].size);
+  }
+}
+
+// §2.1: optical ~250 K$/PB over 100 years, about 1/3 of HDD and 1/2 of
+// tape.
+TEST(TcoModel, MatchesPaperRatios) {
+  auto optical = ComputeTco(OpticalProfile());
+  auto hdd = ComputeTco(HddProfile());
+  auto tape = ComputeTco(TapeProfile());
+
+  EXPECT_NEAR(optical.total, 250'000, 25'000);
+  EXPECT_NEAR(hdd.total / optical.total, 3.0, 0.45);
+  EXPECT_NEAR(tape.total / optical.total, 2.0, 0.3);
+}
+
+TEST(TcoModel, HddDominatedByRepurchase) {
+  auto hdd = ComputeTco(HddProfile());
+  EXPECT_EQ(hdd.purchases, 20);
+  EXPECT_GT(hdd.media_cost, hdd.operations_cost);
+  EXPECT_GT(hdd.media_cost, hdd.migration_cost);
+}
+
+TEST(TcoModel, TapeDominatedByOperations) {
+  auto tape = ComputeTco(TapeProfile());
+  EXPECT_GT(tape.operations_cost, tape.media_cost);
+}
+
+TEST(TcoModel, ScalesLinearlyWithCapacity) {
+  auto one = ComputeTco(OpticalProfile(), 1.0);
+  auto ten = ComputeTco(OpticalProfile(), 10.0);
+  EXPECT_NEAR(ten.total, 10 * one.total, 1.0);
+}
+
+TEST(TcoModel, ShorterHorizonAvoidsMigrations) {
+  // Within one optical media lifetime there is nothing to migrate.
+  auto short_term = ComputeTco(OpticalProfile(), 1.0, 40.0);
+  EXPECT_EQ(short_term.purchases, 1);
+  EXPECT_EQ(short_term.migration_cost, 0);
+}
+
+}  // namespace
+}  // namespace ros::workload
