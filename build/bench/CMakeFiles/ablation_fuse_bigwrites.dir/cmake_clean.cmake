@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fuse_bigwrites.dir/ablation_fuse_bigwrites.cc.o"
+  "CMakeFiles/ablation_fuse_bigwrites.dir/ablation_fuse_bigwrites.cc.o.d"
+  "ablation_fuse_bigwrites"
+  "ablation_fuse_bigwrites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fuse_bigwrites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_fuse_bigwrites.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_io_streams.dir/ablation_io_streams.cc.o"
+  "CMakeFiles/ablation_io_streams.dir/ablation_io_streams.cc.o.d"
+  "ablation_io_streams"
+  "ablation_io_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_io_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

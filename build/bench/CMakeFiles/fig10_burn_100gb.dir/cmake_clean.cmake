@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_burn_100gb.dir/fig10_burn_100gb.cc.o"
+  "CMakeFiles/fig10_burn_100gb.dir/fig10_burn_100gb.cc.o.d"
+  "fig10_burn_100gb"
+  "fig10_burn_100gb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_burn_100gb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_burn_25gb_single.dir/fig8_burn_25gb_single.cc.o"
+  "CMakeFiles/fig8_burn_25gb_single.dir/fig8_burn_25gb_single.cc.o.d"
+  "fig8_burn_25gb_single"
+  "fig8_burn_25gb_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_burn_25gb_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_burn_25gb_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_burn_25gb_single.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_burn_25gb_array.dir/fig9_burn_25gb_array.cc.o"
+  "CMakeFiles/fig9_burn_25gb_array.dir/fig9_burn_25gb_array.cc.o.d"
+  "fig9_burn_25gb_array"
+  "fig9_burn_25gb_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_burn_25gb_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

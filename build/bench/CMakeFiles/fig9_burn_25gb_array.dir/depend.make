@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_burn_25gb_array.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_recovery.dir/mv_recovery.cc.o"
+  "CMakeFiles/mv_recovery.dir/mv_recovery.cc.o.d"
+  "mv_recovery"
+  "mv_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

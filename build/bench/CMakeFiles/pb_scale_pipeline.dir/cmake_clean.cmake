@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pb_scale_pipeline.dir/pb_scale_pipeline.cc.o"
+  "CMakeFiles/pb_scale_pipeline.dir/pb_scale_pipeline.cc.o.d"
+  "pb_scale_pipeline"
+  "pb_scale_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pb_scale_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

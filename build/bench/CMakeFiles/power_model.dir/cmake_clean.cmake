@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_model.dir/power_model.cc.o"
+  "CMakeFiles/power_model.dir/power_model.cc.o.d"
+  "power_model"
+  "power_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

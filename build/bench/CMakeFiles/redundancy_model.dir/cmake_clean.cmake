@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_model.dir/redundancy_model.cc.o"
+  "CMakeFiles/redundancy_model.dir/redundancy_model.cc.o.d"
+  "redundancy_model"
+  "redundancy_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_drive_read.dir/table2_drive_read.cc.o"
+  "CMakeFiles/table2_drive_read.dir/table2_drive_read.cc.o.d"
+  "table2_drive_read"
+  "table2_drive_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_drive_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

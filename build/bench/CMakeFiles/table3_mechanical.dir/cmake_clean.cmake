@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mechanical.dir/table3_mechanical.cc.o"
+  "CMakeFiles/table3_mechanical.dir/table3_mechanical.cc.o.d"
+  "table3_mechanical"
+  "table3_mechanical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mechanical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tco_model.dir/tco_model.cc.o"
+  "CMakeFiles/tco_model.dir/tco_model.cc.o.d"
+  "tco_model"
+  "tco_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tco_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

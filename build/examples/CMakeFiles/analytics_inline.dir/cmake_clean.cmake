@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_inline.dir/analytics_inline.cpp.o"
+  "CMakeFiles/analytics_inline.dir/analytics_inline.cpp.o.d"
+  "analytics_inline"
+  "analytics_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archival_datacenter.dir/archival_datacenter.cpp.o"
+  "CMakeFiles/archival_datacenter.dir/archival_datacenter.cpp.o.d"
+  "archival_datacenter"
+  "archival_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archival_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

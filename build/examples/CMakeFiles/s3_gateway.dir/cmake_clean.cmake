@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s3_gateway.dir/s3_gateway.cpp.o"
+  "CMakeFiles/s3_gateway.dir/s3_gateway.cpp.o.d"
+  "s3_gateway"
+  "s3_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s3_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_common.dir/json.cc.o"
+  "CMakeFiles/ros_common.dir/json.cc.o.d"
+  "CMakeFiles/ros_common.dir/logging.cc.o"
+  "CMakeFiles/ros_common.dir/logging.cc.o.d"
+  "libros_common.a"
+  "libros_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

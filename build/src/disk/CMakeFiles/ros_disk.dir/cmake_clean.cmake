@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_disk.dir/block_device.cc.o"
+  "CMakeFiles/ros_disk.dir/block_device.cc.o.d"
+  "CMakeFiles/ros_disk.dir/raid.cc.o"
+  "CMakeFiles/ros_disk.dir/raid.cc.o.d"
+  "CMakeFiles/ros_disk.dir/volume.cc.o"
+  "CMakeFiles/ros_disk.dir/volume.cc.o.d"
+  "libros_disk.a"
+  "libros_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drive/disc.cc" "src/drive/CMakeFiles/ros_drive.dir/disc.cc.o" "gcc" "src/drive/CMakeFiles/ros_drive.dir/disc.cc.o.d"
+  "/root/repo/src/drive/optical_drive.cc" "src/drive/CMakeFiles/ros_drive.dir/optical_drive.cc.o" "gcc" "src/drive/CMakeFiles/ros_drive.dir/optical_drive.cc.o.d"
+  "/root/repo/src/drive/speed_profile.cc" "src/drive/CMakeFiles/ros_drive.dir/speed_profile.cc.o" "gcc" "src/drive/CMakeFiles/ros_drive.dir/speed_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ros_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

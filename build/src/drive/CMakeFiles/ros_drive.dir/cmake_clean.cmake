@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_drive.dir/disc.cc.o"
+  "CMakeFiles/ros_drive.dir/disc.cc.o.d"
+  "CMakeFiles/ros_drive.dir/optical_drive.cc.o"
+  "CMakeFiles/ros_drive.dir/optical_drive.cc.o.d"
+  "CMakeFiles/ros_drive.dir/speed_profile.cc.o"
+  "CMakeFiles/ros_drive.dir/speed_profile.cc.o.d"
+  "libros_drive.a"
+  "libros_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_frontend.dir/block_gateway.cc.o"
+  "CMakeFiles/ros_frontend.dir/block_gateway.cc.o.d"
+  "CMakeFiles/ros_frontend.dir/nas_server.cc.o"
+  "CMakeFiles/ros_frontend.dir/nas_server.cc.o.d"
+  "CMakeFiles/ros_frontend.dir/object_store.cc.o"
+  "CMakeFiles/ros_frontend.dir/object_store.cc.o.d"
+  "CMakeFiles/ros_frontend.dir/stack.cc.o"
+  "CMakeFiles/ros_frontend.dir/stack.cc.o.d"
+  "libros_frontend.a"
+  "libros_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

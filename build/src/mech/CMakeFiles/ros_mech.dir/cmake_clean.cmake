@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_mech.dir/library.cc.o"
+  "CMakeFiles/ros_mech.dir/library.cc.o.d"
+  "CMakeFiles/ros_mech.dir/plc.cc.o"
+  "CMakeFiles/ros_mech.dir/plc.cc.o.d"
+  "libros_mech.a"
+  "libros_mech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_mech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

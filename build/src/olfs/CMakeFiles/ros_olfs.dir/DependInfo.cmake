@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olfs/bucket_manager.cc" "src/olfs/CMakeFiles/ros_olfs.dir/bucket_manager.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/bucket_manager.cc.o.d"
+  "/root/repo/src/olfs/burn_manager.cc" "src/olfs/CMakeFiles/ros_olfs.dir/burn_manager.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/burn_manager.cc.o.d"
+  "/root/repo/src/olfs/disc_image_store.cc" "src/olfs/CMakeFiles/ros_olfs.dir/disc_image_store.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/disc_image_store.cc.o.d"
+  "/root/repo/src/olfs/fetch_manager.cc" "src/olfs/CMakeFiles/ros_olfs.dir/fetch_manager.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/fetch_manager.cc.o.d"
+  "/root/repo/src/olfs/index_file.cc" "src/olfs/CMakeFiles/ros_olfs.dir/index_file.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/index_file.cc.o.d"
+  "/root/repo/src/olfs/maintenance.cc" "src/olfs/CMakeFiles/ros_olfs.dir/maintenance.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/maintenance.cc.o.d"
+  "/root/repo/src/olfs/mech_controller.cc" "src/olfs/CMakeFiles/ros_olfs.dir/mech_controller.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/mech_controller.cc.o.d"
+  "/root/repo/src/olfs/metadata_volume.cc" "src/olfs/CMakeFiles/ros_olfs.dir/metadata_volume.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/metadata_volume.cc.o.d"
+  "/root/repo/src/olfs/olfs.cc" "src/olfs/CMakeFiles/ros_olfs.dir/olfs.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/olfs.cc.o.d"
+  "/root/repo/src/olfs/parity.cc" "src/olfs/CMakeFiles/ros_olfs.dir/parity.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/parity.cc.o.d"
+  "/root/repo/src/olfs/read_cache.cc" "src/olfs/CMakeFiles/ros_olfs.dir/read_cache.cc.o" "gcc" "src/olfs/CMakeFiles/ros_olfs.dir/read_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ros_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mech/CMakeFiles/ros_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/drive/CMakeFiles/ros_drive.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ros_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/ros_udf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_olfs.dir/bucket_manager.cc.o"
+  "CMakeFiles/ros_olfs.dir/bucket_manager.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/burn_manager.cc.o"
+  "CMakeFiles/ros_olfs.dir/burn_manager.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/disc_image_store.cc.o"
+  "CMakeFiles/ros_olfs.dir/disc_image_store.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/fetch_manager.cc.o"
+  "CMakeFiles/ros_olfs.dir/fetch_manager.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/index_file.cc.o"
+  "CMakeFiles/ros_olfs.dir/index_file.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/maintenance.cc.o"
+  "CMakeFiles/ros_olfs.dir/maintenance.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/mech_controller.cc.o"
+  "CMakeFiles/ros_olfs.dir/mech_controller.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/metadata_volume.cc.o"
+  "CMakeFiles/ros_olfs.dir/metadata_volume.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/olfs.cc.o"
+  "CMakeFiles/ros_olfs.dir/olfs.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/parity.cc.o"
+  "CMakeFiles/ros_olfs.dir/parity.cc.o.d"
+  "CMakeFiles/ros_olfs.dir/read_cache.cc.o"
+  "CMakeFiles/ros_olfs.dir/read_cache.cc.o.d"
+  "libros_olfs.a"
+  "libros_olfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_olfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

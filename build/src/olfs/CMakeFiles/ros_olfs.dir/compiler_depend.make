@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ros_olfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_sim.dir/simulator.cc.o"
+  "CMakeFiles/ros_sim.dir/simulator.cc.o.d"
+  "libros_sim.a"
+  "libros_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_udf.dir/image.cc.o"
+  "CMakeFiles/ros_udf.dir/image.cc.o.d"
+  "CMakeFiles/ros_udf.dir/serializer.cc.o"
+  "CMakeFiles/ros_udf.dir/serializer.cc.o.d"
+  "libros_udf.a"
+  "libros_udf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_udf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ros_workload.dir/filebench.cc.o"
+  "CMakeFiles/ros_workload.dir/filebench.cc.o.d"
+  "CMakeFiles/ros_workload.dir/tco.cc.o"
+  "CMakeFiles/ros_workload.dir/tco.cc.o.d"
+  "libros_workload.a"
+  "libros_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ros_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

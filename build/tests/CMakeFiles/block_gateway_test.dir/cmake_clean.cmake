@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_gateway_test.dir/block_gateway_test.cc.o"
+  "CMakeFiles/block_gateway_test.dir/block_gateway_test.cc.o.d"
+  "block_gateway_test"
+  "block_gateway_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_gateway_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bucket_manager_test.dir/bucket_manager_test.cc.o"
+  "CMakeFiles/bucket_manager_test.dir/bucket_manager_test.cc.o.d"
+  "bucket_manager_test"
+  "bucket_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bucket_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

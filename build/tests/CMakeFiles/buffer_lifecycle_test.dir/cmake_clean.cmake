@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_lifecycle_test.dir/buffer_lifecycle_test.cc.o"
+  "CMakeFiles/buffer_lifecycle_test.dir/buffer_lifecycle_test.cc.o.d"
+  "buffer_lifecycle_test"
+  "buffer_lifecycle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_lifecycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

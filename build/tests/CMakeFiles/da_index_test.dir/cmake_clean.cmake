@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/da_index_test.dir/da_index_test.cc.o"
+  "CMakeFiles/da_index_test.dir/da_index_test.cc.o.d"
+  "da_index_test"
+  "da_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/da_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disc_test.dir/disc_test.cc.o"
+  "CMakeFiles/disc_test.dir/disc_test.cc.o.d"
+  "disc_test"
+  "disc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

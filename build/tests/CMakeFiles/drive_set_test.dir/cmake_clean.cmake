@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drive_set_test.dir/drive_set_test.cc.o"
+  "CMakeFiles/drive_set_test.dir/drive_set_test.cc.o.d"
+  "drive_set_test"
+  "drive_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drive_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

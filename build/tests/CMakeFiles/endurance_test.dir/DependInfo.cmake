@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/endurance_test.cc" "tests/CMakeFiles/endurance_test.dir/endurance_test.cc.o" "gcc" "tests/CMakeFiles/endurance_test.dir/endurance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/olfs/CMakeFiles/ros_olfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mech/CMakeFiles/ros_mech.dir/DependInfo.cmake"
+  "/root/repo/build/src/drive/CMakeFiles/ros_drive.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/ros_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ros_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/udf/CMakeFiles/ros_udf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ros_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_concurrency_test.dir/fetch_concurrency_test.cc.o"
+  "CMakeFiles/fetch_concurrency_test.dir/fetch_concurrency_test.cc.o.d"
+  "fetch_concurrency_test"
+  "fetch_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

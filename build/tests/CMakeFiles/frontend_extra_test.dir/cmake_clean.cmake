@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_extra_test.dir/frontend_extra_test.cc.o"
+  "CMakeFiles/frontend_extra_test.dir/frontend_extra_test.cc.o.d"
+  "frontend_extra_test"
+  "frontend_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

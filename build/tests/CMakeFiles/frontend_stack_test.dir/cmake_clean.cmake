@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_stack_test.dir/frontend_stack_test.cc.o"
+  "CMakeFiles/frontend_stack_test.dir/frontend_stack_test.cc.o.d"
+  "frontend_stack_test"
+  "frontend_stack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_stack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

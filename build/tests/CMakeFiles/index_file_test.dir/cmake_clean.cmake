@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_file_test.dir/index_file_test.cc.o"
+  "CMakeFiles/index_file_test.dir/index_file_test.cc.o.d"
+  "index_file_test"
+  "index_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

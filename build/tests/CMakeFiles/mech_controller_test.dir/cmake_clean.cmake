@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_controller_test.dir/mech_controller_test.cc.o"
+  "CMakeFiles/mech_controller_test.dir/mech_controller_test.cc.o.d"
+  "mech_controller_test"
+  "mech_controller_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

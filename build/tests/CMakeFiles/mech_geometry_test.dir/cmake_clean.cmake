@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_geometry_test.dir/mech_geometry_test.cc.o"
+  "CMakeFiles/mech_geometry_test.dir/mech_geometry_test.cc.o.d"
+  "mech_geometry_test"
+  "mech_geometry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_geometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mech_library_test.dir/mech_library_test.cc.o"
+  "CMakeFiles/mech_library_test.dir/mech_library_test.cc.o.d"
+  "mech_library_test"
+  "mech_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mech_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

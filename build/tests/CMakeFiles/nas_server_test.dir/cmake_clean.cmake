@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nas_server_test.dir/nas_server_test.cc.o"
+  "CMakeFiles/nas_server_test.dir/nas_server_test.cc.o.d"
+  "nas_server_test"
+  "nas_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nas_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olfs_property_test.dir/olfs_property_test.cc.o"
+  "CMakeFiles/olfs_property_test.dir/olfs_property_test.cc.o.d"
+  "olfs_property_test"
+  "olfs_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

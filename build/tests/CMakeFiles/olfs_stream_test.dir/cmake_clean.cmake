@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olfs_stream_test.dir/olfs_stream_test.cc.o"
+  "CMakeFiles/olfs_stream_test.dir/olfs_stream_test.cc.o.d"
+  "olfs_stream_test"
+  "olfs_stream_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olfs_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

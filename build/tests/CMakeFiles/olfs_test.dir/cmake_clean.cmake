@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olfs_test.dir/olfs_test.cc.o"
+  "CMakeFiles/olfs_test.dir/olfs_test.cc.o.d"
+  "olfs_test"
+  "olfs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olfs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

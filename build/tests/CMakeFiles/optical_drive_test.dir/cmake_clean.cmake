@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optical_drive_test.dir/optical_drive_test.cc.o"
+  "CMakeFiles/optical_drive_test.dir/optical_drive_test.cc.o.d"
+  "optical_drive_test"
+  "optical_drive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optical_drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parity_test.dir/parity_test.cc.o"
+  "CMakeFiles/parity_test.dir/parity_test.cc.o.d"
+  "parity_test"
+  "parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_join_test.dir/sim_join_test.cc.o"
+  "CMakeFiles/sim_join_test.dir/sim_join_test.cc.o.d"
+  "sim_join_test"
+  "sim_join_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_profile_test.dir/speed_profile_test.cc.o"
+  "CMakeFiles/speed_profile_test.dir/speed_profile_test.cc.o.d"
+  "speed_profile_test"
+  "speed_profile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_image_test.dir/udf_image_test.cc.o"
+  "CMakeFiles/udf_image_test.dir/udf_image_test.cc.o.d"
+  "udf_image_test"
+  "udf_image_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_image_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

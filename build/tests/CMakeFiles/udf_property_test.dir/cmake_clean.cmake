@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_property_test.dir/udf_property_test.cc.o"
+  "CMakeFiles/udf_property_test.dir/udf_property_test.cc.o.d"
+  "udf_property_test"
+  "udf_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
