@@ -1,0 +1,176 @@
+// Throughput of the GF(2^8) parity kernels, scalar reference vs the
+// word-sliced / split-nibble tier, printed as one JSON document so the
+// speedups land in the bench trajectory:
+//
+//   {"buffer_bytes":...,"kernels":[
+//     {"kernel":"mulacc","scalar_mb_s":...,"sliced_mb_s":...,
+//      "speedup":...,"identical":true}, ...]}
+//
+// Each kernel pair also runs a differential check (same inputs through both
+// tiers must produce byte-identical output), so a reported speedup can
+// never come from a wrong kernel. Host wall-clock time, not simulated time.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/gf256.h"
+#include "src/common/json.h"
+#include "src/common/rng.h"
+
+namespace {
+
+using namespace ros;
+using Buffer = std::vector<std::uint8_t>;
+
+constexpr std::size_t kBufferBytes = 1 << 20;  // 1 MiB per stream
+constexpr double kMinSeconds = 0.2;
+
+Buffer RandomBuffer(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Buffer out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// Runs `op` until kMinSeconds of wall clock elapse; returns MB/s of payload
+// swept (bytes_per_call per invocation).
+double MeasureMbPerSec(std::size_t bytes_per_call,
+                       const std::function<void()>& op) {
+  using Clock = std::chrono::steady_clock;
+  op();  // warm the tables and the cache
+  std::uint64_t calls = 0;
+  const auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    for (int i = 0; i < 8; ++i) {
+      op();
+    }
+    calls += 8;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < kMinSeconds);
+  return static_cast<double>(calls) * static_cast<double>(bytes_per_call) /
+         elapsed / 1e6;
+}
+
+struct KernelResult {
+  std::string kernel;
+  double scalar_mb_s = 0;
+  double sliced_mb_s = 0;
+  bool identical = false;
+};
+
+json::Value ToJson(const KernelResult& r) {
+  json::Object o;
+  o["kernel"] = r.kernel;
+  o["scalar_mb_s"] = r.scalar_mb_s;
+  o["sliced_mb_s"] = r.sliced_mb_s;
+  o["speedup"] = r.scalar_mb_s > 0 ? r.sliced_mb_s / r.scalar_mb_s : 0.0;
+  o["identical"] = r.identical;
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  const Buffer in = RandomBuffer(kBufferBytes, 1);
+  const Buffer acc0 = RandomBuffer(kBufferBytes, 2);
+  const Buffer q0 = RandomBuffer(kBufferBytes, 3);
+  const std::uint8_t coeff = gf256::Pow2(7);
+  std::vector<KernelResult> results;
+
+  {
+    KernelResult r{.kernel = "xor"};
+    Buffer a = acc0;
+    Buffer b = acc0;
+    gf256::XorAccScalar(a, in);
+    gf256::XorAcc(b, in);
+    r.identical = a == b;
+    r.scalar_mb_s =
+        MeasureMbPerSec(kBufferBytes, [&] { gf256::XorAccScalar(a, in); });
+    r.sliced_mb_s =
+        MeasureMbPerSec(kBufferBytes, [&] { gf256::XorAcc(b, in); });
+    results.push_back(r);
+  }
+
+  {
+    KernelResult r{.kernel = "mulacc"};
+    Buffer a = acc0;
+    Buffer b = acc0;
+    gf256::MulAccScalar(a, coeff, in);
+    gf256::MulAcc(b, coeff, in);
+    r.identical = a == b;
+    r.scalar_mb_s = MeasureMbPerSec(
+        kBufferBytes, [&] { gf256::MulAccScalar(a, coeff, in); });
+    r.sliced_mb_s =
+        MeasureMbPerSec(kBufferBytes, [&] { gf256::MulAcc(b, coeff, in); });
+    results.push_back(r);
+  }
+
+  {
+    KernelResult r{.kernel = "scale"};
+    Buffer a = acc0;
+    Buffer b = acc0;
+    gf256::ScaleScalar(a, coeff);
+    gf256::Scale(b, coeff);
+    r.identical = a == b;
+    r.scalar_mb_s =
+        MeasureMbPerSec(kBufferBytes, [&] { gf256::ScaleScalar(a, coeff); });
+    r.sliced_mb_s =
+        MeasureMbPerSec(kBufferBytes, [&] { gf256::Scale(b, coeff); });
+    results.push_back(r);
+  }
+
+  {
+    // The fused kernel's scalar baseline is what ParityBuilder::Build used
+    // to do: one XOR pass for P plus one multiply pass for Q — two sweeps
+    // of the member stream. "Payload" is the member bytes, so MB/s is
+    // member throughput, directly comparable across variants.
+    KernelResult r{.kernel = "pq_fused"};
+    Buffer ps = acc0, pf = acc0, qf = q0;
+    gf256::XorAccScalar(ps, in);
+    Buffer q2 = q0;
+    gf256::ScaleScalar(q2, 2);
+    gf256::XorAccScalar(q2, in);  // 2q ^ d, the Horner step
+    gf256::PQAcc(pf, qf, in);
+    r.identical = pf == ps && qf == q2;
+    Buffer p1 = acc0, q1 = q0;
+    r.scalar_mb_s = MeasureMbPerSec(kBufferBytes, [&] {
+      gf256::XorAccScalar(p1, in);
+      gf256::MulAccScalar(q1, coeff, in);
+    });
+    Buffer p3 = acc0, q3 = q0;
+    r.sliced_mb_s =
+        MeasureMbPerSec(kBufferBytes, [&] { gf256::PQAcc(p3, q3, in); });
+    results.push_back(r);
+  }
+
+  {
+    KernelResult r{.kernel = "solve_two"};
+    Buffer da1(kBufferBytes), db1(kBufferBytes);
+    Buffer da2(kBufferBytes), db2(kBufferBytes);
+    const std::uint8_t ga = gf256::Pow2(3), gb = gf256::Pow2(9);
+    gf256::SolveTwoScalar(da1, db1, acc0, q0, ga, gb);
+    gf256::SolveTwo(da2, db2, acc0, q0, ga, gb);
+    r.identical = da1 == da2 && db1 == db2;
+    r.scalar_mb_s = MeasureMbPerSec(kBufferBytes, [&] {
+      gf256::SolveTwoScalar(da1, db1, acc0, q0, ga, gb);
+    });
+    r.sliced_mb_s = MeasureMbPerSec(
+        kBufferBytes, [&] { gf256::SolveTwo(da2, db2, acc0, q0, ga, gb); });
+    results.push_back(r);
+  }
+
+  json::Object doc;
+  doc["buffer_bytes"] = static_cast<std::int64_t>(kBufferBytes);
+  json::Array kernels;
+  for (const KernelResult& r : results) {
+    kernels.push_back(ToJson(r));
+  }
+  doc["kernels"] = std::move(kernels);
+  std::printf("%s\n", json::Value(doc).DumpPretty().c_str());
+  return 0;
+}

@@ -1,9 +1,21 @@
-// GF(2^8) arithmetic for Reed-Solomon P+Q parity (RAID-6).
+// GF(2^8) arithmetic and bulk parity kernels for Reed-Solomon P+Q parity
+// (RAID-6).
 //
 // Uses the standard polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D) and the
 // generator g = 2, the same construction as the Linux RAID-6 driver:
 //   P = d_0 ^ d_1 ^ ... ^ d_{n-1}
 //   Q = g^0*d_0 ^ g^1*d_1 ^ ... ^ g^{n-1}*d_{n-1}
+//
+// Two kernel tiers are provided:
+//  - The default kernels (XorAcc, MulAcc, Scale, PQAcc, SolveTwo) are
+//    word-sliced: XOR and the Q doubling recurrence run over uint64_t words
+//    (8 bytes per step, memcpy loads so unaligned spans are fine), and GF
+//    multiplies go through per-coefficient split-nibble tables (two
+//    16-entry tables instead of a branch plus log/exp double lookup per
+//    byte).
+//  - The *Scalar kernels are the byte-at-a-time reference implementations.
+//    They are kept for differential testing and for the kernel benchmark
+//    (bench/gf256_kernels.cc); production code should never call them.
 #ifndef ROS_SRC_COMMON_GF256_H_
 #define ROS_SRC_COMMON_GF256_H_
 
@@ -66,33 +78,115 @@ constexpr std::uint8_t Pow2(unsigned n) {
   return internal::kTables.exp[n % 255];
 }
 
-// out ^= in (plain XOR accumulate, used for P parity).
-inline void XorAcc(std::span<std::uint8_t> out,
-                   std::span<const std::uint8_t> in) {
-  ROS_CHECK(out.size() >= in.size());
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] ^= in[i];
-  }
+// x * 2 in GF(2^8): shift, then reduce by 0x11D if bit 7 was set.
+constexpr std::uint8_t Mul2(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x & 0x80) ? 0x1D : 0));
 }
+
+namespace internal {
+
+// Split-nibble multiply tables for one coefficient c:
+//   c * x == lo[x & 0xF] ^ hi[x >> 4]
+// because multiplication distributes over XOR and x == (x & 0xF) ^ (x & 0xF0).
+struct NibbleTables {
+  std::array<std::uint8_t, 16> lo{};
+  std::array<std::uint8_t, 16> hi{};
+};
+
+constexpr NibbleTables MakeNibbleTables(std::uint8_t c) {
+  NibbleTables t{};
+  for (int x = 0; x < 16; ++x) {
+    t.lo[x] = Mul(c, static_cast<std::uint8_t>(x));
+    t.hi[x] = Mul(c, static_cast<std::uint8_t>(x << 4));
+  }
+  return t;
+}
+
+constexpr std::array<NibbleTables, 256> MakeAllNibbleTables() {
+  std::array<NibbleTables, 256> all{};
+  for (int c = 0; c < 256; ++c) {
+    all[c] = MakeNibbleTables(static_cast<std::uint8_t>(c));
+  }
+  return all;
+}
+
+// 8 KiB of precomputed tables, one pair per coefficient; L1-resident and
+// branch-free to index, unlike the log/exp path.
+inline constexpr std::array<NibbleTables, 256> kNibbleTables =
+    MakeAllNibbleTables();
+
+// SIMD tier (gf256_simd.cc, compiled with -mssse3 where the compiler
+// supports it): the same split-nibble tables drive a PSHUFB table lookup on
+// 16 lanes at once. SimdAvailable() checks the CPU at runtime; when it
+// returns false the public kernels fall back to the portable word-sliced
+// implementations. All Simd kernels process the full [0, n) range,
+// including unaligned heads/tails.
+bool SimdAvailable();
+void MulAccSimd(std::uint8_t* out, const std::uint8_t* in, std::size_t n,
+                const NibbleTables& t);
+void ScaleSimd(std::uint8_t* buf, std::size_t n, const NibbleTables& t);
+void PQAccSimd(std::uint8_t* p, std::uint8_t* q, const std::uint8_t* d,
+               std::size_t n);
+void QDoubleSimd(std::uint8_t* q, std::size_t n);
+void SolveTwoSimd(std::uint8_t* da, std::uint8_t* db, const std::uint8_t* pp,
+                  const std::uint8_t* qp, std::size_t n,
+                  const NibbleTables& t_gb, const NibbleTables& t_inv);
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Bulk kernels (word-sliced / split-nibble; the default tier).
+
+// out ^= in (plain XOR accumulate, used for P parity). out may be longer
+// than in; the tail is untouched.
+void XorAcc(std::span<std::uint8_t> out, std::span<const std::uint8_t> in);
 
 // out ^= coeff * in (GF multiply-accumulate, used for Q parity).
-inline void MulAcc(std::span<std::uint8_t> out, std::uint8_t coeff,
-                   std::span<const std::uint8_t> in) {
-  ROS_CHECK(out.size() >= in.size());
-  if (coeff == 0) {
-    return;
-  }
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] ^= Mul(coeff, in[i]);
-  }
-}
+void MulAcc(std::span<std::uint8_t> out, std::uint8_t coeff,
+            std::span<const std::uint8_t> in);
 
 // Scales a buffer in place: buf *= coeff.
-inline void Scale(std::span<std::uint8_t> buf, std::uint8_t coeff) {
-  for (auto& b : buf) {
-    b = Mul(coeff, b);
-  }
-}
+void Scale(std::span<std::uint8_t> buf, std::uint8_t coeff);
+
+// Fused single-sweep P+Q update (the RAID-6 Horner recurrence):
+//   p ^= in;  q = 2*q ^ in
+// over [0, in.size()), and q = 2*q alone over [in.size(), q.size()) so a
+// member stream shorter than the parity still doubles the accumulated Q
+// contributions of longer members. Feeding member streams LAST-to-FIRST
+// yields exactly Q = sum g^k * d_k (and P = xor of members): after
+// processing d_{n-1}, ..., d_0 the accumulator holds
+//   q = 2^{n-1} d_{n-1} ^ ... ^ 2^0 d_0.
+// p and q must be the same length, at least in.size(). Data is processed in
+// 64 KiB blocks so p/q/in stay cache-resident per block.
+void PQAcc(std::span<std::uint8_t> p, std::span<std::uint8_t> q,
+           std::span<const std::uint8_t> in);
+
+// RAID-6 double-erasure solve: given the partial parities
+//   pp = P ^ xor(surviving data),  qp = Q ^ sum(g^i * surviving data)
+// and the two missing members' coefficients g_a, g_b (g_a != g_b),
+// reconstructs
+//   da = (qp ^ g_b * pp) / (g_a ^ g_b),   db = pp ^ da.
+// All four spans must have the same length; da/db may alias nothing.
+void SolveTwo(std::span<std::uint8_t> da, std::span<std::uint8_t> db,
+              std::span<const std::uint8_t> pp,
+              std::span<const std::uint8_t> qp, std::uint8_t g_a,
+              std::uint8_t g_b);
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels (byte-at-a-time; differential testing + bench
+// baselines only).
+
+void XorAccScalar(std::span<std::uint8_t> out,
+                  std::span<const std::uint8_t> in);
+void MulAccScalar(std::span<std::uint8_t> out, std::uint8_t coeff,
+                  std::span<const std::uint8_t> in);
+void ScaleScalar(std::span<std::uint8_t> buf, std::uint8_t coeff);
+void PQAccScalar(std::span<std::uint8_t> p, std::span<std::uint8_t> q,
+                 std::span<const std::uint8_t> in);
+void SolveTwoScalar(std::span<std::uint8_t> da, std::span<std::uint8_t> db,
+                    std::span<const std::uint8_t> pp,
+                    std::span<const std::uint8_t> qp, std::uint8_t g_a,
+                    std::uint8_t g_b);
 
 }  // namespace ros::gf256
 

@@ -161,6 +161,23 @@ sim::Task<Status> RaidVolume::Write(std::uint64_t offset,
   co_return co_await WriteStripes(first, last, buffer);
 }
 
+void RaidVolume::ComputeStripeParity(const std::uint8_t* base,
+                                     std::span<std::uint8_t> p,
+                                     std::span<std::uint8_t> q) const {
+  if (parity_count() >= 2) {
+    // Fused single sweep: every data chunk feeds P and Q at once. The
+    // Horner recurrence (q = 2q ^ d) wants the highest-coefficient chunk
+    // first, so walk the stripe back-to-front.
+    for (int k = data_n_ - 1; k >= 0; --k) {
+      gf256::PQAcc(p, q, {base + k * stripe_unit_, stripe_unit_});
+    }
+  } else if (parity_count() == 1) {
+    for (int k = 0; k < data_n_; ++k) {
+      gf256::XorAcc(p, {base + k * stripe_unit_, stripe_unit_});
+    }
+  }
+}
+
 sim::Task<Status> RaidVolume::WriteStripes(
     std::uint64_t first, std::uint64_t last,
     const std::vector<std::uint8_t>& data) {
@@ -181,13 +198,8 @@ sim::Task<Status> RaidVolume::WriteStripes(
       segments[loc.device].push_back(
           {loc.dev_offset,
            std::vector<std::uint8_t>(chunk.begin(), chunk.end())});
-      if (parity_count() >= 1) {
-        gf256::XorAcc(p, chunk);
-      }
-      if (parity_count() >= 2) {
-        gf256::MulAcc(q, gf256::Pow2(static_cast<unsigned>(k)), chunk);
-      }
     }
+    ComputeStripeParity(base, p, q);
     if (parity_count() >= 1) {
       segments[PDevice(stripe)].push_back(
           {stripe * stripe_unit_, std::move(p)});
@@ -371,13 +383,8 @@ void RaidVolume::StoreStripesDirect(std::uint64_t first, std::uint64_t last,
                                           stripe_unit_};
       ChunkLoc loc = DataChunk(stripe, k);
       devices_[loc.device]->StoreDirect(loc.dev_offset, chunk);
-      if (parity_count() >= 1) {
-        gf256::XorAcc(p, chunk);
-      }
-      if (parity_count() >= 2) {
-        gf256::MulAcc(q, gf256::Pow2(static_cast<unsigned>(k)), chunk);
-      }
     }
+    ComputeStripeParity(base, p, q);
     if (parity_count() >= 1) {
       devices_[PDevice(stripe)]->StoreDirect(stripe * stripe_unit_, p);
     }
@@ -680,18 +687,10 @@ sim::Task<Status> RaidVolume::ReadStripeData(std::uint64_t stripe,
     }
   }
   // D_a = (Q' ^ g^b * P') / (g^a ^ g^b);  D_b = P' ^ D_a
-  const std::uint8_t ga = gf256::Pow2(static_cast<unsigned>(a));
-  const std::uint8_t gb = gf256::Pow2(static_cast<unsigned>(b));
-  const std::uint8_t inv = gf256::Inv(ga ^ gb);
   std::span<std::uint8_t> da{out->data() + a * stripe_unit_, stripe_unit_};
   std::span<std::uint8_t> db{out->data() + b * stripe_unit_, stripe_unit_};
-  for (std::uint64_t i = 0; i < stripe_unit_; ++i) {
-    const std::uint8_t v =
-        gf256::Mul(inv, static_cast<std::uint8_t>(
-                            qp[i] ^ gf256::Mul(gb, pp[i])));
-    da[i] = v;
-    db[i] = pp[i] ^ v;
-  }
+  gf256::SolveTwo(da, db, pp, qp, gf256::Pow2(static_cast<unsigned>(a)),
+                  gf256::Pow2(static_cast<unsigned>(b)));
   co_return OkStatus();
 }
 

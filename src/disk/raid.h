@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -114,6 +115,13 @@ class RaidVolume : public BlockDevice {
   // starts at stripe `first`. Computes and writes parity.
   sim::Task<Status> WriteStripes(std::uint64_t first, std::uint64_t last,
                                  const std::vector<std::uint8_t>& data);
+
+  // Fills p (and, for RAID-6, q) with the parity of one stripe's data
+  // chunks at `base` using the fused single-sweep P+Q kernel. Both spans
+  // must be stripe_unit_ bytes and zero-initialized.
+  void ComputeStripeParity(const std::uint8_t* base,
+                           std::span<std::uint8_t> p,
+                           std::span<std::uint8_t> q) const;
 
   // Fast path used when no device is failed.
   sim::Task<Status> ReadHealthy(std::uint64_t offset, std::uint64_t length,

@@ -39,25 +39,39 @@ sim::Task<StatusOr<std::vector<ParityImage>>> ParityBuilder::Build(
     max_stream = std::max(max_stream, streams.back().size());
   }
 
-  // Compute P (and Q) over the padded streams.
+  // Compute all parity images in ONE sweep over the member streams: the
+  // fused kernel feeds P and Q simultaneously, so each serialized stream is
+  // read exactly once regardless of params_.parity_images. Q uses the
+  // Horner recurrence q = 2q ^ d, so members are fed last-to-first to end
+  // up with Q = sum g^k d_k.
+  const int num_parities = params_.parity_images;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  payloads.emplace_back(max_stream, 0);  // P
+  if (num_parities >= 2) {
+    payloads.emplace_back(max_stream, 0);  // Q
+  }
+  last_build_stream_passes_ = 0;
+  if (num_parities >= 2) {
+    for (std::size_t k = streams.size(); k-- > 0;) {
+      gf256::PQAcc(payloads[0], payloads[1], streams[k]);
+      ++last_build_stream_passes_;
+    }
+  } else {
+    for (const std::vector<std::uint8_t>& stream : streams) {
+      gf256::XorAcc(payloads[0], stream);
+      ++last_build_stream_passes_;
+    }
+  }
+
   const int generation = generation_++;
   std::vector<ParityImage> parities;
-  for (int p = 0; p < params_.parity_images; ++p) {
+  for (int p = 0; p < num_parities; ++p) {
     ParityImage parity;
     parity.index = p;
     parity.id = "par-" + std::to_string(generation) + "-" +
                 data_ids.front() + (p == 0 ? "-P" : "-Q");
-    parity.bytes.assign(max_stream, 0);
     parity.logical_bytes = max_logical;
     parity.member_ids = data_ids;
-    for (std::size_t k = 0; k < streams.size(); ++k) {
-      if (p == 0) {
-        gf256::XorAcc(parity.bytes, streams[k]);
-      } else {
-        gf256::MulAcc(parity.bytes, gf256::Pow2(static_cast<unsigned>(k)),
-                      streams[k]);
-      }
-    }
 
     // Write the parity image to its (ideally independent) volume.
     disk::Volume* volume = data_volumes.at(
@@ -68,15 +82,25 @@ sim::Task<StatusOr<std::vector<ParityImage>>> ParityBuilder::Build(
       ROS_CO_RETURN_IF_ERROR(co_await volume->Create(file));
     }
     // Real parity bytes are the serialized-stream parity; the disc
-    // footprint matches the largest member image.
-    std::vector<std::uint8_t> stored = parity.bytes;
+    // footprint matches the largest member image. The builder keeps the
+    // one retained copy (served by Get()); the compute buffer itself is
+    // moved into the volume write.
+    parity.bytes = payloads[static_cast<std::size_t>(p)];
     ROS_CO_RETURN_IF_ERROR(co_await volume->AppendSparse(
-        file, std::move(stored), std::max<std::uint64_t>(max_logical,
-                                                         parity.bytes.size())));
+        file, std::move(payloads[static_cast<std::size_t>(p)]),
+        std::max<std::uint64_t>(max_logical, parity.bytes.size())));
     ROS_CO_RETURN_IF_ERROR(images_->RegisterParity(
         parity.id, parity_volume_index % static_cast<int>(data_volumes.size()),
         file, parity.logical_bytes));
-    parities.push_back(parity);
+
+    // Callers get metadata; the payload stays with the builder.
+    ParityImage summary;
+    summary.id = parity.id;
+    summary.index = parity.index;
+    summary.logical_bytes = parity.logical_bytes;
+    summary.member_ids = parity.member_ids;
+    parities.push_back(std::move(summary));
+    built_index_.emplace(parity.id, built_.size());
     built_.push_back(std::move(parity));
   }
   co_return parities;
@@ -106,6 +130,9 @@ StatusOr<std::vector<std::uint8_t>> ParityBuilder::Recover(
     if (member_streams[k].empty()) {
       return FailedPreconditionError(
           "two members missing; use Q-parity recovery per stream pair");
+    }
+    if (member_streams[k].size() > out.size()) {
+      return InvalidArgumentError("member stream longer than parity");
     }
     gf256::XorAcc(out, member_streams[k]);
   }
@@ -154,25 +181,18 @@ ParityBuilder::RecoverTwo(
   }
   const std::uint8_t ga = gf256::Pow2(static_cast<unsigned>(missing_a));
   const std::uint8_t gb = gf256::Pow2(static_cast<unsigned>(missing_b));
-  const std::uint8_t inv = gf256::Inv(static_cast<std::uint8_t>(ga ^ gb));
   std::vector<std::uint8_t> da(pp.size());
   std::vector<std::uint8_t> db(pp.size());
-  for (std::size_t i = 0; i < pp.size(); ++i) {
-    const std::uint8_t v = gf256::Mul(
-        inv, static_cast<std::uint8_t>(qp[i] ^ gf256::Mul(gb, pp[i])));
-    da[i] = v;
-    db[i] = pp[i] ^ v;
-  }
+  gf256::SolveTwo(da, db, pp, qp, ga, gb);
   return std::pair{std::move(da), std::move(db)};
 }
 
 StatusOr<const ParityImage*> ParityBuilder::Get(const std::string& id) const {
-  for (const ParityImage& parity : built_) {
-    if (parity.id == id) {
-      return &parity;
-    }
+  auto it = built_index_.find(id);
+  if (it == built_index_.end()) {
+    return NotFoundError("no parity image " + id);
   }
-  return NotFoundError("no parity image " + id);
+  return &built_[it->second];
 }
 
 }  // namespace ros::olfs

@@ -15,6 +15,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -46,6 +47,12 @@ class ParityBuilder {
   // Builds the parity images for `data_ids`. Charges the disk-buffer I/O:
   // reading every data image from its volume and writing the parity images
   // to `parity_volume`. Registers the results with DIM.
+  //
+  // Single-pass: each member stream is serialized once and swept exactly
+  // once by the fused P+Q kernel, no matter how many parity images the
+  // schema asks for. The returned ParityImages carry metadata only (empty
+  // `bytes`); the single retained payload copy lives in the builder and is
+  // served by Get() until the parity disc is burned.
   sim::Task<StatusOr<std::vector<ParityImage>>> Build(
       const std::vector<std::string>& data_ids,
       std::vector<disk::Volume*> data_volumes, int parity_volume_index);
@@ -72,15 +79,24 @@ class ParityBuilder {
              int missing_b);
 
   // Retrieves the cached parity bytes for an id (kept by the builder until
-  // burned; benches use this).
+  // burned; benches use this). O(1) via the id index.
   StatusOr<const ParityImage*> Get(const std::string& id) const;
+
+  // Test hook: number of member-stream kernel sweeps performed by the most
+  // recent Build(). Stays equal to the member count even when both P and Q
+  // are generated (the fused kernel feeds both in one pass).
+  int last_build_stream_passes() const { return last_build_stream_passes_; }
 
  private:
   sim::Simulator& sim_;
   OlfsParams params_;
   DiscImageStore* images_;
   int generation_ = 0;  // uniquifies parity ids across re-burns
+  int last_build_stream_passes_ = 0;
   std::vector<ParityImage> built_;
+  // id -> position in built_ (entries are never erased, so indices are
+  // stable even as the vector reallocates).
+  std::unordered_map<std::string, std::size_t> built_index_;
 };
 
 }  // namespace ros::olfs

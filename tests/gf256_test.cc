@@ -2,10 +2,28 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <vector>
+
+#include "src/common/rng.h"
 
 namespace ros::gf256 {
 namespace {
+
+std::vector<std::uint8_t> RandomBuffer(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng.Next());
+  }
+  return out;
+}
+
+// Sizes that exercise every head/word/tail combination of the word-sliced
+// kernels: empty, sub-word, word-multiple, and odd lengths around the 8- and
+// 32-byte unroll boundaries.
+const std::size_t kOddSizes[] = {0,  1,  7,  8,  9,  15, 16, 17,  31,
+                                 32, 33, 63, 64, 65, 255, 257, 4096, 4097};
 
 TEST(Gf256, MulIdentityAndZero) {
   for (int a = 0; a < 256; ++a) {
@@ -83,6 +101,168 @@ TEST(Gf256, BufferOps) {
   }
   Scale(acc, Inv(3));
   EXPECT_EQ(acc, in);
+}
+
+TEST(Gf256, Mul2MatchesMulByTwo) {
+  for (int x = 0; x < 256; ++x) {
+    EXPECT_EQ(Mul2(static_cast<std::uint8_t>(x)),
+              Mul(2, static_cast<std::uint8_t>(x)))
+        << x;
+  }
+}
+
+// Differential: the word-sliced kernels must be byte-identical to the scalar
+// reference for every size and (for MulAcc/Scale) every coefficient class,
+// including unaligned spans.
+TEST(Gf256Differential, XorAccAllSizes) {
+  for (std::size_t n : kOddSizes) {
+    auto in = RandomBuffer(n, n * 3 + 1);
+    auto fast = RandomBuffer(n, n * 3 + 2);
+    auto ref = fast;
+    XorAcc(fast, in);
+    XorAccScalar(ref, in);
+    EXPECT_EQ(fast, ref) << "size " << n;
+  }
+}
+
+TEST(Gf256Differential, MulAccAllSizesAndCoefficients) {
+  for (std::size_t n : kOddSizes) {
+    for (int c : {0, 1, 2, 3, 0x1D, 0x80, 0xFF}) {
+      auto in = RandomBuffer(n, n * 7 + static_cast<std::uint64_t>(c));
+      auto fast = RandomBuffer(n, n * 7 + static_cast<std::uint64_t>(c) + 1);
+      auto ref = fast;
+      MulAcc(fast, static_cast<std::uint8_t>(c), in);
+      MulAccScalar(ref, static_cast<std::uint8_t>(c), in);
+      EXPECT_EQ(fast, ref) << "size " << n << " coeff " << c;
+    }
+  }
+}
+
+TEST(Gf256Differential, ScaleAllCoefficients) {
+  for (int c = 0; c < 256; ++c) {
+    auto fast = RandomBuffer(513, static_cast<std::uint64_t>(c) + 11);
+    auto ref = fast;
+    Scale(fast, static_cast<std::uint8_t>(c));
+    ScaleScalar(ref, static_cast<std::uint8_t>(c));
+    EXPECT_EQ(fast, ref) << "coeff " << c;
+  }
+}
+
+TEST(Gf256Differential, UnalignedSpans) {
+  // Start the spans at every offset 0..7 inside the allocation so the word
+  // loop runs over genuinely misaligned addresses.
+  auto in = RandomBuffer(4096 + 8, 21);
+  auto out = RandomBuffer(4096 + 8, 22);
+  for (std::size_t off = 0; off < 8; ++off) {
+    std::span<const std::uint8_t> in_s{in.data() + off, 4093};
+    auto fast = out;
+    auto ref = out;
+    XorAcc(std::span{fast.data() + off, 4093}, in_s);
+    XorAccScalar(std::span{ref.data() + off, 4093}, in_s);
+    EXPECT_EQ(fast, ref) << "xor offset " << off;
+    fast = out;
+    ref = out;
+    MulAcc(std::span{fast.data() + off, 4093}, 0xC3, in_s);
+    MulAccScalar(std::span{ref.data() + off, 4093}, 0xC3, in_s);
+    EXPECT_EQ(fast, ref) << "mulacc offset " << off;
+  }
+}
+
+TEST(Gf256Differential, PQAccAllSizesWithShorterMember) {
+  // q longer than the member stream: the tail must keep doubling.
+  for (std::size_t n : kOddSizes) {
+    for (std::size_t pad : {std::size_t{0}, std::size_t{5}, std::size_t{64}}) {
+      auto in = RandomBuffer(n, n + pad + 31);
+      auto p_fast = RandomBuffer(n + pad, n + pad + 32);
+      auto q_fast = RandomBuffer(n + pad, n + pad + 33);
+      auto p_ref = p_fast;
+      auto q_ref = q_fast;
+      PQAcc(p_fast, q_fast, in);
+      PQAccScalar(p_ref, q_ref, in);
+      EXPECT_EQ(p_fast, p_ref) << "size " << n << " pad " << pad;
+      EXPECT_EQ(q_fast, q_ref) << "size " << n << " pad " << pad;
+    }
+  }
+}
+
+// Feeding member streams last-to-first through the fused Horner kernel must
+// produce exactly P = xor(d_k) and Q = sum g^k d_k — the classic two-pass
+// construction.
+TEST(Gf256Property, PQAccHornerMatchesTwoPass) {
+  constexpr int kMembers = 11;
+  std::vector<std::vector<std::uint8_t>> streams;
+  std::size_t max_len = 0;
+  for (int k = 0; k < kMembers; ++k) {
+    // Mixed lengths, several odd.
+    streams.push_back(RandomBuffer(100 + 37 * static_cast<std::size_t>(k) +
+                                       static_cast<std::size_t>(k % 3),
+                                   static_cast<std::uint64_t>(k) + 70));
+    max_len = std::max(max_len, streams.back().size());
+  }
+  std::vector<std::uint8_t> p(max_len, 0), q(max_len, 0);
+  for (int k = kMembers - 1; k >= 0; --k) {
+    PQAcc(p, q, streams[static_cast<std::size_t>(k)]);
+  }
+  std::vector<std::uint8_t> p2(max_len, 0), q2(max_len, 0);
+  for (int k = 0; k < kMembers; ++k) {
+    XorAccScalar(p2, streams[static_cast<std::size_t>(k)]);
+    MulAccScalar(q2, Pow2(static_cast<unsigned>(k)),
+                 streams[static_cast<std::size_t>(k)]);
+  }
+  EXPECT_EQ(p, p2);
+  EXPECT_EQ(q, q2);
+}
+
+TEST(Gf256Property, SolveTwoRecoversRandomPairs) {
+  Rng rng(123);
+  for (int iter = 0; iter < 20; ++iter) {
+    const std::size_t n = 1 + rng.Below(700);
+    const unsigned a = static_cast<unsigned>(rng.Below(20));
+    unsigned b = static_cast<unsigned>(rng.Below(20));
+    if (b == a) {
+      b = a + 1;
+    }
+    auto da = RandomBuffer(n, iter * 2 + 500);
+    auto db = RandomBuffer(n, iter * 2 + 501);
+    // pp = da ^ db; qp = g^a da ^ g^b db.
+    std::vector<std::uint8_t> pp(n, 0), qp(n, 0);
+    XorAccScalar(pp, da);
+    XorAccScalar(pp, db);
+    MulAccScalar(qp, Pow2(a), da);
+    MulAccScalar(qp, Pow2(b), db);
+    std::vector<std::uint8_t> ra(n), rb(n), ra_ref(n), rb_ref(n);
+    SolveTwo(ra, rb, pp, qp, Pow2(a), Pow2(b));
+    SolveTwoScalar(ra_ref, rb_ref, pp, qp, Pow2(a), Pow2(b));
+    EXPECT_EQ(ra, da) << "iter " << iter;
+    EXPECT_EQ(rb, db) << "iter " << iter;
+    EXPECT_EQ(ra, ra_ref) << "iter " << iter;
+    EXPECT_EQ(rb, rb_ref) << "iter " << iter;
+  }
+}
+
+TEST(Gf256Property, RandomizedDifferentialSweep) {
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = rng.Below(1025);
+    const auto coeff = static_cast<std::uint8_t>(rng.Next());
+    auto in = RandomBuffer(n, iter * 3 + 1000);
+    auto acc = RandomBuffer(n, iter * 3 + 1001);
+    auto q = RandomBuffer(n, iter * 3 + 1002);
+
+    auto acc_ref = acc;
+    MulAcc(acc, coeff, in);
+    MulAccScalar(acc_ref, coeff, in);
+    ASSERT_EQ(acc, acc_ref) << "iter " << iter;
+
+    auto p_ref = acc;
+    auto q_ref = q;
+    auto p_fast = acc;
+    auto q_fast = q;
+    PQAcc(p_fast, q_fast, in);
+    PQAccScalar(p_ref, q_ref, in);
+    ASSERT_EQ(p_fast, p_ref) << "iter " << iter;
+    ASSERT_EQ(q_fast, q_ref) << "iter " << iter;
+  }
 }
 
 }  // namespace

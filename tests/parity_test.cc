@@ -67,6 +67,11 @@ TEST_F(ParityTest, BuildProducesXorOfSerializedStreams) {
   ASSERT_EQ(parities->size(), 1u);
   const ParityImage& p = (*parities)[0];
   EXPECT_EQ(p.member_ids, ids);
+  // Build returns metadata; the single retained payload lives in the
+  // builder and is served by Get().
+  EXPECT_TRUE(p.bytes.empty());
+  auto retained = builder_->Get(p.id);
+  ASSERT_TRUE(retained.ok());
 
   // Independently recompute the XOR.
   std::size_t max_len = 0;
@@ -80,7 +85,7 @@ TEST_F(ParityTest, BuildProducesXorOfSerializedStreams) {
   for (const auto& stream : streams) {
     gf256::XorAcc(expected, stream);
   }
-  EXPECT_EQ(p.bytes, expected);
+  EXPECT_EQ((*retained)->bytes, expected);
 
   // The parity image is registered with DIM on the requested volume.
   auto record = images_.Lookup(p.id);
@@ -102,7 +107,90 @@ TEST_F(ParityTest, Raid6BuildsPAndQ) {
   ASSERT_EQ(parities->size(), 2u);
   EXPECT_TRUE((*parities)[0].id.ends_with("-P"));
   EXPECT_TRUE((*parities)[1].id.ends_with("-Q"));
-  EXPECT_NE((*parities)[0].bytes, (*parities)[1].bytes);
+  auto p = builder_->Get((*parities)[0].id);
+  auto q = builder_->Get((*parities)[1].id);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE((*p)->bytes, (*q)->bytes);
+
+  // Q must be the classic sum of g^k * d_k even though it was produced by
+  // the fused Horner sweep.
+  std::size_t max_len = 0;
+  std::vector<std::vector<std::uint8_t>> streams;
+  for (const auto& id : ids) {
+    auto record = images_.Lookup(id);
+    streams.push_back(udf::Serializer::Serialize(*(*record)->image));
+    max_len = std::max(max_len, streams.back().size());
+  }
+  std::vector<std::uint8_t> expected_p(max_len, 0);
+  std::vector<std::uint8_t> expected_q(max_len, 0);
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    gf256::XorAccScalar(expected_p, streams[k]);
+    gf256::MulAccScalar(expected_q, gf256::Pow2(static_cast<unsigned>(k)),
+                        streams[k]);
+  }
+  EXPECT_EQ((*p)->bytes, expected_p);
+  EXPECT_EQ((*q)->bytes, expected_q);
+}
+
+TEST_F(ParityTest, BuildSweepsEachMemberOnceEvenForPQ) {
+  params_.parity_images = 2;
+  builder_ = std::make_unique<ParityBuilder>(sim_, params_, &images_);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(MakeImage(60 + i));
+  }
+  auto parities = sim_.RunUntilComplete(
+      builder_->Build(ids, volume_ptrs_, 0));
+  ASSERT_TRUE(parities.ok());
+  // Single-pass pipeline: one fused kernel sweep per member stream, not one
+  // per member per parity image.
+  EXPECT_EQ(builder_->last_build_stream_passes(), 6);
+}
+
+TEST_F(ParityTest, Raid6DoubleLossRoundTripThroughFusedPath) {
+  params_.parity_images = 2;
+  builder_ = std::make_unique<ParityBuilder>(sim_, params_, &images_);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(MakeImage(70 + i));
+  }
+  auto parities = sim_.RunUntilComplete(
+      builder_->Build(ids, volume_ptrs_, 0));
+  ASSERT_TRUE(parities.ok());
+  auto p = builder_->Get((*parities)[0].id);
+  auto q = builder_->Get((*parities)[1].id);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(q.ok());
+
+  std::vector<std::vector<std::uint8_t>> streams;
+  for (const auto& id : ids) {
+    auto record = images_.Lookup(id);
+    streams.push_back(udf::Serializer::Serialize(*(*record)->image));
+  }
+  for (int a = 0; a < 5; ++a) {
+    for (int b = a + 1; b < 5; ++b) {
+      auto survivors = streams;
+      std::vector<std::uint8_t> orig_a = survivors[a];
+      std::vector<std::uint8_t> orig_b = survivors[b];
+      survivors[a].clear();
+      survivors[b].clear();
+      auto recovered = ParityBuilder::RecoverTwo(survivors, (*p)->bytes,
+                                                 (*q)->bytes, a, b);
+      ASSERT_TRUE(recovered.ok()) << a << "," << b;
+      EXPECT_TRUE(std::equal(orig_a.begin(), orig_a.end(),
+                             recovered->first.begin()));
+      EXPECT_TRUE(std::equal(orig_b.begin(), orig_b.end(),
+                             recovered->second.begin()));
+      // Both recovered streams must parse back to the lost images.
+      auto parsed_a = udf::Serializer::Parse(recovered->first);
+      auto parsed_b = udf::Serializer::Parse(recovered->second);
+      ASSERT_TRUE(parsed_a.ok());
+      ASSERT_TRUE(parsed_b.ok());
+      EXPECT_EQ(parsed_a->id(), ids[a]);
+      EXPECT_EQ(parsed_b->id(), ids[b]);
+    }
+  }
 }
 
 TEST_F(ParityTest, RecoverReconstructsAnyMissingMember) {
@@ -113,6 +201,8 @@ TEST_F(ParityTest, RecoverReconstructsAnyMissingMember) {
   auto parities = sim_.RunUntilComplete(
       builder_->Build(ids, volume_ptrs_, 0));
   ASSERT_TRUE(parities.ok());
+  auto p_image = builder_->Get((*parities)[0].id);
+  ASSERT_TRUE(p_image.ok());
 
   std::vector<std::vector<std::uint8_t>> streams;
   for (const auto& id : ids) {
@@ -125,7 +215,7 @@ TEST_F(ParityTest, RecoverReconstructsAnyMissingMember) {
     auto original = std::move(survivors[missing]);
     survivors[missing].clear();
     auto recovered = ParityBuilder::Recover(
-        survivors, {(*parities)[0].bytes}, missing);
+        survivors, {(*p_image)->bytes}, missing);
     ASSERT_TRUE(recovered.ok()) << "missing " << missing;
     // Zero-padded to the parity length; the prefix is the original.
     ASSERT_GE(recovered->size(), original.size());
@@ -145,6 +235,12 @@ TEST_F(ParityTest, RecoverRejectsBadInputs) {
   EXPECT_FALSE(ParityBuilder::Recover(streams, {{1}}, 7).ok());
   // Missing slot must be empty.
   EXPECT_FALSE(ParityBuilder::Recover(streams, {{1}}, 1).ok());
+  // A member stream longer than the P stream is a graceful error, not a
+  // ROS_CHECK abort inside the XOR kernel.
+  std::vector<std::vector<std::uint8_t>> long_member{{}, {1, 2, 3}, {1}};
+  auto overlong = ParityBuilder::Recover(long_member, {{9}}, 0);
+  ASSERT_FALSE(overlong.ok());
+  EXPECT_EQ(overlong.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(ParityTest, BuildRequiresBufferedImages) {

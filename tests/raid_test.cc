@@ -17,7 +17,8 @@ using sim::ToSeconds;
 
 struct Rig {
   explicit Rig(RaidLevel level, int n, std::uint64_t dev_cap = 64 * kMiB,
-               DevicePerf perf = HddPerf()) {
+               DevicePerf perf = HddPerf(),
+               std::uint64_t stripe_unit = 64 * kKiB) {
     for (int i = 0; i < n; ++i) {
       devices.push_back(std::make_unique<StorageDevice>(
           sim, "dev" + std::to_string(i), dev_cap, perf));
@@ -26,7 +27,7 @@ struct Rig {
     for (auto& d : devices) {
       ptrs.push_back(d.get());
     }
-    volume = std::make_unique<RaidVolume>(sim, level, ptrs);
+    volume = std::make_unique<RaidVolume>(sim, level, ptrs, stripe_unit);
   }
 
   std::vector<std::uint8_t> MakeData(std::size_t n, std::uint64_t seed) {
@@ -127,6 +128,29 @@ TEST_P(Raid6DoubleFailure, ReconstructsAnyTwoDevices) {
 INSTANTIATE_TEST_SUITE_P(
     AllPairs, Raid6DoubleFailure,
     ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 6)));
+
+// An odd, non-multiple-of-8 stripe unit drives the word-sliced kernels'
+// head/tail paths through the full RAID-6 write → double-degraded read →
+// rebuild cycle, not just through unit-level differential tests.
+TEST(Raid6, OddStripeUnitSurvivesDoubleFailureAndRebuild) {
+  Rig rig(RaidLevel::kRaid6, 5, 4 * kMiB, HddPerf(), /*stripe_unit=*/1031);
+  rig.volume->set_write_cache(false);
+  auto data = rig.MakeData(300 * 1031 + 17, 42);
+  ASSERT_TRUE(rig.sim.RunUntilComplete(rig.volume->Write(513, data)).ok());
+  rig.devices[0]->Fail();
+  rig.devices[2]->Fail();
+  ASSERT_TRUE(rig.volume->operational());
+  auto read = rig.sim.RunUntilComplete(rig.volume->Read(513, data.size()));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+  rig.devices[0]->Replace();
+  ASSERT_TRUE(rig.sim.RunUntilComplete(rig.volume->Rebuild(0)).ok());
+  rig.devices[2]->Replace();
+  ASSERT_TRUE(rig.sim.RunUntilComplete(rig.volume->Rebuild(2)).ok());
+  read = rig.sim.RunUntilComplete(rig.volume->Read(513, data.size()));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, data);
+}
 
 TEST(Raid6, WritesWhileDoubleDegradedThenRebuild) {
   Rig rig(RaidLevel::kRaid6, 5);
