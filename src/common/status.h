@@ -70,8 +70,14 @@ class [[nodiscard]] Status {
     return out;
   }
 
+  // Full equality: two statuses are equal when both the code and the
+  // message match. Callers that only care about the error class should
+  // compare `code()` directly.
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_;
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
   }
 
  private:
@@ -139,6 +145,14 @@ class [[nodiscard]] StatusOr {
   T&& value() && {
     CheckOk();
     return std::get<T>(std::move(rep_));
+  }
+
+  // Returns the contained value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<T>(rep_) : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::get<T>(std::move(rep_)) : std::move(fallback);
   }
 
   const T& operator*() const& { return value(); }

@@ -21,9 +21,27 @@ TEST(Status, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.ToString(), "NOT_FOUND: no such disc");
 }
 
-TEST(Status, EqualityComparesCodeOnly) {
-  EXPECT_EQ(NotFoundError("a"), NotFoundError("b"));
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_NE(NotFoundError("a"), NotFoundError("b"));
   EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+  EXPECT_TRUE(NotFoundError("a") != InternalError("a"));
+  EXPECT_EQ(OkStatus(), Status());
+  EXPECT_FALSE(OkStatus() != Status());
+}
+
+TEST(StatusOr, ValueOr) {
+  StatusOr<int> good = 42;
+  StatusOr<int> bad = UnavailableError("drive busy");
+  EXPECT_EQ(good.value_or(7), 42);
+  EXPECT_EQ(bad.value_or(7), 7);
+
+  StatusOr<std::string> s = NotFoundError("gone");
+  EXPECT_EQ(s.value_or("fallback"), "fallback");
+  StatusOr<std::unique_ptr<int>> moved = std::make_unique<int>(3);
+  std::unique_ptr<int> p = std::move(moved).value_or(nullptr);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 3);
 }
 
 TEST(StatusOr, HoldsValue) {
