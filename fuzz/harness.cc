@@ -1,0 +1,101 @@
+#include "fuzz/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/olfs/index_file.h"
+#include "src/udf/serializer.h"
+
+namespace ros::fuzz {
+
+namespace {
+
+[[noreturn]] void Die(const char* what) {
+  std::fprintf(stderr, "fuzz harness invariant failed: %s\n", what);
+  std::abort();
+}
+
+void Require(bool cond, const char* what) {
+  if (!cond) {
+    Die(what);
+  }
+}
+
+// Parsers must fail with a *parse-shaped* status. Anything else (say,
+// kInternal) means an invariant broke while digesting corrupt input.
+bool IsCleanParseFailure(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+}  // namespace
+
+void FuzzJson(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  StatusOr<json::Value> parsed = json::Parse(text);
+  if (!parsed.ok()) {
+    Require(IsCleanParseFailure(parsed.status()),
+            "json::Parse failed with a non-parse status");
+    return;
+  }
+  // Serialization idempotence: Dump -> Parse -> Dump is a fixed point.
+  // (Dump itself is not inverse to Parse: "1.0" re-parses as the integer 1.)
+  const std::string dump1 = parsed->Dump();
+  StatusOr<json::Value> reparsed = json::Parse(dump1);
+  Require(reparsed.ok(), "Dump() of a parsed value does not re-parse");
+  Require(reparsed->Dump() == dump1, "json Dump/Parse is not idempotent");
+}
+
+void FuzzIndexFile(const std::uint8_t* data, std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  StatusOr<olfs::IndexFile> parsed = olfs::IndexFile::FromJson(text);
+  if (!parsed.ok()) {
+    Require(IsCleanParseFailure(parsed.status()),
+            "IndexFile::FromJson failed with a non-parse status");
+    return;
+  }
+  // Probe the accessors a namespace rebuild would hit.
+  (void)parsed->Latest();
+  (void)parsed->Version(parsed->latest_version());
+  (void)parsed->has_versions();
+  (void)parsed->ApproximateSize();
+
+  // Round trip: an accepted index file re-encodes to a stable fixed point.
+  const std::string json1 = parsed->ToJson();
+  StatusOr<olfs::IndexFile> reparsed = olfs::IndexFile::FromJson(json1);
+  Require(reparsed.ok(), "ToJson() of an accepted index does not re-parse");
+  Require(reparsed->ToJson() == json1,
+          "IndexFile ToJson/FromJson is not idempotent");
+}
+
+void FuzzUdfImage(const std::uint8_t* data, std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  StatusOr<udf::Image> parsed = udf::Serializer::Parse(bytes);
+  if (!parsed.ok()) {
+    Require(IsCleanParseFailure(parsed.status()),
+            "Serializer::Parse failed with a non-parse status");
+    return;
+  }
+  // Probe the read paths a disc scan uses.
+  std::uint64_t walked = 0;
+  parsed->Walk([&](const std::string& path, const udf::Node& node) {
+    ++walked;
+    if (node.type == udf::NodeType::kFile) {
+      (void)parsed->ReadFile(path, 0, node.data.size());
+    }
+  });
+  Require(walked >= parsed->file_count(), "Walk lost file nodes");
+
+  // Round trip: Serialize(Parse(x)) is a fixed point of Parse∘Serialize.
+  const std::vector<std::uint8_t> ser1 = udf::Serializer::Serialize(*parsed);
+  StatusOr<udf::Image> reparsed = udf::Serializer::Parse(ser1);
+  Require(reparsed.ok(), "re-serialized image does not parse");
+  Require(udf::Serializer::Serialize(*reparsed) == ser1,
+          "UDF Serialize/Parse is not idempotent");
+}
+
+}  // namespace ros::fuzz

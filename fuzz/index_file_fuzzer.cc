@@ -1,0 +1,14 @@
+// Fuzz target: olfs::IndexFile::FromJson (namespace entries in the MV,
+// §4.2/§4.6 — including the 15-entry version-history ring).
+//
+// Build with -DROS_FUZZ=ON. Seed corpus: fuzz/corpus/index/.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ros::fuzz::FuzzIndexFile(data, size);
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Fuzz target: ros::json::Parse (the MV's on-disk metadata format, §4.2).
+//
+// Build with -DROS_FUZZ=ON. Links against libFuzzer when the compiler
+// provides -fsanitize=fuzzer, otherwise against the standalone mutational
+// driver (fuzz/standalone_driver.cc). Seed corpus: fuzz/corpus/json/.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ros::fuzz::FuzzJson(data, size);
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Regenerates the checked-in seed corpus under fuzz/corpus/.
+//
+// Usage: ros_make_seed_corpus <corpus-dir>
+//
+// The seeds are *valid* artifacts produced by the real encoders (plus a few
+// hand-written edge cases), so mutation starts from deep inside the accept
+// language of each parser. Regression inputs for specific fixed bugs are
+// crafted by tests / past fuzz runs and live next to these seeds; this tool
+// never deletes files, it only (re)writes the generated ones.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/olfs/index_file.h"
+#include "src/udf/serializer.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void WriteBytes(const fs::path& path, const std::vector<std::uint8_t>& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+}
+
+void WriteText(const fs::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argv[1];
+  fs::create_directories(root / "json");
+  fs::create_directories(root / "index");
+  fs::create_directories(root / "udf");
+
+  // --- json seeds ---
+  WriteText(root / "json" / "seed_scalars.json",
+            R"({"i":42,"neg":-7,"d":3.25,"b":true,"n":null,"s":"hi"})");
+  WriteText(root / "json" / "seed_nested.json",
+            R"({"a":[1,[2,[3,[4]]]],"o":{"k":{"k":{"k":[]}}}})");
+  WriteText(root / "json" / "seed_escapes.json",
+            "{\"e\":\"line\\nquote\\\"u\\u0041tab\\t\",\"u\":\"\\u00e9\\u4e2d\"}");
+  WriteText(root / "json" / "seed_numbers.json",
+            R"([0,-1,9223372036854775807,-9223372036854775808,1e10,1.5e-3,0.0])");
+
+  // --- index-file seeds (emitted by the real encoder) ---
+  {
+    ros::olfs::IndexFile simple("/docs/report.pdf",
+                                ros::olfs::EntryType::kFile);
+    ros::olfs::VersionEntry v;
+    v.location = ros::olfs::LocationKind::kBucket;
+    v.total_size = 1234;
+    v.parts.push_back({"img-0001", 1234});
+    simple.AddVersion(v, /*max_entries=*/15);
+    WriteText(root / "index" / "seed_simple.json", simple.ToJson());
+  }
+  {
+    // Wrapped 15-entry ring with tier promotions, split parts, a tombstone
+    // and a forepart — every field the decoder knows about.
+    ros::olfs::IndexFile rich("/photos/2016/trip.raw",
+                              ros::olfs::EntryType::kFile);
+    for (int i = 0; i < 18; ++i) {
+      ros::olfs::VersionEntry v;
+      v.location = i % 3 == 0 ? ros::olfs::LocationKind::kDisc
+                  : i % 3 == 1 ? ros::olfs::LocationKind::kImage
+                               : ros::olfs::LocationKind::kBucket;
+      v.total_size = 1000 + static_cast<std::uint64_t>(i) * 77;
+      v.parts.push_back({"img-" + std::to_string(i), 500});
+      v.parts.push_back({"img-" + std::to_string(i) + "b",
+                         500 + static_cast<std::uint64_t>(i) * 77});
+      v.tombstone = i == 16;
+      rich.AddVersion(v, /*max_entries=*/15);
+    }
+    rich.set_forepart({0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01});
+    WriteText(root / "index" / "seed_ring_wrapped.json", rich.ToJson());
+  }
+  {
+    ros::olfs::IndexFile dir("/docs", ros::olfs::EntryType::kDirectory);
+    WriteText(root / "index" / "seed_directory.json", dir.ToJson());
+  }
+
+  // --- udf image seeds (emitted by the real serializer) ---
+  {
+    ros::udf::Image img("img-seed-small", 1 << 20);
+    (void)img.AddFile("/a.txt", {'h', 'i'});
+    (void)img.MakeDirs("/docs/sub");
+    img.Close();
+    WriteBytes(root / "udf" / "seed_small.bin",
+               ros::udf::Serializer::Serialize(img));
+  }
+  {
+    ros::udf::Image img("img-seed-tree", 8 << 20);
+    (void)img.MakeDirs("/photos/2016");
+    (void)img.AddFile("/photos/2016/a.jpg",
+                      std::vector<std::uint8_t>(300, 0xAB));
+    // Sparse payload: logical size beyond the stored bytes.
+    (void)img.AddFile("/photos/2016/b.jpg",
+                      std::vector<std::uint8_t>(10, 0xCD), 5000);
+    (void)img.AddLink("/photos/2016/c.jpg#link", "img-elsewhere");
+    (void)img.AddFile("/readme", {});
+    img.Close();
+    WriteBytes(root / "udf" / "seed_tree.bin",
+               ros::udf::Serializer::Serialize(img));
+  }
+  {
+    // MV snapshot-shaped image (§4.2): index files burned under /.mv.
+    ros::udf::Image img("img-seed-mv", 4 << 20);
+    ros::olfs::IndexFile idx("/docs/x", ros::olfs::EntryType::kFile);
+    ros::olfs::VersionEntry v;
+    v.total_size = 9;
+    v.parts.push_back({"img-seed-mv", 9});
+    idx.AddVersion(v, 15);
+    const std::string idx_json = idx.ToJson();
+    (void)img.AddFile("/.mv/docs/x#idx",
+                      std::vector<std::uint8_t>(idx_json.begin(),
+                                                idx_json.end()));
+    img.Close();
+    WriteBytes(root / "udf" / "seed_mv_snapshot.bin",
+               ros::udf::Serializer::Serialize(img));
+  }
+
+  std::printf("seed corpus written under %s\n", root.string().c_str());
+  return 0;
+}

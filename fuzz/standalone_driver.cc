@@ -1,0 +1,274 @@
+// Standalone driver for fuzz targets on toolchains without libFuzzer.
+//
+// libFuzzer ships with clang only; this container builds with GCC. The
+// driver gives every fuzz target a `main` that speaks a subset of the
+// libFuzzer CLI so the same binaries work in both worlds:
+//
+//   json_fuzzer CORPUS_DIR [FILE...]          replay-only (like libFuzzer
+//                                             with -runs=0)
+//   json_fuzzer -runs=100000 CORPUS_DIR       replay seeds, then run a
+//                                             built-in mutational loop
+//   json_fuzzer -seed=42 -max_len=65536 ...   deterministic RNG seed and
+//                                             mutant size cap
+//
+// The mutation engine is a deliberately small flipping/splicing mutator
+// (xorshift RNG; bit flips, byte stores, chunk erase/dup/insert, truncation,
+// interesting integers). It is no match for coverage-guided libFuzzer,
+// but paired with ASan/UBSan it reliably reaches the length-field and
+// type-confusion bugs a parser of burned media has to survive.
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using Input = std::vector<std::uint8_t>;
+
+// The input currently inside LLVMFuzzerTestOneInput; dumped to disk when
+// the harness (or a sanitizer) aborts, so every failure is reproducible:
+//   json_fuzzer crash-standalone.bin
+const Input* g_current_input = nullptr;
+
+void DumpCurrentInput() {
+  if (g_current_input == nullptr) {
+    return;
+  }
+  // Async-signal-safe: open/write/close only.
+  const int fd = ::open("crash-standalone.bin", O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd >= 0) {
+    ssize_t ignored = ::write(fd, g_current_input->data(),
+                              g_current_input->size());
+    (void)ignored;
+    ::close(fd);
+    constexpr char kMsg[] =
+        "standalone: failing input written to crash-standalone.bin\n";
+    ignored = ::write(2, kMsg, sizeof(kMsg) - 1);
+    (void)ignored;
+  }
+}
+
+void AbortHandler(int sig) {
+  DumpCurrentInput();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void RunOne(const Input& input) {
+  g_current_input = &input;
+  LLVMFuzzerTestOneInput(input.data(), input.size());
+  g_current_input = nullptr;
+}
+
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed) : state_(seed ? seed : 0x5eed5eed) {}
+  std::uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  // Uniform-ish in [0, n); n must be > 0.
+  std::size_t Below(std::size_t n) { return Next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+Input ReadFileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return Input(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+}
+
+void CollectInputs(const std::string& arg, std::vector<Input>* corpus,
+                   std::size_t* files) {
+  std::error_code ec;
+  if (fs::is_directory(arg, ec)) {
+    for (const auto& entry : fs::recursive_directory_iterator(arg, ec)) {
+      if (entry.is_regular_file()) {
+        corpus->push_back(ReadFileBytes(entry.path()));
+        ++*files;
+      }
+    }
+  } else if (fs::is_regular_file(arg, ec)) {
+    corpus->push_back(ReadFileBytes(arg));
+    ++*files;
+  } else {
+    std::fprintf(stderr, "warning: ignoring missing input %s\n", arg.c_str());
+  }
+}
+
+constexpr std::uint64_t kInteresting[] = {
+    0,    1,          0x7F,       0x80,               0xFF,
+    0x100, 0x7FFF,    0xFFFF,     0x7FFFFFFFull,      0xFFFFFFFFull,
+    0x100000000ull,   0x7FFFFFFFFFFFFFFFull,          0xFFFFFFFFFFFFFFFFull};
+
+void Mutate(Input& data, XorShift& rng, std::size_t max_len) {
+  const int kind = static_cast<int>(rng.Below(8));
+  switch (kind) {
+    case 0:  // bit flip
+      if (!data.empty()) {
+        data[rng.Below(data.size())] ^=
+            static_cast<std::uint8_t>(1u << rng.Below(8));
+      }
+      break;
+    case 1:  // random byte store
+      if (!data.empty()) {
+        data[rng.Below(data.size())] = static_cast<std::uint8_t>(rng.Next());
+      }
+      break;
+    case 2: {  // erase a chunk
+      if (!data.empty()) {
+        const std::size_t at = rng.Below(data.size());
+        const std::size_t n = 1 + rng.Below(data.size() - at);
+        data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                   data.begin() + static_cast<std::ptrdiff_t>(at + n));
+      }
+      break;
+    }
+    case 3: {  // truncate (the canonical torn-burn failure)
+      if (!data.empty()) {
+        data.resize(rng.Below(data.size()));
+      }
+      break;
+    }
+    case 4: {  // insert random bytes
+      const std::size_t n = 1 + rng.Below(8);
+      if (data.size() + n <= max_len) {
+        const std::size_t at = data.empty() ? 0 : rng.Below(data.size() + 1);
+        Input chunk(n);
+        for (auto& b : chunk) {
+          b = static_cast<std::uint8_t>(rng.Next());
+        }
+        data.insert(data.begin() + static_cast<std::ptrdiff_t>(at),
+                    chunk.begin(), chunk.end());
+      }
+      break;
+    }
+    case 5: {  // duplicate a chunk (duplicate keys / duplicate nodes)
+      if (!data.empty()) {
+        const std::size_t at = rng.Below(data.size());
+        const std::size_t n = 1 + rng.Below(data.size() - at);
+        if (data.size() + n <= max_len) {
+          Input chunk(data.begin() + static_cast<std::ptrdiff_t>(at),
+                      data.begin() + static_cast<std::ptrdiff_t>(at + n));
+          const std::size_t dst = rng.Below(data.size() + 1);
+          data.insert(data.begin() + static_cast<std::ptrdiff_t>(dst),
+                      chunk.begin(), chunk.end());
+        }
+      }
+      break;
+    }
+    case 6: {  // overwrite with an interesting little-endian integer
+      const std::uint64_t v =
+          kInteresting[rng.Below(sizeof(kInteresting) / sizeof(std::uint64_t))];
+      const std::size_t width = std::size_t{1} << rng.Below(4);  // 1/2/4/8
+      if (data.size() >= width) {
+        const std::size_t at = rng.Below(data.size() - width + 1);
+        for (std::size_t i = 0; i < width; ++i) {
+          data[at + i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+      }
+      break;
+    }
+    default:  // byte swap two positions
+      if (data.size() >= 2) {
+        std::swap(data[rng.Below(data.size())], data[rng.Below(data.size())]);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long long runs = 0;
+  long long max_total_time = 0;
+  std::uint64_t seed = 0x5eed;
+  std::size_t max_len = 1 << 16;
+  std::vector<Input> corpus;
+  std::size_t files = 0;
+
+  std::signal(SIGABRT, AbortHandler);
+  std::signal(SIGSEGV, AbortHandler);
+  std::signal(SIGBUS, AbortHandler);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("-runs=", 0) == 0) {
+      runs = std::atoll(arg.c_str() + 6);
+    } else if (arg.rfind("-seed=", 0) == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+    } else if (arg.rfind("-max_len=", 0) == 0) {
+      max_len = static_cast<std::size_t>(std::atoll(arg.c_str() + 9));
+    } else if (arg.rfind("-max_total_time=", 0) == 0) {
+      max_total_time = std::atoll(arg.c_str() + 16);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      CollectInputs(arg, &corpus, &files);
+    }
+  }
+
+  // Replay phase: every seed/corpus file under plain asserts.
+  for (const Input& input : corpus) {
+    RunOne(input);
+  }
+  std::printf("standalone: replayed %zu file(s)\n", files);
+
+  if (runs > 0 || max_total_time > 0) {
+    if (corpus.empty()) {
+      corpus.push_back({});  // grow everything from the empty input
+    }
+    const std::time_t deadline =
+        max_total_time > 0 ? std::time(nullptr) + max_total_time : 0;
+    XorShift rng(seed);
+    long long done = 0;
+    while (true) {
+      if (runs > 0 && done >= runs) {
+        break;
+      }
+      if (deadline != 0 && (done % 512 == 0) &&
+          std::time(nullptr) >= deadline) {
+        break;
+      }
+      if (runs == 0 && deadline == 0) {
+        break;
+      }
+      Input mutant = corpus[rng.Below(corpus.size())];
+      const std::size_t mutations = 1 + rng.Below(8);
+      for (std::size_t m = 0; m < mutations; ++m) {
+        Mutate(mutant, rng, max_len);
+      }
+      if (mutant.size() > max_len) {
+        mutant.resize(max_len);
+      }
+      RunOne(mutant);
+      ++done;
+      if (done % 100000 == 0) {
+        std::printf("standalone: %lld runs\n", done);
+        std::fflush(stdout);
+      }
+    }
+    std::printf("standalone: completed %lld mutational run(s), seed=%llu\n",
+                done, static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

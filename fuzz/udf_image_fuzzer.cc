@@ -1,0 +1,14 @@
+// Fuzz target: udf::Serializer::Parse (the self-describing byte stream a
+// disc scan replays to rebuild the namespace, §4.4).
+//
+// Build with -DROS_FUZZ=ON. Seed corpus: fuzz/corpus/udf/.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ros::fuzz::FuzzUdfImage(data, size);
+  return 0;
+}
