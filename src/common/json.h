@@ -7,7 +7,9 @@
 #ifndef ROS_SRC_COMMON_JSON_H_
 #define ROS_SRC_COMMON_JSON_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,7 +53,20 @@ class Value {
   bool as_bool() const { return std::get<bool>(rep_); }
   std::int64_t as_int() const {
     if (is_double()) {
-      return static_cast<std::int64_t>(std::get<double>(rep_));
+      // Saturating conversion: casting a double outside the int64 range is
+      // UB, and corrupted index files can carry arbitrary numbers.
+      const double d = std::get<double>(rep_);
+      constexpr double kTwo63 = 9223372036854775808.0;  // 2^63
+      if (std::isnan(d)) {
+        return 0;
+      }
+      if (d >= kTwo63) {
+        return std::numeric_limits<std::int64_t>::max();
+      }
+      if (d < -kTwo63) {
+        return std::numeric_limits<std::int64_t>::min();
+      }
+      return static_cast<std::int64_t>(d);
     }
     return std::get<std::int64_t>(rep_);
   }

@@ -1,6 +1,7 @@
 #include "src/olfs/index_file.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace ros::olfs {
 
@@ -117,36 +118,96 @@ std::string IndexFile::ToJson() const {
   return json::Value(std::move(root)).Dump();
 }
 
+namespace {
+
+// Typed field extraction for untrusted index-file JSON. Every accessor
+// validates the variant alternative before reading it: `as_string()` &
+// friends throw std::bad_variant_access on a type mismatch, and a namespace
+// rebuild must survive arbitrarily corrupted index files (§4.4).
+StatusOr<std::string> GetString(const json::Value& obj, std::string_view key) {
+  const json::Value& v = obj[key];
+  if (!v.is_string()) {
+    return InvalidArgumentError("index field '" + std::string(key) +
+                                "' missing or not a string");
+  }
+  return v.as_string();
+}
+
+StatusOr<std::int64_t> GetInt(const json::Value& obj, std::string_view key) {
+  const json::Value& v = obj[key];
+  if (!v.is_int()) {
+    return InvalidArgumentError("index field '" + std::string(key) +
+                                "' missing or not an integer");
+  }
+  return v.as_int();
+}
+
+// Sizes ride in signed JSON integers; negative values only appear in
+// corrupted files and would wrap to absurd uint64 sizes.
+StatusOr<std::uint64_t> GetSize(const json::Value& obj, std::string_view key) {
+  ROS_ASSIGN_OR_RETURN(std::int64_t n, GetInt(obj, key));
+  if (n < 0) {
+    return InvalidArgumentError("index field '" + std::string(key) +
+                                "' is negative");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
 StatusOr<IndexFile> IndexFile::FromJson(std::string_view text) {
   ROS_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
   if (!root.is_object()) {
     return InvalidArgumentError("index file is not a JSON object");
   }
   IndexFile index;
-  index.path_ = root["path"].as_string();
-  index.type_ =
-      root["type"].as_string() == "dir" ? EntryType::kDirectory
-                                        : EntryType::kFile;
-  index.next_version_ = static_cast<int>(root["next_ver"].as_int());
+  ROS_ASSIGN_OR_RETURN(index.path_, GetString(root, "path"));
+  ROS_ASSIGN_OR_RETURN(std::string type, GetString(root, "type"));
+  if (type != "file" && type != "dir") {
+    return InvalidArgumentError("bad index entry type: " + type);
+  }
+  index.type_ = type == "dir" ? EntryType::kDirectory : EntryType::kFile;
+  ROS_ASSIGN_OR_RETURN(std::int64_t next_ver, GetInt(root, "next_ver"));
+  if (next_ver < 1 || next_ver > std::numeric_limits<int>::max()) {
+    return InvalidArgumentError("next_ver out of range");
+  }
+  index.next_version_ = static_cast<int>(next_ver);
+  if (!root["entries"].is_array()) {
+    return InvalidArgumentError("index field 'entries' missing or not an array");
+  }
   for (const json::Value& e : root["entries"].as_array()) {
+    if (!e.is_object()) {
+      return InvalidArgumentError("index entry is not an object");
+    }
     VersionEntry entry;
-    entry.version = static_cast<int>(e["ver"].as_int());
-    const std::string& loc = e["loc"].as_string();
+    ROS_ASSIGN_OR_RETURN(std::int64_t ver, GetInt(e, "ver"));
+    if (ver < 1 || ver >= next_ver) {
+      return InvalidArgumentError("entry version out of range");
+    }
+    entry.version = static_cast<int>(ver);
+    ROS_ASSIGN_OR_RETURN(std::string loc, GetString(e, "loc"));
     if (loc.size() != 1) {
       return InvalidArgumentError("bad loc field");
     }
     ROS_ASSIGN_OR_RETURN(entry.location, LocationFromCode(loc[0]));
-    entry.total_size = static_cast<std::uint64_t>(e["size"].as_int());
+    ROS_ASSIGN_OR_RETURN(entry.total_size, GetSize(e, "size"));
     entry.tombstone = e["del"].is_bool() && e["del"].as_bool();
+    if (!e["parts"].is_array()) {
+      return InvalidArgumentError("entry field 'parts' missing or not an array");
+    }
     for (const json::Value& p : e["parts"].as_array()) {
-      entry.parts.push_back(
-          {p["img"].as_string(),
-           static_cast<std::uint64_t>(p["size"].as_int())});
+      if (!p.is_object()) {
+        return InvalidArgumentError("file part is not an object");
+      }
+      FilePart part;
+      ROS_ASSIGN_OR_RETURN(part.image_id, GetString(p, "img"));
+      ROS_ASSIGN_OR_RETURN(part.size, GetSize(p, "size"));
+      entry.parts.push_back(std::move(part));
     }
     index.entries_.push_back(std::move(entry));
   }
   if (root.contains("forepart")) {
-    const std::string& hex = root["forepart"].as_string();
+    ROS_ASSIGN_OR_RETURN(std::string hex, GetString(root, "forepart"));
     if (hex.size() % 2 != 0) {
       return InvalidArgumentError("bad forepart encoding");
     }

@@ -1,6 +1,7 @@
 #include "src/udf/image.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace ros::udf {
 
@@ -41,6 +42,9 @@ Image::Image(std::string image_id, std::uint64_t capacity)
 
 std::uint64_t Image::CostOf(std::string_view path,
                             std::uint64_t size) const {
+  if (size > kMaxFileSize) {
+    return std::numeric_limits<std::uint64_t>::max();  // can never fit
+  }
   std::uint64_t cost = kEntryOverhead + BlocksFor(size) * kBlockSize;
   // Count ancestor directories that do not exist yet.
   auto parts = SplitPath(path);
@@ -119,6 +123,9 @@ Status Image::AddFile(std::string_view path, std::vector<std::uint8_t> data,
   if (closed_) {
     return FailedPreconditionError("image " + image_id_ + " is closed");
   }
+  if (logical_size > kMaxFileSize) {
+    return InvalidArgumentError("file size exceeds kMaxFileSize");
+  }
   if (data.size() > logical_size) {
     return InvalidArgumentError("payload larger than logical size");
   }
@@ -178,6 +185,9 @@ Status Image::AppendToFile(std::string_view path,
     return NotFoundError("no file " + std::string(path));
   }
   Node* node = it->second.get();
+  if (logical_grow > kMaxFileSize - node->logical_size) {
+    return InvalidArgumentError("file size exceeds kMaxFileSize");
+  }
   const std::uint64_t old_blocks = BlocksFor(node->logical_size);
   const std::uint64_t new_blocks =
       BlocksFor(node->logical_size + logical_grow);
@@ -214,7 +224,9 @@ StatusOr<std::vector<std::uint8_t>> Image::ReadFile(
   if (node->type != NodeType::kFile) {
     return InvalidArgumentError("not a file: " + std::string(path));
   }
-  if (offset + length > node->logical_size) {
+  // Two-step form: `offset + length` can wrap for hostile u64 arguments.
+  if (offset > node->logical_size ||
+      length > node->logical_size - offset) {
     return OutOfRangeError("read beyond file end");
   }
   std::vector<std::uint8_t> out(length, 0);

@@ -36,9 +36,15 @@ inline constexpr std::uint64_t kBlockSize = 2 * kKiB;  // UDF basic block
 // Every entry (file or directory) costs at least one block of metadata.
 inline constexpr std::uint64_t kEntryOverhead = kBlockSize;
 
-// Rounds a payload size up to whole blocks.
+// Upper bound on a single file's logical size (1 EiB). Far beyond any
+// optical medium; exists so block math on sizes read from corrupted image
+// streams can never overflow uint64.
+inline constexpr std::uint64_t kMaxFileSize = 1ull << 60;
+
+// Rounds a payload size up to whole blocks. Division form: the naive
+// `(bytes + kBlockSize - 1) / kBlockSize` wraps for sizes near 2^64.
 constexpr std::uint64_t BlocksFor(std::uint64_t bytes) {
-  return (bytes + kBlockSize - 1) / kBlockSize;
+  return bytes / kBlockSize + (bytes % kBlockSize != 0 ? 1 : 0);
 }
 
 enum class NodeType { kDirectory, kFile, kLink };
@@ -70,7 +76,11 @@ class Image {
   // Bytes consumed: entry overhead + block-rounded payloads, including the
   // root directory.
   std::uint64_t used_bytes() const { return used_bytes_; }
-  std::uint64_t free_bytes() const { return capacity_ - used_bytes_; }
+  // Saturating: a deserialized image whose (corrupted) capacity field is
+  // smaller than its root-directory overhead must read as full, not wrap.
+  std::uint64_t free_bytes() const {
+    return capacity_ > used_bytes_ ? capacity_ - used_bytes_ : 0;
+  }
 
   // Space a new file at `path` with `size` payload bytes would consume,
   // counting the directory entries that would have to be created.

@@ -33,8 +33,13 @@ class Reader {
  public:
   explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
 
+  // All bounds checks are written as `n > remaining()` rather than
+  // `pos_ + n > size()`: length fields come straight off (possibly
+  // corrupted) media, and `pos_ + n` can wrap around for a hostile u64.
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
   StatusOr<std::uint32_t> U32() {
-    if (pos_ + 4 > bytes_.size()) {
+    if (remaining() < 4) {
       return DataLossError("truncated image stream (u32)");
     }
     std::uint32_t v = 0;
@@ -46,7 +51,7 @@ class Reader {
   }
 
   StatusOr<std::uint64_t> U64() {
-    if (pos_ + 8 > bytes_.size()) {
+    if (remaining() < 8) {
       return DataLossError("truncated image stream (u64)");
     }
     std::uint64_t v = 0;
@@ -58,7 +63,7 @@ class Reader {
   }
 
   StatusOr<std::uint8_t> U8() {
-    if (pos_ + 1 > bytes_.size()) {
+    if (remaining() < 1) {
       return DataLossError("truncated image stream (u8)");
     }
     return bytes_[pos_++];
@@ -66,7 +71,7 @@ class Reader {
 
   StatusOr<std::string> Str() {
     ROS_ASSIGN_OR_RETURN(std::uint32_t n, U32());
-    if (pos_ + n > bytes_.size()) {
+    if (n > remaining()) {
       return DataLossError("truncated image stream (string)");
     }
     std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
@@ -75,17 +80,17 @@ class Reader {
   }
 
   StatusOr<std::vector<std::uint8_t>> Bytes(std::uint64_t n) {
-    if (pos_ + n > bytes_.size()) {
+    if (n > remaining()) {
       return DataLossError("truncated image stream (payload)");
     }
-    std::vector<std::uint8_t> out(bytes_.begin() + pos_,
-                                  bytes_.begin() + pos_ + n);
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
     pos_ += n;
     return out;
   }
 
   Status Expect(std::span<const char> magic) {
-    if (pos_ + magic.size() > bytes_.size() ||
+    if (magic.size() > remaining() ||
         std::memcmp(bytes_.data() + pos_, magic.data(), magic.size()) != 0) {
       return DataLossError("bad magic in image stream");
     }
@@ -147,6 +152,12 @@ StatusOr<Image> Serializer::Parse(std::span<const std::uint8_t> bytes) {
   ROS_ASSIGN_OR_RETURN(std::uint64_t node_count, reader.U64());
 
   Image image(id, capacity);
+  // Rebuild errors (duplicate paths, entries that no longer fit the declared
+  // capacity, non-absolute paths) all mean the stream is not something the
+  // serializer ever wrote: report them uniformly as media corruption.
+  auto corrupt = [](const Status& status) {
+    return DataLossError("corrupt image stream: " + status.ToString());
+  };
   for (std::uint64_t i = 0; i < node_count; ++i) {
     ROS_ASSIGN_OR_RETURN(std::uint8_t type_byte, reader.U8());
     if (type_byte > static_cast<std::uint8_t>(NodeType::kLink)) {
@@ -155,20 +166,30 @@ StatusOr<Image> Serializer::Parse(std::span<const std::uint8_t> bytes) {
     const NodeType type = static_cast<NodeType>(type_byte);
     ROS_ASSIGN_OR_RETURN(std::string path, reader.Str());
     switch (type) {
-      case NodeType::kDirectory:
-        ROS_RETURN_IF_ERROR(image.MakeDirs(path));
+      case NodeType::kDirectory: {
+        Status status = image.MakeDirs(path);
+        if (!status.ok()) {
+          return corrupt(status);
+        }
         break;
+      }
       case NodeType::kFile: {
         ROS_ASSIGN_OR_RETURN(std::uint64_t logical, reader.U64());
         ROS_ASSIGN_OR_RETURN(std::uint64_t data_len, reader.U64());
         ROS_ASSIGN_OR_RETURN(std::vector<std::uint8_t> data,
                              reader.Bytes(data_len));
-        ROS_RETURN_IF_ERROR(image.AddFile(path, std::move(data), logical));
+        Status status = image.AddFile(path, std::move(data), logical);
+        if (!status.ok()) {
+          return corrupt(status);
+        }
         break;
       }
       case NodeType::kLink: {
         ROS_ASSIGN_OR_RETURN(std::string target, reader.Str());
-        ROS_RETURN_IF_ERROR(image.AddLink(path, std::move(target)));
+        Status status = image.AddLink(path, std::move(target));
+        if (!status.ok()) {
+          return corrupt(status);
+        }
         break;
       }
     }

@@ -1,0 +1,295 @@
+// Corrupted-media recovery (§4.4): the namespace must be rebuildable from
+// whatever bytes survive, which means every durable-state parser has to
+// turn truncation, bit rot and hostile field values into clean
+// kDataLoss / kInvalidArgument statuses — never an abort, throw, or UB.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/olfs/index_file.h"
+#include "src/olfs/metadata_volume.h"
+#include "src/sim/simulator.h"
+#include "src/udf/serializer.h"
+
+namespace ros::olfs {
+namespace {
+
+bool IsCleanParseFailure(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument ||
+         status.code() == StatusCode::kDataLoss;
+}
+
+std::string ValidIndexJson() {
+  IndexFile index("/docs/report.pdf", EntryType::kFile);
+  for (int i = 0; i < 3; ++i) {
+    VersionEntry v;
+    v.location = LocationKind::kBucket;
+    v.total_size = 100 + static_cast<std::uint64_t>(i);
+    v.parts.push_back({"img-0001", v.total_size});
+    index.AddVersion(std::move(v), 15);
+  }
+  index.set_forepart({1, 2, 3, 4});
+  return index.ToJson();
+}
+
+std::vector<std::uint8_t> ValidImageBytes() {
+  udf::Image image("img-corrupt-test", 1 << 20);
+  (void)image.MakeDirs("/docs");
+  (void)image.AddFile("/docs/a", {'a', 'b', 'c'});
+  (void)image.AddFile("/docs/b", std::vector<std::uint8_t>(64, 0x5A), 4096);
+  (void)image.AddLink("/docs/c", "img-elsewhere");
+  image.Close();
+  return udf::Serializer::Serialize(image);
+}
+
+// --- index files ---
+
+TEST(CorruptIndexFile, EveryTruncationFailsCleanly) {
+  const std::string json = ValidIndexJson();
+  for (std::size_t len = 0; len < json.size(); ++len) {
+    auto parsed = IndexFile::FromJson(std::string_view(json).substr(0, len));
+    ASSERT_FALSE(parsed.ok()) << "prefix length " << len;
+    EXPECT_TRUE(IsCleanParseFailure(parsed.status()))
+        << "prefix length " << len << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(CorruptIndexFile, EveryBitFlipParsesOrFailsCleanly) {
+  const std::string json = ValidIndexJson();
+  for (std::size_t pos = 0; pos < json.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = json;
+      mutated[pos] = static_cast<char>(mutated[pos] ^ (1 << bit));
+      auto parsed = IndexFile::FromJson(mutated);
+      if (!parsed.ok()) {
+        EXPECT_TRUE(IsCleanParseFailure(parsed.status()))
+            << "pos " << pos << " bit " << bit << ": "
+            << parsed.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(CorruptIndexFile, TypeConfusedFieldsRejected) {
+  // Every field with the wrong JSON type must be InvalidArgument, not a
+  // std::bad_variant_access crash (the pre-fuzzing decoder asserted types).
+  const char* cases[] = {
+      R"({"path":1,"type":"file","next_ver":1,"entries":[]})",
+      R"({"path":"/a","type":7,"next_ver":1,"entries":[]})",
+      R"({"path":"/a","type":"file","next_ver":"x","entries":[]})",
+      R"({"path":"/a","type":"file","next_ver":1,"entries":{}})",
+      R"({"path":"/a","type":"file","next_ver":1,"entries":[42]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":true,"loc":"B","size":1,"parts":[]}]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":1,"loc":9,"size":1,"parts":[]}]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":1,"loc":"B","size":"big","parts":[]}]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":1,"loc":"B","size":1,"parts":[null]}]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":1,"loc":"B","size":1,"parts":[{"img":3,"size":1}]}]})",
+      R"({"path":"/a","type":"file","next_ver":1,"entries":[],"forepart":12})",
+      R"([1,2,3])",
+      R"(null)",
+  };
+  for (const char* json : cases) {
+    auto parsed = IndexFile::FromJson(json);
+    ASSERT_FALSE(parsed.ok()) << json;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << json;
+  }
+}
+
+TEST(CorruptIndexFile, HostileNumbersRejected) {
+  const char* cases[] = {
+      // Negative / zero next_ver, versions outside [1, next_ver).
+      R"({"path":"/a","type":"file","next_ver":0,"entries":[]})",
+      R"({"path":"/a","type":"file","next_ver":-3,"entries":[]})",
+      R"({"path":"/a","type":"file","next_ver":99999999999999,"entries":[]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":5,"loc":"B","size":1,"parts":[]}]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":-1,"loc":"B","size":1,"parts":[]}]})",
+      // Negative sizes would wrap to absurd uint64 values.
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":1,"loc":"B","size":-5,"parts":[]}]})",
+      R"({"path":"/a","type":"file","next_ver":2,"entries":[{"ver":1,"loc":"B","size":1,"parts":[{"img":"i","size":-1}]}]})",
+      // Doubles where integers belong (1e300 used to be a float-cast UB).
+      R"({"path":"/a","type":"file","next_ver":1e300,"entries":[]})",
+  };
+  for (const char* json : cases) {
+    auto parsed = IndexFile::FromJson(json);
+    ASSERT_FALSE(parsed.ok()) << json;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << json;
+  }
+}
+
+TEST(CorruptIndexFile, DuplicateKeysAreDefinedBehavior) {
+  // JSON objects with duplicate keys: the decoder keeps the last value
+  // (std::map assignment) — defined, no crash, and the result still obeys
+  // the round-trip invariant.
+  auto parsed = IndexFile::FromJson(
+      R"({"path":"/dup","path":"/dup2","type":"file","type":"dir",)"
+      R"("next_ver":1,"next_ver":1,"entries":[],"entries":[]})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->path(), "/dup2");
+  EXPECT_EQ(parsed->type(), EntryType::kDirectory);
+  auto reparsed = IndexFile::FromJson(parsed->ToJson());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToJson(), parsed->ToJson());
+}
+
+// --- UDF image streams ---
+
+TEST(CorruptUdfImage, EveryTruncationIsDataLoss) {
+  const std::vector<std::uint8_t> bytes = ValidImageBytes();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto parsed = udf::Serializer::Parse(
+        std::span<const std::uint8_t>(bytes.data(), len));
+    ASSERT_FALSE(parsed.ok()) << "prefix length " << len;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "prefix length " << len << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(CorruptUdfImage, EveryBitFlipIsDataLoss) {
+  // The stream ends with a CRC32 over everything before the anchor, so any
+  // single-bit flip must surface as kDataLoss (never parse, never crash).
+  const std::vector<std::uint8_t> bytes = ValidImageBytes();
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[pos] = static_cast<std::uint8_t>(mutated[pos] ^ (1u << bit));
+      auto parsed = udf::Serializer::Parse(mutated);
+      ASSERT_FALSE(parsed.ok()) << "pos " << pos << " bit " << bit;
+      EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+          << "pos " << pos << " bit " << bit << ": "
+          << parsed.status().ToString();
+    }
+  }
+}
+
+std::size_t FindPattern(const std::vector<std::uint8_t>& haystack,
+                        const std::vector<std::uint8_t>& needle) {
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end());
+  return it == haystack.end()
+             ? haystack.size()
+             : static_cast<std::size_t>(it - haystack.begin());
+}
+
+TEST(CorruptUdfImage, HugeLengthFieldIsDataLoss) {
+  // Regression: a data_len of ~2^64 used to wrap the reader's `pos_ + n`
+  // bounds check and walk off the buffer. Overwrite /docs/a's data_len
+  // (the u64 right before the payload "abc") with all-ones.
+  std::vector<std::uint8_t> bytes = ValidImageBytes();
+  const std::size_t payload = FindPattern(bytes, {'a', 'b', 'c'});
+  ASSERT_LT(payload, bytes.size());
+  for (std::size_t i = payload - 8; i < payload; ++i) {
+    bytes[i] = 0xFF;
+  }
+  auto parsed = udf::Serializer::Parse(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CorruptUdfImage, TinyCapacityIsDataLoss) {
+  // Regression: a corrupted capacity below the root-directory overhead used
+  // to wrap free_bytes() to ~2^64 and accept everything. The capacity u64
+  // sits right after the image id string.
+  std::vector<std::uint8_t> bytes = ValidImageBytes();
+  const std::string id = "img-corrupt-test";
+  const std::size_t id_at =
+      FindPattern(bytes, std::vector<std::uint8_t>(id.begin(), id.end()));
+  ASSERT_LT(id_at, bytes.size());
+  for (std::size_t i = id_at + id.size(); i < id_at + id.size() + 8; ++i) {
+    bytes[i] = 0;
+  }
+  auto parsed = udf::Serializer::Parse(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+// --- end to end through the Metadata Volume ---
+
+class MvCorruptionTest : public ::testing::Test {
+ protected:
+  MvCorruptionTest()
+      : device_(sim_, "ssd", 64 * kMiB, disk::SsdPerf()),
+        volume_(sim_, &device_, disk::MetadataVolumeParams()),
+        mv_(&volume_) {}
+
+  void WriteRaw(const std::string& path, const std::string& content) {
+    const std::string name = MetadataVolume::IndexName(path);
+    if (!volume_.Exists(name)) {
+      ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create(name)).ok());
+    }
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    volume_.WriteAll(name, {content.begin(), content.end()}))
+                    .ok());
+  }
+
+  sim::Simulator sim_;
+  disk::StorageDevice device_;
+  disk::Volume volume_;
+  MetadataVolume mv_;
+};
+
+TEST_F(MvCorruptionTest, GetOnRottedIndexFailsCleanly) {
+  const std::string good = ValidIndexJson();
+  // Torn write: only the first half of the index file made it to the SSD.
+  WriteRaw("/torn", good.substr(0, good.size() / 2));
+  auto torn = sim_.RunUntilComplete(mv_.Get("/torn"));
+  ASSERT_FALSE(torn.ok());
+  EXPECT_EQ(torn.status().code(), StatusCode::kInvalidArgument);
+
+  // Bit rot in the middle of the JSON.
+  std::string rotted = good;
+  rotted[rotted.size() / 2] =
+      static_cast<char>(rotted[rotted.size() / 2] ^ 0x08);
+  WriteRaw("/rotted", rotted);
+  auto result = sim_.RunUntilComplete(mv_.Get("/rotted"));
+  if (!result.ok()) {
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST_F(MvCorruptionTest, RestoreFromSnapshotWithCorruptPayloads) {
+  // A snapshot image can carry index files that rotted *before* the burn.
+  // Restore copies bytes faithfully; the corruption must then surface as a
+  // clean parse failure on Get, not poison the whole namespace.
+  udf::Image snapshot("mv-snap-rot", 4 * kMiB);
+  const std::string good = ValidIndexJson();
+  ASSERT_TRUE(snapshot
+                  .AddFile("/.mv/docs/good#idx",
+                           {good.begin(), good.end()})
+                  .ok());
+  const std::string bad = good.substr(0, good.size() / 3);
+  ASSERT_TRUE(snapshot
+                  .AddFile("/.mv/docs/bad#idx", {bad.begin(), bad.end()})
+                  .ok());
+  snapshot.Close();
+
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.RestoreFromSnapshot(snapshot)).ok());
+  auto good_index = sim_.RunUntilComplete(mv_.Get("/docs/good"));
+  ASSERT_TRUE(good_index.ok()) << good_index.status().ToString();
+  EXPECT_EQ(good_index->path(), "/docs/report.pdf");
+
+  auto bad_index = sim_.RunUntilComplete(mv_.Get("/docs/bad"));
+  ASSERT_FALSE(bad_index.ok());
+  EXPECT_EQ(bad_index.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(MvCorruptionTest, StateBlobCorruptionFailsCleanly) {
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.PutState("checkpoint", json::Value(json::Object{})))
+                  .ok());
+  // Overwrite the state blob with garbage.
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.WriteAll("/state/checkpoint",
+                                   {0xFF, 0x00, 0x7B, 0x22}))
+                  .ok());
+  auto state = sim_.RunUntilComplete(mv_.GetState("checkpoint"));
+  ASSERT_FALSE(state.ok());
+  EXPECT_EQ(state.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ros::olfs
