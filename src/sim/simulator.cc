@@ -6,6 +6,15 @@ namespace ros::sim {
 
 Simulator::~Simulator() = default;
 
+void Simulator::Shutdown() {
+  // Destroying a suspended frame can release a lock, which schedules the
+  // next (equally doomed) waiter; clear the queue on both sides so no
+  // dangling handle survives the sweep.
+  queue_ = {};
+  spawned_.clear();
+  queue_ = {};
+}
+
 void Simulator::ScheduleAt(TimePoint when, std::function<void()> fn) {
   ROS_CHECK(when >= now_);
   queue_.push(Event{when, next_seq_++, nullptr, std::move(fn)});

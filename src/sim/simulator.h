@@ -65,6 +65,16 @@ class Simulator {
   // frame alive until it completes (or the simulator is destroyed).
   void Spawn(Task<void> task);
 
+  // Destroys every still-suspended spawned coroutine and drops all queued
+  // events, leaving the simulator inert. Owners whose components are
+  // *borrowed* by background tasks (devices, volumes, caches built after
+  // the simulator) must call this before destroying those components:
+  // destroying a suspended frame runs its pending destructors (e.g.
+  // ScopedLock) against the borrowed objects, so the frames have to go
+  // first. ~Simulator alone runs too late for that — members declared
+  // after the simulator are destroyed before it.
+  void Shutdown();
+
   // Runs events until the queue is empty. Returns the final time.
   TimePoint Run();
 

@@ -36,6 +36,10 @@ class BlockGatewayTest : public ::testing::Test {
                                           1 * kMiB);
   }
 
+  // Destroy suspended background coroutines (burn/snapshot/scrub loops)
+  // while the system objects they borrow are still alive.
+  ~BlockGatewayTest() override { sim_.Shutdown(); }
+
   sim::Simulator sim_;
   std::unique_ptr<RosSystem> system_;
   std::unique_ptr<Olfs> olfs_;

@@ -47,6 +47,10 @@ class FetchConcurrencyTest : public ::testing::Test {
     ROS_CHECK(sim_.RunUntilComplete(olfs_->FlushAndDrain()).ok());
   }
 
+  // Destroy suspended background coroutines (prefetch tasks, burn loops)
+  // while the system objects they borrow are still alive.
+  ~FetchConcurrencyTest() override { sim_.Shutdown(); }
+
   sim::Simulator sim_;
   std::unique_ptr<RosSystem> system_;
   std::unique_ptr<Olfs> olfs_;

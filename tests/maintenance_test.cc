@@ -31,6 +31,9 @@ class MaintenanceTest : public ::testing::Test {
   }
 
   void NewController() {
+    // A replaced controller's background loops still reference the old
+    // Olfs; destroy those frames before the old controller dies.
+    sim_.Shutdown();
     olfs_ = std::make_unique<Olfs>(sim_, system_.get(), Params());
     olfs_->burns().burn_start_interval = Seconds(1);
     mi_ = std::make_unique<Maintenance>(olfs_.get());
@@ -41,6 +44,10 @@ class MaintenanceTest : public ::testing::Test {
     params.disc_capacity_override = 16 * kMiB;
     return params;
   }
+
+  // Destroy suspended background coroutines (burn/snapshot/scrub loops)
+  // while the system objects they borrow are still alive.
+  ~MaintenanceTest() override { sim_.Shutdown(); }
 
   sim::Simulator sim_;
   std::unique_ptr<RosSystem> system_;

@@ -36,6 +36,10 @@ class NasServerTest : public ::testing::Test {
     olfs_->burns().burn_start_interval = Seconds(1);
   }
 
+  // Destroy suspended background coroutines (delivery tasks, burn loops)
+  // while the system objects they borrow are still alive.
+  ~NasServerTest() override { sim_.Shutdown(); }
+
   sim::Simulator sim_;
   std::unique_ptr<RosSystem> system_;
   std::unique_ptr<Olfs> olfs_;

@@ -32,6 +32,10 @@ class OlfsStreamTest : public ::testing::Test {
     olfs_->burns().burn_start_interval = Seconds(1);
   }
 
+  // Destroy suspended background coroutines (burn/snapshot/scrub loops)
+  // while the system objects they borrow are still alive.
+  ~OlfsStreamTest() override { sim_.Shutdown(); }
+
   sim::Simulator sim_;
   std::unique_ptr<RosSystem> system_;
   std::unique_ptr<Olfs> olfs_;

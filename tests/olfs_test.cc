@@ -29,7 +29,18 @@ class OlfsTest : public ::testing::Test {
  protected:
   OlfsTest() { Reset(TestParams()); }
 
+  ~OlfsTest() override {
+    // Destroy suspended background coroutines (burn/snapshot/scrub
+    // loops) while the system objects they borrow are still alive.
+    if (sim_ != nullptr) {
+      sim_->Shutdown();
+    }
+  }
+
   void Reset(OlfsParams params) {
+    if (sim_ != nullptr) {
+      sim_->Shutdown();  // pending loops borrow the olfs_ we are resetting
+    }
     olfs_.reset();
     system_.reset();
     sim_ = std::make_unique<sim::Simulator>();

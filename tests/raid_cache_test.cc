@@ -30,6 +30,10 @@ struct Rig {
     volume = std::make_unique<RaidVolume>(sim, RaidLevel::kRaid5, ptrs);
   }
 
+  // Destroy suspended background coroutines (destage writes) while the
+  // devices they borrow are still alive.
+  ~Rig() { sim.Shutdown(); }
+
   sim::Simulator sim;
   std::vector<std::unique_ptr<StorageDevice>> devices;
   std::unique_ptr<RaidVolume> volume;

@@ -30,6 +30,10 @@ struct Rig {
     volume = std::make_unique<RaidVolume>(sim, level, ptrs, stripe_unit);
   }
 
+  // Destroy suspended background coroutines (destage writes) while the
+  // devices they borrow are still alive.
+  ~Rig() { sim.Shutdown(); }
+
   std::vector<std::uint8_t> MakeData(std::size_t n, std::uint64_t seed) {
     Rng rng(seed);
     std::vector<std::uint8_t> data(n);
