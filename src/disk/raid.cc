@@ -180,7 +180,7 @@ void RaidVolume::ComputeStripeParity(const std::uint8_t* base,
 
 sim::Task<Status> RaidVolume::WriteStripes(
     std::uint64_t first, std::uint64_t last,
-    const std::vector<std::uint8_t>& data) {
+    std::vector<std::uint8_t> data) {
   ROS_CHECK(data.size() >= (last - first) * stripe_bytes_);
   // Per-device vectored segments across all stripes in the request.
   std::map<int, std::vector<StorageDevice::Segment>> segments;

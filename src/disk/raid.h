@@ -114,7 +114,7 @@ class RaidVolume : public BlockDevice {
   // Writes full stripes [first, last) given a contiguous data buffer that
   // starts at stripe `first`. Computes and writes parity.
   sim::Task<Status> WriteStripes(std::uint64_t first, std::uint64_t last,
-                                 const std::vector<std::uint8_t>& data);
+                                 std::vector<std::uint8_t> data);
 
   // Fills p (and, for RAID-6, q) with the parity of one stripe's data
   // chunks at `base` using the fused single-sweep P+Q kernel. Both spans

@@ -112,7 +112,7 @@ sim::Task<Status> Volume::WriteMetadata() {
   co_return OkStatus();
 }
 
-sim::Task<Status> Volume::Create(const std::string& name) {
+sim::Task<Status> Volume::Create(std::string name) {
   if (files_.count(name) > 0) {
     co_return AlreadyExistsError("file exists: " + name);
   }
@@ -154,7 +154,7 @@ Status Volume::MapRange(
   return OkStatus();
 }
 
-sim::Task<Status> Volume::Write(const std::string& name, std::uint64_t offset,
+sim::Task<Status> Volume::Write(std::string name, std::uint64_t offset,
                                 std::vector<std::uint8_t> data) {
   auto it = files_.find(name);
   if (it == files_.end()) {
@@ -192,7 +192,7 @@ sim::Task<Status> Volume::Write(const std::string& name, std::uint64_t offset,
   co_return co_await WriteMetadata();
 }
 
-sim::Task<Status> Volume::Append(const std::string& name,
+sim::Task<Status> Volume::Append(std::string name,
                                  std::vector<std::uint8_t> data) {
   auto it = files_.find(name);
   if (it == files_.end()) {
@@ -201,7 +201,7 @@ sim::Task<Status> Volume::Append(const std::string& name,
   co_return co_await Write(name, it->second.size, std::move(data));
 }
 
-sim::Task<Status> Volume::AppendSparse(const std::string& name,
+sim::Task<Status> Volume::AppendSparse(std::string name,
                                        std::vector<std::uint8_t> data,
                                        std::uint64_t logical_len) {
   ROS_CHECK(logical_len >= data.size());
@@ -235,7 +235,7 @@ sim::Task<Status> Volume::AppendSparse(const std::string& name,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::Read(
-    const std::string& name, std::uint64_t offset,
+    std::string name, std::uint64_t offset,
     std::uint64_t length) const {
   auto it = files_.find(name);
   if (it == files_.end()) {
@@ -260,7 +260,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::Read(
   co_return out;
 }
 
-sim::Task<Status> Volume::ReadDiscard(const std::string& name,
+sim::Task<Status> Volume::ReadDiscard(std::string name,
                                       std::uint64_t offset,
                                       std::uint64_t length) const {
   auto it = files_.find(name);
@@ -279,7 +279,7 @@ sim::Task<Status> Volume::ReadDiscard(const std::string& name,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::ReadAll(
-    const std::string& name) const {
+    std::string name) const {
   auto size = FileSize(name);
   if (!size.ok()) {
     co_return size.status();
@@ -287,7 +287,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::ReadAll(
   co_return co_await Read(name, 0, *size);
 }
 
-sim::Task<Status> Volume::WriteAll(const std::string& name,
+sim::Task<Status> Volume::WriteAll(std::string name,
                                    std::vector<std::uint8_t> data) {
   auto it = files_.find(name);
   if (it == files_.end()) {
@@ -300,7 +300,7 @@ sim::Task<Status> Volume::WriteAll(const std::string& name,
   co_return co_await Write(name, 0, std::move(data));
 }
 
-sim::Task<Status> Volume::Delete(const std::string& name) {
+sim::Task<Status> Volume::Delete(std::string name) {
   auto it = files_.find(name);
   if (it == files_.end()) {
     co_return NotFoundError("no file " + name);

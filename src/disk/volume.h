@@ -61,40 +61,40 @@ class Volume {
   std::vector<std::string> List(const std::string& prefix = "") const;
 
   // Creates an empty file (one inode + a journaled metadata write).
-  sim::Task<Status> Create(const std::string& name);
+  sim::Task<Status> Create(std::string name);
 
   // Writes at `offset` (extending the file as needed; holes read as zero).
-  sim::Task<Status> Write(const std::string& name, std::uint64_t offset,
+  sim::Task<Status> Write(std::string name, std::uint64_t offset,
                           std::vector<std::uint8_t> data);
 
-  sim::Task<Status> Append(const std::string& name,
+  sim::Task<Status> Append(std::string name,
                            std::vector<std::uint8_t> data);
 
   // Appends `data` followed by a zero tail up to `logical_len` total bytes.
   // The tail charges full write time but is not stored (sparse payloads of
   // PB-scale experiments; the tail reads back as zeros).
-  sim::Task<Status> AppendSparse(const std::string& name,
+  sim::Task<Status> AppendSparse(std::string name,
                                  std::vector<std::uint8_t> data,
                                  std::uint64_t logical_len);
 
   sim::Task<StatusOr<std::vector<std::uint8_t>>> Read(
-      const std::string& name, std::uint64_t offset,
+      std::string name, std::uint64_t offset,
       std::uint64_t length) const;
 
   // Charges the read time of [offset, offset+length) without materializing
   // a buffer (streaming a sparse file for parity or burning).
-  sim::Task<Status> ReadDiscard(const std::string& name, std::uint64_t offset,
+  sim::Task<Status> ReadDiscard(std::string name, std::uint64_t offset,
                                 std::uint64_t length) const;
 
   // Reads the whole file.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadAll(
-      const std::string& name) const;
+      std::string name) const;
 
   // Overwrites the file with exactly `data` (truncating).
-  sim::Task<Status> WriteAll(const std::string& name,
+  sim::Task<Status> WriteAll(std::string name,
                              std::vector<std::uint8_t> data);
 
-  sim::Task<Status> Delete(const std::string& name);
+  sim::Task<Status> Delete(std::string name);
 
   // Drops every file (mkfs). Instant bookkeeping; devices keep stale bytes.
   void FormatQuick();

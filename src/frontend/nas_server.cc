@@ -4,7 +4,7 @@
 
 namespace ros::frontend {
 
-sim::Task<Status> NasServer::Upload(const std::string& path,
+sim::Task<Status> NasServer::Upload(std::string path,
                                     std::vector<std::uint8_t> data,
                                     std::uint64_t logical_size) {
   ++uploads_;
@@ -68,7 +68,7 @@ sim::Task<void> NasServer::DeliveryTask(std::uint64_t ticket,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> NasServer::Download(
-    const std::string& path, std::uint64_t offset, std::uint64_t length) {
+    std::string path, std::uint64_t offset, std::uint64_t length) {
   co_await sim_.Delay(config_.protocol_cost);
   auto data = co_await olfs_->Read(path, offset, length);
   if (data.ok()) {

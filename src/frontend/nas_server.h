@@ -43,13 +43,13 @@ class NasServer {
   // Ingests one file from a client. In direct mode the call returns once
   // the bytes are on the SSD staging area; delivery into OLFS happens in
   // the background. `data` may be sparse relative to `logical_size`.
-  sim::Task<Status> Upload(const std::string& path,
+  sim::Task<Status> Upload(std::string path,
                            std::vector<std::uint8_t> data,
                            std::uint64_t logical_size);
 
   // Serves a download through OLFS (direct mode does not change reads).
   sim::Task<StatusOr<std::vector<std::uint8_t>>> Download(
-      const std::string& path, std::uint64_t offset, std::uint64_t length);
+      std::string path, std::uint64_t offset, std::uint64_t length);
 
   // Waits until every staged upload has been delivered into OLFS.
   sim::Task<Status> DrainDeliveries();

@@ -66,7 +66,7 @@ StatusOr<std::string> ObjectStore::ObjectPath(const std::string& bucket,
   return path;
 }
 
-sim::Task<Status> ObjectStore::CreateBucket(const std::string& bucket) {
+sim::Task<Status> ObjectStore::CreateBucket(std::string bucket) {
   if (bucket.empty() || bucket.find('/') != std::string::npos) {
     co_return InvalidArgumentError("bad bucket name");
   }
@@ -78,8 +78,8 @@ sim::Task<StatusOr<std::vector<std::string>>> ObjectStore::ListBuckets() {
   co_return co_await olfs_->ReadDir(kRoot);
 }
 
-sim::Task<Status> ObjectStore::PutObject(const std::string& bucket,
-                                         const std::string& key,
+sim::Task<Status> ObjectStore::PutObject(std::string bucket,
+                                         std::string key,
                                          std::vector<std::uint8_t> data) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   const std::uint64_t size = data.size();
@@ -90,7 +90,7 @@ sim::Task<Status> ObjectStore::PutObject(const std::string& bucket,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObject(
-    const std::string& bucket, const std::string& key) {
+    std::string bucket, std::string key) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   auto info = co_await olfs_->Stat(path);
   if (!info.ok()) {
@@ -100,7 +100,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObject(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObjectVersion(
-    const std::string& bucket, const std::string& key, int version) {
+    std::string bucket, std::string key, int version) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   auto index = co_await olfs_->mv().Get(path);
   if (!index.ok()) {
@@ -115,7 +115,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObjectVersion(
 }
 
 sim::Task<StatusOr<ObjectInfo>> ObjectStore::HeadObject(
-    const std::string& bucket, const std::string& key) {
+    std::string bucket, std::string key) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   auto info = co_await olfs_->Stat(path);
   if (!info.ok()) {
@@ -127,14 +127,14 @@ sim::Task<StatusOr<ObjectInfo>> ObjectStore::HeadObject(
   co_return ObjectInfo{key, info->size, info->version};
 }
 
-sim::Task<Status> ObjectStore::DeleteObject(const std::string& bucket,
-                                            const std::string& key) {
+sim::Task<Status> ObjectStore::DeleteObject(std::string bucket,
+                                            std::string key) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   co_return co_await olfs_->Unlink(path);
 }
 
 sim::Task<StatusOr<std::vector<ObjectInfo>>> ObjectStore::ListRecursive(
-    const std::string& dir, const std::string& key_prefix) {
+    std::string dir, std::string key_prefix) {
   std::vector<ObjectInfo> out;
   auto children = co_await olfs_->ReadDir(dir);
   if (!children.ok()) {
@@ -162,7 +162,7 @@ sim::Task<StatusOr<std::vector<ObjectInfo>>> ObjectStore::ListRecursive(
 }
 
 sim::Task<StatusOr<std::vector<ObjectInfo>>> ObjectStore::ListObjects(
-    const std::string& bucket, const std::string& prefix) {
+    std::string bucket, std::string prefix) {
   std::string dir = std::string(kRoot) + "/" + EscapeComponent(bucket);
   if (!olfs_->mv().Exists(dir)) {
     co_return NotFoundError("no bucket " + bucket);

@@ -29,31 +29,31 @@ class ObjectStore {
  public:
   explicit ObjectStore(olfs::Olfs* olfs) : olfs_(olfs) { ROS_CHECK(olfs); }
 
-  sim::Task<Status> CreateBucket(const std::string& bucket);
+  sim::Task<Status> CreateBucket(std::string bucket);
   sim::Task<StatusOr<std::vector<std::string>>> ListBuckets();
 
   // Stores an object; overwriting an existing key creates a new version.
-  sim::Task<Status> PutObject(const std::string& bucket,
-                              const std::string& key,
+  sim::Task<Status> PutObject(std::string bucket,
+                              std::string key,
                               std::vector<std::uint8_t> data);
 
   sim::Task<StatusOr<std::vector<std::uint8_t>>> GetObject(
-      const std::string& bucket, const std::string& key);
+      std::string bucket, std::string key);
 
   // Historic version access (data provenance through the S3-ish surface).
   sim::Task<StatusOr<std::vector<std::uint8_t>>> GetObjectVersion(
-      const std::string& bucket, const std::string& key, int version);
+      std::string bucket, std::string key, int version);
 
-  sim::Task<StatusOr<ObjectInfo>> HeadObject(const std::string& bucket,
-                                             const std::string& key);
+  sim::Task<StatusOr<ObjectInfo>> HeadObject(std::string bucket,
+                                             std::string key);
 
   // Logical delete (tombstone; old versions remain reachable).
-  sim::Task<Status> DeleteObject(const std::string& bucket,
-                                 const std::string& key);
+  sim::Task<Status> DeleteObject(std::string bucket,
+                                 std::string key);
 
   // Lists keys under a '/'-delimited prefix (recursive).
   sim::Task<StatusOr<std::vector<ObjectInfo>>> ListObjects(
-      const std::string& bucket, const std::string& prefix = "");
+      std::string bucket, std::string prefix = "");
 
   // Path mapping (exposed for tests): escapes '#' and '%', validates
   // components.
@@ -65,7 +65,7 @@ class ObjectStore {
 
  private:
   sim::Task<StatusOr<std::vector<ObjectInfo>>> ListRecursive(
-      const std::string& dir, const std::string& key_prefix);
+      std::string dir, std::string key_prefix);
 
   olfs::Olfs* olfs_;
 };

@@ -44,7 +44,7 @@ sim::Duration FrontendStack::FuseRequestCost(std::uint64_t size) const {
   return static_cast<sim::Duration>(requests) * costs_.fuse_request;
 }
 
-sim::Task<Status> FrontendStack::BackendWrite(const std::string& path,
+sim::Task<Status> FrontendStack::BackendWrite(std::string path,
                                               std::uint64_t io_size) {
   if (HasOlfs()) {
     ROS_CHECK(olfs_ != nullptr);
@@ -62,7 +62,7 @@ sim::Task<Status> FrontendStack::BackendWrite(const std::string& path,
   co_return co_await volume_->AppendSparse(path, {}, io_size);
 }
 
-sim::Task<Status> FrontendStack::BackendRead(const std::string& path,
+sim::Task<Status> FrontendStack::BackendRead(std::string path,
                                              std::uint64_t offset,
                                              std::uint64_t io_size) {
   if (HasOlfs()) {
@@ -74,7 +74,7 @@ sim::Task<Status> FrontendStack::BackendRead(const std::string& path,
   co_return co_await volume_->ReadDiscard(path, offset, io_size);
 }
 
-sim::Task<Status> FrontendStack::StreamWrite(const std::string& path,
+sim::Task<Status> FrontendStack::StreamWrite(std::string path,
                                              std::uint64_t io_size) {
   // Layer copies + FUSE kernel round trips + Samba protocol work, then the
   // real backend write.
@@ -85,7 +85,7 @@ sim::Task<Status> FrontendStack::StreamWrite(const std::string& path,
   co_return co_await BackendWrite(path, io_size);
 }
 
-sim::Task<Status> FrontendStack::StreamRead(const std::string& path,
+sim::Task<Status> FrontendStack::StreamRead(std::string path,
                                             std::uint64_t offset,
                                             std::uint64_t io_size) {
   co_await sim_.Delay(static_cast<sim::Duration>(
@@ -96,7 +96,7 @@ sim::Task<Status> FrontendStack::StreamRead(const std::string& path,
 }
 
 sim::Task<StatusOr<sim::Duration>> FrontendStack::TimedCreate(
-    const std::string& path, std::uint64_t size) {
+    std::string path, std::uint64_t size) {
   const sim::TimePoint start = sim_.now();
   trace_.clear();
 
@@ -134,7 +134,7 @@ sim::Task<StatusOr<sim::Duration>> FrontendStack::TimedCreate(
 }
 
 sim::Task<StatusOr<sim::Duration>> FrontendStack::TimedRead(
-    const std::string& path, std::uint64_t size) {
+    std::string path, std::uint64_t size) {
   const sim::TimePoint start = sim_.now();
   trace_.clear();
   if (HasSamba()) {

@@ -91,18 +91,18 @@ class FrontendStack {
 
   // Streaming write of `io_size` bytes to (the end of) `path`; the file is
   // created on first use. Models filebench singlestreamwrite.
-  sim::Task<Status> StreamWrite(const std::string& path,
+  sim::Task<Status> StreamWrite(std::string path,
                                 std::uint64_t io_size);
 
   // Streaming read of `io_size` bytes at `offset`.
-  sim::Task<Status> StreamRead(const std::string& path, std::uint64_t offset,
+  sim::Task<Status> StreamRead(std::string path, std::uint64_t offset,
                                std::uint64_t io_size);
 
   // Small-file operation latency (Fig 7): creates a file of `size` bytes
   // and returns the simulated latency; ditto for reading it.
-  sim::Task<StatusOr<sim::Duration>> TimedCreate(const std::string& path,
+  sim::Task<StatusOr<sim::Duration>> TimedCreate(std::string path,
                                                  std::uint64_t size);
-  sim::Task<StatusOr<sim::Duration>> TimedRead(const std::string& path,
+  sim::Task<StatusOr<sim::Duration>> TimedRead(std::string path,
                                                std::uint64_t size);
 
   // The internal-op sequence of the last operation (Fig 7's breakdown).
@@ -131,9 +131,9 @@ class FrontendStack {
   // FUSE request overhead for an I/O of `size` bytes.
   sim::Duration FuseRequestCost(std::uint64_t size) const;
 
-  sim::Task<Status> BackendWrite(const std::string& path,
+  sim::Task<Status> BackendWrite(std::string path,
                                  std::uint64_t io_size);
-  sim::Task<Status> BackendRead(const std::string& path, std::uint64_t offset,
+  sim::Task<Status> BackendRead(std::string path, std::uint64_t offset,
                                 std::uint64_t io_size);
 
   sim::Simulator& sim_;

@@ -75,7 +75,7 @@ sim::Task<Status> BucketManager::CloseBucket(OpenBucket* bucket) {
 }
 
 sim::Task<StatusOr<WriteReceipt>> BucketManager::WriteFile(
-    const std::string& path, int version, std::vector<std::uint8_t> data,
+    std::string path, int version, std::vector<std::uint8_t> data,
     std::uint64_t logical_size, int first_part, std::string prev_image) {
   if (data.size() > logical_size) {
     co_return InvalidArgumentError("payload exceeds logical size");
@@ -185,7 +185,7 @@ sim::Task<StatusOr<WriteReceipt>> BucketManager::WriteFile(
 }
 
 sim::Task<Status> BucketManager::AppendToOpenFile(
-    const std::string& path, int version, const std::string& image_id,
+    std::string path, int version, std::string image_id,
     std::vector<std::uint8_t> data, std::uint64_t logical_grow) {
   sim::Mutex::ScopedLock lock = co_await write_mutex_.Lock();
   if (current_ == nullptr || current_->image->id() != image_id) {
@@ -203,7 +203,7 @@ sim::Task<Status> BucketManager::AppendToOpenFile(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> BucketManager::ReadBuffered(
-    const std::string& image_id, const std::string& internal_path,
+    std::string image_id, std::string internal_path,
     std::uint64_t offset, std::uint64_t length) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(image_id));

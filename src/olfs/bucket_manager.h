@@ -57,22 +57,22 @@ class BucketManager {
   // continuations of a file whose earlier parts already closed,
   // `first_part` and `prev_image` seed the split-link chain (§4.5).
   sim::Task<StatusOr<WriteReceipt>> WriteFile(
-      const std::string& path, int version, std::vector<std::uint8_t> data,
+      std::string path, int version, std::vector<std::uint8_t> data,
       std::uint64_t logical_size, int first_part = 0,
       std::string prev_image = "");
 
   // Appending update (§4.6) to a version that still lives in an open
   // bucket. Fails with kFailedPrecondition once the bucket has closed
   // (the caller then writes a regenerated version instead).
-  sim::Task<Status> AppendToOpenFile(const std::string& path, int version,
-                                     const std::string& image_id,
+  sim::Task<Status> AppendToOpenFile(std::string path, int version,
+                                     std::string image_id,
                                      std::vector<std::uint8_t> data,
                                      std::uint64_t logical_grow);
 
   // Reads from a bucket or buffered image (any tier with bytes in the disk
   // buffer). Charges buffer-volume read time.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadBuffered(
-      const std::string& image_id, const std::string& internal_path,
+      std::string image_id, std::string internal_path,
       std::uint64_t offset, std::uint64_t length);
 
   // Closes the current open bucket regardless of fill level (flush).

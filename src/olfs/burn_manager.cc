@@ -161,6 +161,8 @@ sim::Task<void> BurnManager::BurnArrayTask(
   burns_changed_.NotifyAll();
 }
 
+// ros-lint: allow(coro-ref-param): job lives in jobs_ and must be mutated
+// in place; the owning map outlives every burn coroutine.
 sim::Task<Status> BurnManager::BurnArrayInBay(BurnJob& job, int bay) {
   interrupt_requested_[static_cast<std::size_t>(bay)] = false;
 
@@ -196,9 +198,11 @@ sim::Task<Status> BurnManager::BurnArrayInBay(BurnJob& job, int bay) {
   co_return co_await FinishJob(job);
 }
 
+// ros-lint: allow(coro-ref-param): job lives in jobs_ and must be mutated
+// in place; the owning map outlives every burn coroutine.
 sim::Task<Status> BurnManager::BurnOneDisc(BurnJob& job, int bay,
                                            int disc_index,
-                                           const std::string& image_id,
+                                           std::string image_id,
                                            sim::Duration start_delay) {
   // Skip images that finished before an interrupt.
   auto it = job.burned_bytes.find(image_id);
@@ -254,6 +258,8 @@ sim::Task<Status> BurnManager::BurnOneDisc(BurnJob& job, int bay,
   co_return OkStatus();
 }
 
+// ros-lint: allow(coro-ref-param): job lives in jobs_ and must be mutated
+// in place; the owning map outlives every burn coroutine.
 sim::Task<Status> BurnManager::FinishJob(BurnJob& job) {
   for (int i = 0; i < static_cast<int>(job.image_ids.size()); ++i) {
     const std::string& id = job.image_ids[i];

@@ -84,7 +84,7 @@ class BurnManager {
                                 std::optional<BurnJob> resume);
   sim::Task<Status> BurnArrayInBay(BurnJob& job, int bay);
   sim::Task<Status> BurnOneDisc(BurnJob& job, int bay, int disc_index,
-                                const std::string& image_id,
+                                std::string image_id,
                                 sim::Duration start_delay);
   sim::Task<Status> FinishJob(BurnJob& job);
   sim::Task<Status> PersistDilIndex();

@@ -5,7 +5,7 @@
 namespace ros::olfs {
 
 sim::Task<StatusOr<FetchLease>> FetchManager::FetchDisc(
-    const std::string& image_id) {
+    std::string image_id) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(image_id));
   if (!record->disc.has_value()) {

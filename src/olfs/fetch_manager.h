@@ -65,7 +65,7 @@ class FetchManager {
   // mechanical resources", §4.1).
 
   // Ensures the disc holding `image_id` sits in a drive; returns the lease.
-  sim::Task<StatusOr<FetchLease>> FetchDisc(const std::string& image_id);
+  sim::Task<StatusOr<FetchLease>> FetchDisc(std::string image_id);
 
   std::uint64_t fetches() const { return fetches_; }
 

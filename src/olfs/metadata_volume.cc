@@ -13,7 +13,7 @@ std::string ToString(const std::vector<std::uint8_t>& v) {
 }
 }  // namespace
 
-sim::Task<Status> MetadataVolume::Put(const IndexFile& index) {
+sim::Task<Status> MetadataVolume::Put(IndexFile index) {
   const std::string name = IndexName(index.path());
   if (!volume_->Exists(name)) {
     ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
@@ -22,7 +22,7 @@ sim::Task<Status> MetadataVolume::Put(const IndexFile& index) {
 }
 
 sim::Task<StatusOr<IndexFile>> MetadataVolume::Get(
-    const std::string& path) const {
+    std::string path) const {
   auto data = co_await volume_->ReadAll(IndexName(path));
   if (!data.ok()) {
     co_return data.status();
@@ -30,7 +30,7 @@ sim::Task<StatusOr<IndexFile>> MetadataVolume::Get(
   co_return IndexFile::FromJson(ToString(*data));
 }
 
-sim::Task<Status> MetadataVolume::Remove(const std::string& path) {
+sim::Task<Status> MetadataVolume::Remove(std::string path) {
   co_return co_await volume_->Delete(IndexName(path));
 }
 
@@ -63,8 +63,8 @@ std::uint64_t MetadataVolume::index_count() const {
   return volume_->List("/idx/").size();
 }
 
-sim::Task<Status> MetadataVolume::PutState(const std::string& key,
-                                           const json::Value& v) {
+sim::Task<Status> MetadataVolume::PutState(std::string key,
+                                           json::Value v) {
   const std::string name = "/state/" + key;
   if (!volume_->Exists(name)) {
     ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
@@ -73,7 +73,7 @@ sim::Task<Status> MetadataVolume::PutState(const std::string& key,
 }
 
 sim::Task<StatusOr<json::Value>> MetadataVolume::GetState(
-    const std::string& key) const {
+    std::string key) const {
   auto data = co_await volume_->ReadAll("/state/" + key);
   if (!data.ok()) {
     co_return data.status();
@@ -82,7 +82,7 @@ sim::Task<StatusOr<json::Value>> MetadataVolume::GetState(
 }
 
 sim::Task<StatusOr<udf::Image>> MetadataVolume::BuildSnapshotImage(
-    const std::string& image_id, std::uint64_t capacity) const {
+    std::string image_id, std::uint64_t capacity) const {
   udf::Image image(image_id, capacity);
   for (const std::string& name : volume_->List("/idx/")) {
     auto data = co_await volume_->ReadAll(name);
@@ -101,6 +101,8 @@ sim::Task<StatusOr<udf::Image>> MetadataVolume::BuildSnapshotImage(
   co_return image;
 }
 
+// ros-lint: allow(coro-ref-param): udf::Image is non-copyable; callers
+// keep the snapshot alive for the duration of the restore.
 sim::Task<Status> MetadataVolume::RestoreFromSnapshot(
     const udf::Image& snapshot) {
   Status failure = OkStatus();

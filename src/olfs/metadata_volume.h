@@ -31,9 +31,9 @@ class MetadataVolume {
     return volume_->Exists(IndexName(path));
   }
 
-  sim::Task<Status> Put(const IndexFile& index);
-  sim::Task<StatusOr<IndexFile>> Get(const std::string& path) const;
-  sim::Task<Status> Remove(const std::string& path);
+  sim::Task<Status> Put(IndexFile index);
+  sim::Task<StatusOr<IndexFile>> Get(std::string path) const;
+  sim::Task<Status> Remove(std::string path);
 
   // Direct children (leaf names) of a directory in the global namespace.
   std::vector<std::string> ListChildren(const std::string& path) const;
@@ -43,15 +43,15 @@ class MetadataVolume {
 
   // --- system running state (also JSON, §4.2) ---
 
-  sim::Task<Status> PutState(const std::string& key, const json::Value& v);
-  sim::Task<StatusOr<json::Value>> GetState(const std::string& key) const;
+  sim::Task<Status> PutState(std::string key, json::Value v);
+  sim::Task<StatusOr<json::Value>> GetState(std::string key) const;
 
   // --- durability (§4.2: MV is periodically burned into discs) ---
 
   // Packs every index file into a self-describing UDF image (under
   // /.mv/...) that the burn pipeline writes to discs like any other image.
   sim::Task<StatusOr<udf::Image>> BuildSnapshotImage(
-      const std::string& image_id, std::uint64_t capacity) const;
+      std::string image_id, std::uint64_t capacity) const;
 
   // Restores the namespace from a snapshot image (inverse of the above).
   // Existing index files are replaced.

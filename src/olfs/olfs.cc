@@ -73,7 +73,7 @@ sim::Task<void> Olfs::ChargeOp(const char* name, bool first) {
   co_await sim_.Delay(cost);
 }
 
-sim::Task<sim::Mutex::ScopedLock> Olfs::LockPath(const std::string& path) {
+sim::Task<sim::Mutex::ScopedLock> Olfs::LockPath(std::string path) {
   auto it = path_locks_.find(path);
   if (it == path_locks_.end()) {
     it = path_locks_
@@ -83,7 +83,7 @@ sim::Task<sim::Mutex::ScopedLock> Olfs::LockPath(const std::string& path) {
   co_return co_await it->second->Lock();
 }
 
-sim::Task<Status> Olfs::EnsureAncestors(const std::string& path) {
+sim::Task<Status> Olfs::EnsureAncestors(std::string path) {
   ROS_CO_ASSIGN_OR_RETURN(std::vector<std::string> parts,
                           udf::SplitPath(path));
   std::string prefix;
@@ -100,7 +100,7 @@ sim::Task<Status> Olfs::EnsureAncestors(const std::string& path) {
 // ---------------------------------------------------------------------------
 // Writes
 
-sim::Task<Status> Olfs::Create(const std::string& path,
+sim::Task<Status> Olfs::Create(std::string path,
                                std::vector<std::uint8_t> data,
                                std::uint64_t logical_size) {
   co_await ChargeOp("stat", /*first=*/true);
@@ -128,13 +128,13 @@ sim::Task<Status> Olfs::Create(const std::string& path,
   co_return OkStatus();
 }
 
-sim::Task<Status> Olfs::Create(const std::string& path,
+sim::Task<Status> Olfs::Create(std::string path,
                                std::vector<std::uint8_t> data) {
   const std::uint64_t n = data.size();
   co_return co_await Create(path, std::move(data), n);
 }
 
-sim::Task<Status> Olfs::Update(const std::string& path,
+sim::Task<Status> Olfs::Update(std::string path,
                                std::vector<std::uint8_t> data,
                                std::uint64_t logical_size) {
   co_await ChargeOp("stat", /*first=*/true);
@@ -150,7 +150,7 @@ sim::Task<Status> Olfs::Update(const std::string& path,
   co_return OkStatus();
 }
 
-sim::Task<Status> Olfs::WriteVersion(const std::string& path,
+sim::Task<Status> Olfs::WriteVersion(std::string path,
                                      std::vector<std::uint8_t> data,
                                      std::uint64_t logical_size,
                                      bool create) {
@@ -186,7 +186,7 @@ sim::Task<Status> Olfs::WriteVersion(const std::string& path,
   co_return co_await mv_->Put(index);
 }
 
-sim::Task<Status> Olfs::Append(const std::string& path,
+sim::Task<Status> Olfs::Append(std::string path,
                                std::vector<std::uint8_t> data) {
   co_await ChargeOp("stat", /*first=*/true);
   sim::Mutex::ScopedLock lock = co_await LockPath(path);
@@ -234,7 +234,7 @@ sim::Task<Status> Olfs::Append(const std::string& path,
 // ---------------------------------------------------------------------------
 // Streaming handles
 
-sim::Task<Status> Olfs::AppendStream(const std::string& path,
+sim::Task<Status> Olfs::AppendStream(std::string path,
                                      std::vector<std::uint8_t> data,
                                      std::uint64_t logical_grow) {
   auto handle = stream_handles_.find(path);
@@ -291,7 +291,7 @@ sim::Task<Status> Olfs::AppendStream(const std::string& path,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadStream(
-    const std::string& path, std::uint64_t offset, std::uint64_t length) {
+    std::string path, std::uint64_t offset, std::uint64_t length) {
   auto handle = stream_handles_.find(path);
   if (handle == stream_handles_.end()) {
     co_await ChargeOp("open", /*first=*/true);
@@ -313,7 +313,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadStream(
   co_return co_await ReadEntry(path, **latest, offset, length);
 }
 
-sim::Task<Status> Olfs::CloseStream(const std::string& path) {
+sim::Task<Status> Olfs::CloseStream(std::string path) {
   auto handle = stream_handles_.find(path);
   if (handle == stream_handles_.end()) {
     co_return OkStatus();
@@ -328,7 +328,7 @@ sim::Task<Status> Olfs::CloseStream(const std::string& path) {
 // Reads
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::Read(
-    const std::string& path, std::uint64_t offset, std::uint64_t length) {
+    std::string path, std::uint64_t offset, std::uint64_t length) {
   co_await ChargeOp("stat", /*first=*/true);
   auto index = co_await mv_->Get(path);
   if (!index.ok()) {
@@ -345,7 +345,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::Read(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadVersion(
-    const std::string& path, int version, std::uint64_t offset,
+    std::string path, int version, std::uint64_t offset,
     std::uint64_t length) {
   co_await ChargeOp("stat", /*first=*/true);
   auto index = co_await mv_->Get(path);
@@ -363,7 +363,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadVersion(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadForepart(
-    const std::string& path) {
+    std::string path) {
   if (!params_.forepart_enabled) {
     co_return FailedPreconditionError("forepart mechanism disabled");
   }
@@ -377,7 +377,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadForepart(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
-    const std::string& path, const VersionEntry& entry, std::uint64_t offset,
+    std::string path, VersionEntry entry, std::uint64_t offset,
     std::uint64_t length) {
   if (entry.tombstone) {
     co_return NotFoundError(path + " is deleted");
@@ -431,7 +431,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
-    const std::string& internal_path, const FilePart& part,
+    std::string internal_path, FilePart part,
     std::uint64_t offset, std::uint64_t length) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(part.image_id));
@@ -470,7 +470,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadFromDisc(
-    const std::string& image_id, const std::string& internal_path,
+    std::string image_id, std::string internal_path,
     std::uint64_t offset, std::uint64_t length) {
   ROS_CO_ASSIGN_OR_RETURN(FetchLease lease,
                           co_await fetcher_->FetchDisc(image_id));
@@ -598,7 +598,7 @@ sim::Task<void> Olfs::PrefetchTask(std::string image_id,
 // ---------------------------------------------------------------------------
 // Namespace operations
 
-sim::Task<StatusOr<FileInfo>> Olfs::Stat(const std::string& path) {
+sim::Task<StatusOr<FileInfo>> Olfs::Stat(std::string path) {
   co_await ChargeOp("stat", /*first=*/true);
   if (path == "/") {
     FileInfo root;
@@ -622,9 +622,10 @@ sim::Task<StatusOr<FileInfo>> Olfs::Stat(const std::string& path) {
     // Refine the location through DIM (B -> I -> D promotions happen
     // without rewriting the index file).
     if (!(*latest)->parts.empty()) {
-      auto record = images_->Lookup((*latest)->parts[0].image_id);
-      if (record.ok()) {
-        switch ((*record)->tier) {
+      const ImageRecord* record =
+          images_->Lookup((*latest)->parts[0].image_id).value_or(nullptr);
+      if (record != nullptr) {
+        switch (record->tier) {
           case ImageTier::kOpenBucket:
             info.location = LocationKind::kBucket;
             break;
@@ -642,7 +643,7 @@ sim::Task<StatusOr<FileInfo>> Olfs::Stat(const std::string& path) {
   co_return info;
 }
 
-sim::Task<Status> Olfs::Mkdir(const std::string& path) {
+sim::Task<Status> Olfs::Mkdir(std::string path) {
   co_await ChargeOp("stat", /*first=*/true);
   if (mv_->Exists(path)) {
     co_return AlreadyExistsError(path + " exists");
@@ -653,7 +654,7 @@ sim::Task<Status> Olfs::Mkdir(const std::string& path) {
 }
 
 sim::Task<StatusOr<std::vector<std::string>>> Olfs::ReadDir(
-    const std::string& path) {
+    std::string path) {
   co_await ChargeOp("stat", /*first=*/true);
   if (path != "/" && !mv_->Exists(path)) {
     co_return NotFoundError(path + " does not exist");
@@ -662,7 +663,7 @@ sim::Task<StatusOr<std::vector<std::string>>> Olfs::ReadDir(
   co_return mv_->ListChildren(path);
 }
 
-sim::Task<Status> Olfs::Unlink(const std::string& path) {
+sim::Task<Status> Olfs::Unlink(std::string path) {
   co_await ChargeOp("stat", /*first=*/true);
   sim::Mutex::ScopedLock lock = co_await LockPath(path);
   auto index = co_await mv_->Get(path);

@@ -58,37 +58,37 @@ class Olfs {
 
   // Creates a new file (fails if it exists). `data` may be sparse
   // relative to `logical_size` (pass data.size() for fully-real files).
-  sim::Task<Status> Create(const std::string& path,
+  sim::Task<Status> Create(std::string path,
                            std::vector<std::uint8_t> data,
                            std::uint64_t logical_size);
-  sim::Task<Status> Create(const std::string& path,
+  sim::Task<Status> Create(std::string path,
                            std::vector<std::uint8_t> data);
 
   // Regenerating update (§4.6): writes a new version of an existing file.
-  sim::Task<Status> Update(const std::string& path,
+  sim::Task<Status> Update(std::string path,
                            std::vector<std::uint8_t> data,
                            std::uint64_t logical_size);
 
   // Appending update: extends the latest version in place while its
   // bucket is still open, otherwise regenerates a new version with the
   // combined content.
-  sim::Task<Status> Append(const std::string& path,
+  sim::Task<Status> Append(std::string path,
                            std::vector<std::uint8_t> data);
 
   // Reads the latest version.
-  sim::Task<StatusOr<std::vector<std::uint8_t>>> Read(const std::string& path,
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> Read(std::string path,
                                                       std::uint64_t offset,
                                                       std::uint64_t length);
 
   // Reads a historic version still in the index ring (data provenance).
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadVersion(
-      const std::string& path, int version, std::uint64_t offset,
+      std::string path, int version, std::uint64_t offset,
       std::uint64_t length);
 
   // Serves the first bytes of a file from MV within ~2 ms (§4.8's
   // forepart-data-stored mechanism). Requires forepart_enabled.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadForepart(
-      const std::string& path);
+      std::string path);
 
   // ------------------------------------------------------------------
   // Streaming handles (the FUSE open / write* / release sequence): each
@@ -96,19 +96,19 @@ class Olfs {
   // index is written back by CloseStream (release). This is the data path
   // behind filebench's singlestream workloads (Fig 6).
   // ------------------------------------------------------------------
-  sim::Task<Status> AppendStream(const std::string& path,
+  sim::Task<Status> AppendStream(std::string path,
                                  std::vector<std::uint8_t> data,
                                  std::uint64_t logical_grow);
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadStream(
-      const std::string& path, std::uint64_t offset, std::uint64_t length);
-  sim::Task<Status> CloseStream(const std::string& path);
+      std::string path, std::uint64_t offset, std::uint64_t length);
+  sim::Task<Status> CloseStream(std::string path);
 
-  sim::Task<StatusOr<FileInfo>> Stat(const std::string& path);
-  sim::Task<Status> Mkdir(const std::string& path);
+  sim::Task<StatusOr<FileInfo>> Stat(std::string path);
+  sim::Task<Status> Mkdir(std::string path);
   sim::Task<StatusOr<std::vector<std::string>>> ReadDir(
-      const std::string& path);
+      std::string path);
   // Logical delete: a tombstone version (WORM media keeps the bytes).
-  sim::Task<Status> Unlink(const std::string& path);
+  sim::Task<Status> Unlink(std::string path);
 
   // ------------------------------------------------------------------
   // Control plane
@@ -177,26 +177,26 @@ class Olfs {
   sim::Task<void> ScrubLoop(sim::Duration interval);
 
   // Ensures every ancestor directory has an MV index entry.
-  sim::Task<Status> EnsureAncestors(const std::string& path);
+  sim::Task<Status> EnsureAncestors(std::string path);
 
   // Writes one version of `path` and updates its index file.
-  sim::Task<Status> WriteVersion(const std::string& path,
+  sim::Task<Status> WriteVersion(std::string path,
                                  std::vector<std::uint8_t> data,
                                  std::uint64_t logical_size, bool create);
 
   // Reads `length` bytes at `offset` of a resolved version entry.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadEntry(
-      const std::string& path, const VersionEntry& entry,
+      std::string path, VersionEntry entry,
       std::uint64_t offset, std::uint64_t length);
 
   // Reads a byte range of one part, resolving its current tier.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadPart(
-      const std::string& internal_path, const FilePart& part,
+      std::string internal_path, FilePart part,
       std::uint64_t offset, std::uint64_t length);
 
   // Reads a file from a disc in a drive, parsing the mounted image.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadFromDisc(
-      const std::string& image_id, const std::string& internal_path,
+      std::string image_id, std::string internal_path,
       std::uint64_t offset, std::uint64_t length);
 
   // Background file-cache population: pulls the whole file (and up to
@@ -227,7 +227,7 @@ class Olfs {
 
   // Per-path write serialization: concurrent mutations of one file are
   // read-modify-write cycles on its index and must not interleave.
-  sim::Task<sim::Mutex::ScopedLock> LockPath(const std::string& path);
+  sim::Task<sim::Mutex::ScopedLock> LockPath(std::string path);
   std::map<std::string, std::unique_ptr<sim::Mutex>> path_locks_;
 
   std::vector<std::string> op_trace_;

@@ -9,7 +9,7 @@
 namespace ros::olfs {
 
 sim::Task<StatusOr<std::vector<ParityImage>>> ParityBuilder::Build(
-    const std::vector<std::string>& data_ids,
+    std::vector<std::string> data_ids,
     std::vector<disk::Volume*> data_volumes, int parity_volume_index) {
   if (data_ids.empty()) {
     co_return InvalidArgumentError("no data images");

@@ -54,7 +54,7 @@ class ParityBuilder {
   // `bytes`); the single retained payload copy lives in the builder and is
   // served by Get() until the parity disc is burned.
   sim::Task<StatusOr<std::vector<ParityImage>>> Build(
-      const std::vector<std::string>& data_ids,
+      std::vector<std::string> data_ids,
       std::vector<disk::Volume*> data_volumes, int parity_volume_index);
 
   // Reconstructs one missing serialized data-image stream from the

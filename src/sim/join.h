@@ -34,6 +34,8 @@ inline Task<void> RunOne(Task<Status> task, std::shared_ptr<JoinState> state) {
 
 // Runs all tasks concurrently; completes when every task has completed.
 // Returns the first error encountered (by completion order), or OK.
+// ros-lint: allow(coro-ref-param): the Simulator is the scheduler itself
+// and by construction outlives every task it runs.
 inline Task<Status> AllOk(Simulator& sim, std::vector<Task<Status>> tasks) {
   if (tasks.empty()) {
     co_return OkStatus();

@@ -4,9 +4,11 @@
 
 namespace ros::workload {
 
+// ros-lint: allow(coro-ref-param): the simulator and stack are the long-
+// lived bench fixtures; identity matters and both outlive the workload.
 sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
     sim::Simulator& sim, frontend::FrontendStack& stack,
-    const std::string& path, std::uint64_t total_bytes,
+    std::string path, std::uint64_t total_bytes,
     std::uint64_t io_size) {
   StreamResult result;
   const sim::TimePoint start = sim.now();
@@ -20,9 +22,11 @@ sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
   co_return result;
 }
 
+// ros-lint: allow(coro-ref-param): the simulator and stack are the long-
+// lived bench fixtures; identity matters and both outlive the workload.
 sim::Task<StatusOr<StreamResult>> SinglestreamRead(
     sim::Simulator& sim, frontend::FrontendStack& stack,
-    const std::string& path, std::uint64_t total_bytes,
+    std::string path, std::uint64_t total_bytes,
     std::uint64_t io_size) {
   StreamResult result;
   const sim::TimePoint start = sim.now();

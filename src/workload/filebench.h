@@ -31,14 +31,14 @@ struct StreamResult {
 // through the given stack (filebench singlestreamwrite, default 1 MB I/O).
 sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
     sim::Simulator& sim, frontend::FrontendStack& stack,
-    const std::string& path, std::uint64_t total_bytes,
+    std::string path, std::uint64_t total_bytes,
     std::uint64_t io_size = 1 * kMB);
 
 // Sequentially reads `total_bytes` in `io_size` chunks (the file must
 // exist; filebench singlestreamread).
 sim::Task<StatusOr<StreamResult>> SinglestreamRead(
     sim::Simulator& sim, frontend::FrontendStack& stack,
-    const std::string& path, std::uint64_t total_bytes,
+    std::string path, std::uint64_t total_bytes,
     std::uint64_t io_size = 1 * kMB);
 
 // A synthetic archival ingest description: file sizes follow a mixed

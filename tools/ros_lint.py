@@ -1,0 +1,479 @@
+#!/usr/bin/env python3
+"""ros-lint: repo-specific static checks for Status and coroutine discipline.
+
+A deliberately small "clang-AST-lite" checker (regex + brace matching over
+preprocessed-ish text) that enforces the four invariants the ROS codebase
+leans on but the compiler cannot fully check:
+
+  discarded-status    A call to a Status / StatusOr / sim::Task<Status>
+                      returning function whose result is dropped on the
+                      floor (not returned, assigned, tested, wrapped in
+                      ROS_RETURN_IF_ERROR / ROS_CO_RETURN_IF_ERROR, or
+                      explicitly voided with `(void)`).
+
+  coro-ref-param      A sim::Task coroutine *definition* taking a parameter
+                      by reference or as std::string_view. Coroutine frames
+                      capture references, not referents: once the coroutine
+                      suspends at a co_await, a caller's temporary bound to
+                      that reference may be gone when it resumes
+                      (CP.53-style hazard). Parameters should be by value;
+                      a justified exception carries an inline
+                      `// ros-lint: allow(coro-ref-param): <why>` on the
+                      signature line or the line above.
+
+  coro-ref-lambda     A lambda with by-reference captures (`[&]` / `[&x]`)
+                      that is itself a coroutine (its body co_awaits) or is
+                      directly co_awaited. Same dangling shape as above:
+                      the lambda object usually dies at the first
+                      suspension point while the frame keeps the captures.
+
+  raw-new-delete      Raw `new` / `delete` expressions. The codebase owns
+                      memory through containers and std::unique_ptr only.
+
+Usage:
+    tools/ros_lint.py [paths...]          # default: src/ of the repo root
+    tools/ros_lint.py --list-status-fns   # debug: dump the Status fn set
+
+Suppressions:
+  - inline: `// ros-lint: allow(<rule>[, <rule>...]): justification`
+    applies to its own line and the statement that starts on the next line.
+  - file: tools/ros_lint_allow.txt, lines of `<path-suffix>:<rule>`; use
+    sparingly — inline annotations keep the justification next to the code.
+
+Exit status: 0 when clean, 1 when findings were printed, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+RULES = (
+    "discarded-status",
+    "coro-ref-param",
+    "coro-ref-lambda",
+    "raw-new-delete",
+)
+
+ALLOW_RE = re.compile(r"ros-lint:\s*allow\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literal *contents*, preserving
+    offsets and newlines so line numbers keep working. `ros-lint:` allow
+    annotations are read from the original text, not the stripped one."""
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(a: int, b: int) -> None:
+        for k in range(a, b):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            blank(i, j + 2)
+            i = j + 2
+        elif c == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^()\\ ]*)\(', text[i:])
+            if not m:
+                i += 1
+                continue
+            delim = m.group(1)
+            close = ")" + delim + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j < 0 else j
+            blank(i + m.end(), j)
+            i = j + len(close)
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j = j + 2 if text[j] == "\\" else j + 1
+            blank(i + 1, j)
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def find_matching(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the bracket matching text[start] (which must be
+    open_ch), or -1. Call on stripped text only."""
+    assert text[start] == open_ch
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def line_of(text: str, index: int) -> int:
+    return text.count("\n", 0, index) + 1
+
+
+def split_top_level(params: str) -> list[str]:
+    """Splits a parameter list at commas not nested in <>, (), {} or []."""
+    parts, depth, cur = [], 0, []
+    for ch in params:
+        if ch in "<({[":
+            depth += 1
+        elif ch in ">)}]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append("".join(cur))
+    return parts
+
+
+class FileLint:
+    def __init__(self, path: str, text: str, status_fns: set[str]):
+        self.path = path
+        self.text = text
+        self.stripped = strip_comments_and_strings(text)
+        self.lines = text.splitlines()
+        self.status_fns = status_fns
+        self.findings: list[Finding] = []
+
+    # --- suppression -----------------------------------------------------
+
+    def allowed(self, line: int, rule: str) -> bool:
+        """True when an allow annotation covers `rule` (1-based line): on
+        the line itself, or anywhere in the contiguous `//` comment block
+        immediately above it (justifications often wrap to several lines)."""
+        candidates = [line]
+        lineno = line - 1
+        while lineno >= 1 and self.lines[lineno - 1].lstrip().startswith("//"):
+            candidates.append(lineno)
+            lineno -= 1
+        for lineno in candidates:
+            if 1 <= lineno <= len(self.lines):
+                m = ALLOW_RE.search(self.lines[lineno - 1])
+                if m and rule in [r.strip() for r in m.group(1).split(",")]:
+                    return True
+        return False
+
+    def report(self, index: int, rule: str, message: str) -> None:
+        line = line_of(self.stripped, index)
+        if not self.allowed(line, rule):
+            self.findings.append(Finding(self.path, line, rule, message))
+
+    # --- rule: discarded-status -----------------------------------------
+
+    STMT_CALL_RE = re.compile(
+        r"(?m)^[ \t]*(?P<await>co_await[ \t]+)?"
+        r"(?P<expr>[A-Za-z_][\w]*(?:(?:\.|->|::)[A-Za-z_]\w*)*)\s*\("
+    )
+
+    def check_discarded_status(self) -> None:
+        for m in self.STMT_CALL_RE.finditer(self.stripped):
+            callee = m.group("expr").split("::")[-1]
+            callee = re.split(r"\.|->", callee)[-1]
+            if callee not in self.status_fns:
+                continue
+            # A match at the start of a line is only a *statement* if the
+            # previous token ended one: `auto x =\n  co_await Foo(...);`
+            # puts the call at a line start but it is a continuation, not
+            # a discard. Same for multi-line declarations.
+            before = self.stripped[: m.start()].rstrip()
+            if before and before[-1] not in ";{}":
+                continue
+            open_paren = self.stripped.index("(", m.end() - 1)
+            end = find_matching(self.stripped, open_paren, "(", ")")
+            if end < 0:
+                continue
+            rest = self.stripped[end:].lstrip()
+            # Only a statement-terminating `;` means the value was dropped;
+            # `.`, `->`, operators etc. mean the result is being consumed.
+            if not rest.startswith(";"):
+                continue
+            # Control-flow keywords never reach here (they are not in the
+            # status fn set), but a same-line prefix like `return` or an
+            # assignment would not match ^\s* either.
+            self.report(
+                m.start(),
+                "discarded-status",
+                f"result of Status-returning '{callee}(...)' is discarded; "
+                "propagate it (ROS_RETURN_IF_ERROR / ROS_CO_RETURN_IF_ERROR),"
+                " handle it, or cast to (void) with a comment",
+            )
+
+    # --- rule: coro-ref-param -------------------------------------------
+
+    TASK_FN_RE = re.compile(
+        r"(?:sim::|ros::sim::)?Task<[^;{}()]*>\s+"
+        r"(?P<name>[A-Za-z_][\w:]*)\s*\("
+    )
+
+    def check_coro_ref_param(self) -> None:
+        for m in self.TASK_FN_RE.finditer(self.stripped):
+            open_paren = self.stripped.index("(", m.end() - 1)
+            params_end = find_matching(self.stripped, open_paren, "(", ")")
+            if params_end < 0:
+                continue
+            # Definition? Look for `{` (allowing const / noexcept etc.).
+            after = self.stripped[params_end:]
+            brace_off = re.match(r"[\sA-Za-z&:]*\{", after)
+            if not brace_off:
+                continue  # declaration only
+            body_start = params_end + brace_off.end() - 1
+            body_end = find_matching(self.stripped, body_start, "{", "}")
+            if body_end < 0:
+                body_end = len(self.stripped)
+            body = self.stripped[body_start:body_end]
+            if "co_await" not in body and "co_return" not in body and \
+                    "co_yield" not in body:
+                continue  # Task-returning but not itself a coroutine
+            params = self.stripped[open_paren + 1 : params_end - 1]
+            for param in split_top_level(params):
+                p = param.strip()
+                if not p:
+                    continue
+                if "&" in p or "string_view" in p:
+                    self.report(
+                        m.start(),
+                        "coro-ref-param",
+                        f"coroutine '{m.group('name')}' takes "
+                        f"'{' '.join(p.split())}' — references/string_views "
+                        "can dangle across co_await; pass by value or "
+                        "annotate with ros-lint: allow(coro-ref-param)",
+                    )
+
+    # --- rule: coro-ref-lambda ------------------------------------------
+
+    REF_CAPTURE_RE = re.compile(r"\[\s*&")
+
+    def check_coro_ref_lambda(self) -> None:
+        for m in self.REF_CAPTURE_RE.finditer(self.stripped):
+            # Must look like a lambda introducer: `[&...] (` or `[&...] {`
+            # or `[&...] mutable` etc.
+            close = self.stripped.find("]", m.start())
+            if close < 0:
+                continue
+            after = self.stripped[close + 1 :].lstrip()
+            if not after.startswith(("(", "{", "mutable", "->")):
+                continue
+            # Find the lambda body.
+            idx = close + 1
+            while idx < len(self.stripped) and self.stripped[idx] != "{":
+                if self.stripped[idx] == "(":
+                    idx = find_matching(self.stripped, idx, "(", ")")
+                    if idx < 0:
+                        return
+                else:
+                    idx += 1
+            if idx >= len(self.stripped):
+                continue
+            body_end = find_matching(self.stripped, idx, "{", "}")
+            if body_end < 0:
+                continue
+            body = self.stripped[idx:body_end]
+            is_coroutine = "co_await" in body or "co_return" in body
+            # co_awaited directly: `co_await [&]{...}()` style.
+            stmt_start = max(
+                self.stripped.rfind(";", 0, m.start()),
+                self.stripped.rfind("{", 0, m.start()),
+            )
+            prefix = self.stripped[stmt_start + 1 : m.start()]
+            directly_awaited = "co_await" in prefix
+            if is_coroutine or directly_awaited:
+                self.report(
+                    m.start(),
+                    "coro-ref-lambda",
+                    "by-reference lambda capture in a co_await context — "
+                    "the lambda object (and its captures) can die at the "
+                    "first suspension point; capture by value or annotate "
+                    "with ros-lint: allow(coro-ref-lambda)",
+                )
+
+    # --- rule: raw-new-delete -------------------------------------------
+
+    NEW_RE = re.compile(r"(?<![\w.])new\s+[A-Za-z_(:<]")
+    DELETE_RE = re.compile(r"(?<![\w.])delete\s*(\[\s*\])?\s*[A-Za-z_*(]")
+
+    def check_raw_new_delete(self) -> None:
+        for m in self.NEW_RE.finditer(self.stripped):
+            self.report(
+                m.start(),
+                "raw-new-delete",
+                "raw 'new' — use std::make_unique / containers",
+            )
+        for m in self.DELETE_RE.finditer(self.stripped):
+            # `= delete` / `= delete;` are declarations, not expressions.
+            before = self.stripped[: m.start()].rstrip()
+            if before.endswith("="):
+                continue
+            self.report(
+                m.start(),
+                "raw-new-delete",
+                "raw 'delete' — owning pointers must be std::unique_ptr",
+            )
+
+    def run(self) -> list[Finding]:
+        self.check_discarded_status()
+        self.check_coro_ref_param()
+        self.check_coro_ref_lambda()
+        self.check_raw_new_delete()
+        return self.findings
+
+
+# --- status function inventory ------------------------------------------
+
+STATUS_DECL_RE = re.compile(
+    r"(?:^|[;{}\n])\s*(?:static\s+|inline\s+|friend\s+|virtual\s+|constexpr\s+)*"
+    r"(?:ros::)?(?:Status|StatusOr<[^;{}]*>|(?:sim::)?Task<\s*(?:ros::)?Status"
+    r"(?:Or<[^;{}]*>)?\s*>)\s+"
+    r"(?:[A-Za-z_]\w*::)*(?P<name>[A-Za-z_]\w*)\s*\("
+)
+
+# Builders that *produce* a Status value: discarding those is just building
+# a temporary, so they are excluded from the callee set.
+STATUS_FACTORIES = {
+    "Ok", "OkStatus", "NotFoundError", "AlreadyExistsError",
+    "InvalidArgumentError", "OutOfRangeError", "ResourceExhaustedError",
+    "FailedPreconditionError", "UnavailableError", "DataLossError",
+    "InternalError", "Status", "StatusOr", "status", "ToString",
+}
+
+
+# Any function-shaped declaration; used to find names that are ALSO
+# declared with a non-Status return type (e.g. FileCache::Put returns void
+# while MetadataVolume::Put returns Task<Status>). The checker matches
+# callees by name only, so such ambiguous names must be dropped from the
+# Status set or every `cache->Put(...)` would be a false positive.
+ANY_DECL_RE = re.compile(
+    r"(?:^|[;{}\n])\s*(?:static\s+|inline\s+|friend\s+|virtual\s+|constexpr\s+)*"
+    r"(?P<ret>(?:[A-Za-z_][\w:]*)(?:<[^;{}()]*>)?(?:\s*[*&])?)\s+"
+    r"(?:[A-Za-z_]\w*::)*(?P<name>[A-Za-z_]\w*)\s*\("
+)
+
+CPP_KEYWORDS = {
+    "if", "while", "for", "switch", "return", "co_return", "co_await",
+    "case", "else", "do", "new", "delete", "sizeof", "throw", "using",
+    "typedef", "template", "typename", "class", "struct", "enum", "goto",
+}
+
+
+def collect_status_fns(files: dict[str, str]) -> set[str]:
+    fns: set[str] = set()
+    ambiguous: set[str] = set()
+    for text in files.values():
+        stripped = strip_comments_and_strings(text)
+        for m in STATUS_DECL_RE.finditer(stripped):
+            name = m.group("name")
+            if name not in STATUS_FACTORIES:
+                fns.add(name)
+        for m in ANY_DECL_RE.finditer(stripped):
+            ret = m.group("ret").strip()
+            name = m.group("name")
+            if ret in CPP_KEYWORDS or name in CPP_KEYWORDS:
+                continue
+            if re.search(r"\b(Status|StatusOr|Task)\b", ret):
+                continue
+            ambiguous.add(name)
+    return fns - ambiguous
+
+
+def load_allowlist(path: str) -> set[tuple[str, str]]:
+    entries: set[tuple[str, str]] = set()
+    if not os.path.exists(path):
+        return entries
+    with open(path, encoding="utf-8") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if ":" not in line:
+                continue
+            suffix, rule = line.rsplit(":", 1)
+            entries.add((suffix, rule.strip()))
+    return entries
+
+
+def gather_files(paths: list[str]) -> dict[str, str]:
+    files: dict[str, str] = {}
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith((".cc", ".h")):
+                        full = os.path.join(root, name)
+                        with open(full, encoding="utf-8") as fh:
+                            files[full] = fh.read()
+        else:
+            with open(path, encoding="utf-8") as fh:
+                files[path] = fh.read()
+    return files
+
+
+def main(argv: list[str]) -> int:
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        default=[os.path.join(repo_root, "src")])
+    parser.add_argument("--allowlist",
+                        default=os.path.join(repo_root, "tools",
+                                             "ros_lint_allow.txt"))
+    parser.add_argument("--list-status-fns", action="store_true")
+    args = parser.parse_args(argv)
+
+    files = gather_files(args.paths)
+    status_fns = collect_status_fns(files)
+    if args.list_status_fns:
+        for name in sorted(status_fns):
+            print(name)
+        return 0
+
+    allow = load_allowlist(args.allowlist)
+    findings: list[Finding] = []
+    for path, text in sorted(files.items()):
+        for finding in FileLint(path, text, status_fns).run():
+            rel = os.path.relpath(finding.path, repo_root)
+            if any(rel.endswith(suffix) and rule == finding.rule
+                   for suffix, rule in allow):
+                continue
+            finding.path = rel
+            findings.append(finding)
+
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"ros-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,206 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/ros_lint.py (run via ctest or directly)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import ros_lint
+
+
+def lint_source(source, status_fns=None, extra_decls=""):
+    """Lints a single in-memory translation unit; returns finding rules
+    with line numbers. `extra_decls` participates in status-fn inventory
+    without being linted (models a header elsewhere in the tree)."""
+    files = {"test.cc": source}
+    if extra_decls:
+        files["decls.h"] = extra_decls
+    fns = status_fns if status_fns is not None \
+        else ros_lint.collect_status_fns(files)
+    lint = ros_lint.FileLint("test.cc", source, fns)
+    return [(f.rule, f.line) for f in lint.run()]
+
+
+class StripTest(unittest.TestCase):
+    def test_strips_comments_and_strings_preserving_offsets(self):
+        src = 'int x; // new Foo\nconst char* s = "delete p";\n/* new */ int y;\n'
+        out = ros_lint.strip_comments_and_strings(src)
+        self.assertEqual(len(out), len(src))
+        self.assertNotIn("new", out)
+        self.assertNotIn("delete", out)
+        self.assertEqual(out.count("\n"), src.count("\n"))
+
+    def test_raw_string_contents_blanked(self):
+        src = 'auto j = R"({"a": "new X"})";\nint z;\n'
+        out = ros_lint.strip_comments_and_strings(src)
+        self.assertNotIn("new X", out)
+        self.assertIn("int z;", out)
+
+
+class DiscardedStatusTest(unittest.TestCase):
+    DECLS = "Status DoWork(int x);\nsim::Task<Status> AsyncWork();\n"
+
+    def test_flags_bare_call(self):
+        rules = lint_source("void f() {\n  DoWork(1);\n}\n",
+                            extra_decls=self.DECLS)
+        self.assertIn(("discarded-status", 2), rules)
+
+    def test_flags_bare_co_await(self):
+        src = "sim::Task<void> f() {\n  co_await AsyncWork();\n}\n"
+        rules = lint_source(src, extra_decls=self.DECLS)
+        self.assertIn(("discarded-status", 2), rules)
+
+    def test_consumed_results_not_flagged(self):
+        src = (
+            "Status g() {\n"
+            "  ROS_RETURN_IF_ERROR(DoWork(1));\n"
+            "  Status s = DoWork(2);\n"
+            "  if (!DoWork(3).ok()) { return s; }\n"
+            "  (void)DoWork(4);\n"
+            "  return DoWork(5);\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src, extra_decls=self.DECLS)]
+        self.assertNotIn("discarded-status", rules)
+
+    def test_continuation_line_not_flagged(self):
+        # `auto x =` on one line, the call on the next: consumed, not
+        # discarded, even though the call starts its own line.
+        src = (
+            "sim::Task<void> f() {\n"
+            "  auto s =\n"
+            "      co_await AsyncWork();\n"
+            "  (void)s;\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src, extra_decls=self.DECLS)]
+        self.assertNotIn("discarded-status", rules)
+
+    def test_ambiguous_name_not_flagged(self):
+        # Put returns void on one class and Status on another: the
+        # name-matching checker must drop it rather than guess.
+        decls = "Status Put(int x);\nvoid Put(double y);\n"
+        rules = lint_source("void f() {\n  Put(1);\n}\n", extra_decls=decls)
+        self.assertEqual(rules, [])
+
+    def test_inline_allow_suppresses(self):
+        src = (
+            "void f() {\n"
+            "  // ros-lint: allow(discarded-status): best-effort probe\n"
+            "  DoWork(1);\n"
+            "}\n"
+        )
+        self.assertEqual(lint_source(src, extra_decls=self.DECLS), [])
+
+
+class CoroRefParamTest(unittest.TestCase):
+    def test_flags_ref_and_string_view_params(self):
+        src = (
+            "sim::Task<Status> f(const std::string& name,\n"
+            "                    std::string_view tag, int n) {\n"
+            "  co_return OkStatus();\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src)]
+        self.assertEqual(rules.count("coro-ref-param"), 2)
+
+    def test_by_value_params_clean(self):
+        src = ("sim::Task<Status> f(std::string name, int n) {\n"
+               "  co_return OkStatus();\n}\n")
+        self.assertEqual(lint_source(src), [])
+
+    def test_declaration_not_flagged(self):
+        # Only definitions are coroutines; a declaration has no body.
+        src = "sim::Task<Status> f(const std::string& name);\n"
+        self.assertEqual(lint_source(src), [])
+
+    def test_non_coroutine_task_wrapper_not_flagged(self):
+        # Task-returning but no co_* in the body: plain forwarding
+        # function, references are fine.
+        src = ("sim::Task<Status> f(const std::string& name) {\n"
+               "  return g(name);\n}\n")
+        self.assertEqual(lint_source(src), [])
+
+    def test_multiline_allow_comment_suppresses(self):
+        src = (
+            "// ros-lint: allow(coro-ref-param): sim outlives every task\n"
+            "// it runs, so the reference cannot dangle.\n"
+            "sim::Task<Status> f(Simulator& sim) {\n"
+            "  co_return OkStatus();\n"
+            "}\n"
+        )
+        self.assertEqual(lint_source(src), [])
+
+
+class CoroRefLambdaTest(unittest.TestCase):
+    def test_flags_ref_capture_coroutine_lambda(self):
+        src = ("void f() {\n"
+               "  auto t = [&]() -> sim::Task<void> {\n"
+               "    co_await Tick();\n"
+               "  };\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertIn("coro-ref-lambda", rules)
+
+    def test_flags_directly_awaited_ref_lambda(self):
+        src = ("sim::Task<void> f() {\n"
+               "  co_await Run([&] { return x; });\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertIn("coro-ref-lambda", rules)
+
+    def test_plain_callback_lambda_clean(self):
+        # Synchronous visitor callbacks capture by reference all over the
+        # tree; without co_await involvement they are fine.
+        src = ("void f() {\n"
+               "  image.Walk([&](const Node& n) { count += 1; });\n"
+               "}\n")
+        self.assertEqual(lint_source(src), [])
+
+
+class RawNewDeleteTest(unittest.TestCase):
+    def test_flags_new_and_delete(self):
+        src = ("void f() {\n"
+               "  auto* p = new Foo();\n"
+               "  delete p;\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertEqual(rules.count("raw-new-delete"), 2)
+
+    def test_deleted_functions_clean(self):
+        src = ("struct Foo {\n"
+               "  Foo(const Foo&) = delete;\n"
+               "  Foo& operator=(const Foo&) = delete;\n"
+               "};\n")
+        self.assertEqual(lint_source(src), [])
+
+    def test_make_unique_and_strings_clean(self):
+        src = ('void f() {\n'
+               '  auto p = std::make_unique<Foo>();\n'
+               '  std::string s = "new and delete in a string";\n'
+               '  // new in a comment\n'
+               '}\n')
+        self.assertEqual(lint_source(src), [])
+
+
+class AllowlistTest(unittest.TestCase):
+    def test_allowlist_file_filters_by_suffix_and_rule(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            src = os.path.join(tmp, "gen.cc")
+            with open(src, "w") as fh:
+                fh.write("void f() {\n  auto* p = new Foo();\n  (void)p;\n}\n")
+            allow = os.path.join(tmp, "allow.txt")
+            with open(allow, "w") as fh:
+                fh.write("# generated code\ngen.cc:raw-new-delete\n")
+            rc = ros_lint.main([src, "--allowlist", allow])
+            self.assertEqual(rc, 0)
+            rc = ros_lint.main([src, "--allowlist",
+                                os.path.join(tmp, "missing.txt")])
+            self.assertEqual(rc, 1)
+
+
+if __name__ == "__main__":
+    unittest.main()
