@@ -1,0 +1,612 @@
+// Metadata fast-path benchmark (DESIGN.md §5d): decoded-index cache,
+// range-bounded namespace scans and the allocation-lean index JSON,
+// measured against in-bench emulations of the pre-change code paths:
+//
+//   stat      before: ReadAll + byte->string copy + tree-parse decode
+//             after:  MetadataVolume::Get (decoded-index cache hit)
+//   create    before: build json::Value tree + Dump + string->byte copy
+//             after:  MetadataVolume::Put (hand-rolled single-buffer writer)
+//   readdir   before: full file-table sweep + per-name filter + sort
+//             after:  MetadataVolume::ListChildren (range scan, subtree skip)
+//   count     before: materialize every index name, then .size()
+//             after:  MetadataVolume::index_count (CountPrefix)
+//
+// Prints one JSON document (host wall-clock ops/s; simulated time is
+// identical for both stat variants by construction). Also runs a
+// differential mode: a randomized Put/Get/Remove/corrupt/wipe/restore
+// sequence against a cached MV and a cache-disabled MV must agree on every
+// status code and every decoded byte; any divergence fails the run.
+//
+// Flags: --smoke (tiny sizes, CI), --large (adds 1M entries).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/json.h"
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/disk/block_device.h"
+#include "src/disk/volume.h"
+#include "src/olfs/index_file.h"
+#include "src/olfs/metadata_volume.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using namespace ros;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// One MV stack, mirroring the paper's SSD metadata volume.
+struct Fixture {
+  Fixture(std::uint64_t capacity, std::size_t cache_capacity)
+      : device(sim, "ssd", capacity, disk::SsdPerf()),
+        volume(sim, &device, disk::MetadataVolumeParams()),
+        mv(&volume, cache_capacity) {}
+
+  sim::Simulator sim;
+  disk::StorageDevice device;
+  disk::Volume volume;
+  olfs::MetadataVolume mv;
+};
+
+olfs::IndexFile MakeIndex(const std::string& path, std::uint64_t size) {
+  olfs::IndexFile index(path, olfs::EntryType::kFile);
+  olfs::VersionEntry entry;
+  entry.total_size = size;
+  entry.parts.push_back({"img-000042", size});
+  index.AddVersion(std::move(entry), 15);
+  return index;
+}
+
+// The pre-change serializer: build a json::Value tree, Dump it, copy the
+// string into a byte vector. Mirrors the old IndexFile::ToJson (bench
+// indexes carry no forepart).
+std::vector<std::uint8_t> LegacyEncode(const olfs::IndexFile& index) {
+  json::Object root;
+  json::Array entries;
+  for (const olfs::VersionEntry& e : index.entries()) {
+    json::Object obj;
+    obj["ver"] = json::Value(e.version);
+    obj["loc"] =
+        json::Value(std::string(1, olfs::LocationCode(e.location)));
+    obj["size"] = json::Value(static_cast<std::int64_t>(e.total_size));
+    obj["del"] = json::Value(e.tombstone);
+    json::Array parts;
+    for (const olfs::FilePart& p : e.parts) {
+      json::Object po;
+      po["img"] = json::Value(p.image_id);
+      po["size"] = json::Value(static_cast<std::int64_t>(p.size));
+      parts.push_back(json::Value(std::move(po)));
+    }
+    obj["parts"] = json::Value(std::move(parts));
+    entries.push_back(json::Value(std::move(obj)));
+  }
+  root["entries"] = json::Value(std::move(entries));
+  root["next_ver"] = json::Value(index.latest_version() + 1);
+  root["path"] = json::Value(index.path());
+  root["type"] = json::Value(
+      index.type() == olfs::EntryType::kFile ? "file" : "dir");
+  const std::string doc = json::Value(std::move(root)).Dump();
+  return {doc.begin(), doc.end()};
+}
+
+// --- coroutine drivers (one RunUntilComplete per measured loop) ---
+
+sim::Task<Status> LegacyCreateMany(disk::Volume* volume,
+                                   const std::vector<std::string>* names) {
+  for (const std::string& name : *names) {
+    const std::string path = name.substr(4);  // strip "/idx"
+    const std::vector<std::uint8_t> bytes = LegacyEncode(MakeIndex(path, 64));
+    if (!volume->Exists(name)) {
+      ROS_CO_RETURN_IF_ERROR(co_await volume->Create(name));
+    }
+    ROS_CO_RETURN_IF_ERROR(co_await volume->WriteAll(name, bytes));
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> FastCreateMany(olfs::MetadataVolume* mv,
+                                 const std::vector<std::string>* paths) {
+  for (const std::string& path : *paths) {
+    ROS_CO_RETURN_IF_ERROR(co_await mv->Put(MakeIndex(path, 64)));
+  }
+  co_return OkStatus();
+}
+
+// Pre-change Get: name mapping, whole-file read, byte->string copy, tree
+// decode — exactly what MetadataVolume::Get used to do.
+sim::Task<Status> LegacyStatMany(disk::Volume* volume,
+                                 const std::vector<std::string>* paths,
+                                 int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (const std::string& path : *paths) {
+      auto data = co_await volume->ReadAll("/idx" + path);
+      if (!data.ok()) {
+        co_return data.status();
+      }
+      const std::string text(data->begin(), data->end());
+      auto decoded = olfs::IndexFile::FromJsonTree(text);
+      if (!decoded.ok()) {
+        co_return decoded.status();
+      }
+    }
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> FastStatMany(const olfs::MetadataVolume* mv,
+                               const std::vector<std::string>* paths,
+                               int rounds) {
+  for (int r = 0; r < rounds; ++r) {
+    for (const std::string& path : *paths) {
+      auto index = co_await mv->GetRef(path);
+      if (!index.ok()) {
+        co_return index.status();
+      }
+    }
+  }
+  co_return OkStatus();
+}
+
+// --- pre-change namespace scans ---
+
+// The old Volume::List walked the whole file table for every call; the old
+// MetadataVolume::ListChildren then filtered and sorted. ForEachPrefix("")
+// reproduces the full sweep (without even charging the old per-name vector
+// copies, so the reported speedup is an underestimate).
+std::vector<std::string> LegacyListChildren(const disk::Volume& volume,
+                                            const std::string& path) {
+  const std::string prefix =
+      path == "/" ? std::string("/idx/") : "/idx" + path + "/";
+  std::vector<std::string> children;
+  volume.ForEachPrefix("", [&](const std::string& name, std::uint64_t) {
+    if (name.compare(0, prefix.size(), prefix) != 0) {
+      return;
+    }
+    const std::string_view rest =
+        std::string_view(name).substr(prefix.size());
+    if (rest.empty() || rest.find('/') != std::string_view::npos) {
+      return;
+    }
+    children.emplace_back(rest);
+  });
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+std::uint64_t LegacyIndexCount(const disk::Volume& volume) {
+  std::vector<std::string> names;
+  volume.ForEachPrefix("", [&](const std::string& name, std::uint64_t) {
+    if (name.compare(0, 5, "/idx/") == 0) {
+      names.push_back(name);
+    }
+  });
+  return names.size();
+}
+
+// --- differential mode ---
+
+olfs::IndexFile RandomIndex(Rng& rng, const std::string& path) {
+  olfs::IndexFile index(path, rng.Chance(0.2)
+                                  ? olfs::EntryType::kDirectory
+                                  : olfs::EntryType::kFile);
+  const int versions = static_cast<int>(rng.Below(3)) + 1;
+  for (int v = 0; v < versions; ++v) {
+    olfs::VersionEntry entry;
+    entry.total_size = rng.Below(1 << 20);
+    entry.tombstone = rng.Chance(0.1);
+    const olfs::LocationKind kinds[] = {olfs::LocationKind::kBucket,
+                                        olfs::LocationKind::kImage,
+                                        olfs::LocationKind::kDisc};
+    entry.location = kinds[rng.Below(3)];
+    const int parts = static_cast<int>(rng.Below(2)) + 1;
+    for (int p = 0; p < parts; ++p) {
+      entry.parts.push_back(
+          {"img-" + std::to_string(rng.Below(1000)),
+           rng.Below(1 << 19)});
+    }
+    index.AddVersion(std::move(entry), 15);
+  }
+  if (rng.Chance(0.3)) {
+    std::vector<std::uint8_t> forepart(rng.Below(32) + 1);
+    for (auto& b : forepart) {
+      b = static_cast<std::uint8_t>(rng.Next());
+    }
+    index.set_forepart(std::move(forepart));
+  }
+  return index;
+}
+
+// Applies one operation to an MV, reducing the outcome to a comparable
+// string: status code for failures, the re-encoded index bytes for reads.
+sim::Task<std::string> ApplyOp(olfs::MetadataVolume* mv, int op,
+                               std::string path, olfs::IndexFile index,
+                               std::vector<std::uint8_t> raw) {
+  std::string outcome;
+  if (op == 0) {  // Put
+    Status status = co_await mv->Put(std::move(index));
+    outcome = "put:";
+    outcome += StatusCodeName(status.code());
+  } else if (op == 1) {  // Get: the shared-ref fast path, then the value
+                         // wrapper — both must agree with the plain MV.
+    auto got = co_await mv->GetRef(path);
+    outcome = "get:";
+    if (got.ok()) {
+      outcome += (*got)->ToJson();
+    } else {
+      outcome += StatusCodeName(got.status().code());
+    }
+    auto copy = co_await mv->Get(path);
+    outcome += "|copy:";
+    if (copy.ok()) {
+      outcome += copy->ToJson();
+    } else {
+      outcome += StatusCodeName(copy.status().code());
+    }
+  } else if (op == 2) {  // Remove
+    Status status = co_await mv->Remove(std::move(path));
+    outcome = "rm:";
+    outcome += StatusCodeName(status.code());
+  } else {  // Raw volume write behind the MV's back (may be garbage).
+    const std::string name = olfs::MetadataVolume::IndexName(path);
+    if (!mv->volume()->Exists(name)) {
+      outcome = "raw:absent";
+    } else {
+      Status status =
+          co_await mv->volume()->WriteAll(name, std::move(raw));
+      outcome = "raw:";
+      outcome += StatusCodeName(status.code());
+    }
+  }
+  co_return outcome;
+}
+
+// Runs the same randomized operation sequence against a small cached MV and
+// a cache-disabled MV; every op outcome and every namespace view must
+// match. Returns a list of human-readable mismatches (empty = identical).
+std::vector<std::string> RunDifferential(std::uint64_t seed, int ops) {
+  constexpr std::size_t kPaths = 64;
+  constexpr std::size_t kSmallCache = 32;  // < kPaths, to force evictions
+  Fixture cached(256 * kMiB, kSmallCache);
+  Fixture plain(256 * kMiB, 0);
+  std::vector<std::string> mismatches;
+
+  Rng rng(seed);
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < kPaths; ++i) {
+    paths.push_back("/diff/d" + std::to_string(i % 8) + "/f" +
+                    std::to_string(i));
+  }
+
+  for (int i = 0; i < ops; ++i) {
+    const std::string& path = paths[rng.Below(paths.size())];
+    const int op = static_cast<int>(rng.Below(10));
+    // op 0-3: Put, 4-6: Get, 7: Remove, 8: raw rewrite, 9: raw corrupt.
+    int kind = 0;
+    if (op >= 4 && op <= 6) {
+      kind = 1;
+    } else if (op == 7) {
+      kind = 2;
+    } else if (op >= 8) {
+      kind = 3;
+    }
+    olfs::IndexFile index = RandomIndex(rng, path);
+    std::vector<std::uint8_t> raw;
+    if (kind == 3) {
+      if (op == 8) {
+        const std::string doc = RandomIndex(rng, path).ToJson();
+        raw.assign(doc.begin(), doc.end());
+      } else {
+        raw.resize(rng.Below(64) + 1);
+        for (auto& b : raw) {
+          b = static_cast<std::uint8_t>(rng.Next());
+        }
+      }
+    }
+    const std::string a = cached.sim.RunUntilComplete(
+        ApplyOp(&cached.mv, kind, path, index, raw));
+    const std::string b = plain.sim.RunUntilComplete(
+        ApplyOp(&plain.mv, kind, path, index, raw));
+    if (a != b) {
+      mismatches.push_back("op " + std::to_string(i) + " on " + path +
+                           ": cached=" + a + " plain=" + b);
+    }
+    if (cached.mv.cache_size() > kSmallCache) {
+      mismatches.push_back("cache exceeded its bound at op " +
+                           std::to_string(i));
+    }
+
+    if (i == ops / 2) {
+      // Mid-sequence: snapshot, wipe, restore — both MVs go through the
+      // same transform and must come back identical.
+      for (Fixture* f : {&cached, &plain}) {
+        auto snapshot = f->sim.RunUntilComplete(
+            f->mv.BuildSnapshotImage("mv-snap", 256 * kMiB));
+        if (!snapshot.ok()) {
+          mismatches.push_back("snapshot failed: " +
+                               snapshot.status().ToString());
+          continue;
+        }
+        f->mv.WipeAll();
+        Status restored =
+            f->sim.RunUntilComplete(f->mv.RestoreFromSnapshot(*snapshot));
+        if (!restored.ok()) {
+          mismatches.push_back("restore failed: " + restored.ToString());
+        }
+      }
+    }
+  }
+
+  // Final sweep: namespace views and every decoded index must agree.
+  if (cached.mv.index_count() != plain.mv.index_count()) {
+    mismatches.push_back("index_count diverged");
+  }
+  if (cached.mv.AllPaths() != plain.mv.AllPaths()) {
+    mismatches.push_back("AllPaths diverged");
+  }
+  for (const char* dir : {"/", "/diff", "/diff/d0", "/diff/d5"}) {
+    if (cached.mv.ListChildren(dir) != plain.mv.ListChildren(dir)) {
+      mismatches.push_back(std::string("ListChildren diverged for ") + dir);
+    }
+    if (cached.mv.HasChildren(dir) != plain.mv.HasChildren(dir)) {
+      mismatches.push_back(std::string("HasChildren diverged for ") + dir);
+    }
+  }
+  for (const std::string& path : paths) {
+    const std::string a = cached.sim.RunUntilComplete(
+        ApplyOp(&cached.mv, 1, path, olfs::IndexFile(), {}));
+    const std::string b = plain.sim.RunUntilComplete(
+        ApplyOp(&plain.mv, 1, path, olfs::IndexFile(), {}));
+    if (a != b) {
+      mismatches.push_back("final read of " + path + " diverged");
+    }
+  }
+  if (cached.mv.cache_stats().evictions == 0) {
+    mismatches.push_back("expected LRU evictions with 64 paths in a "
+                         "32-entry cache");
+  }
+  return mismatches;
+}
+
+struct OpResult {
+  std::string op;
+  double baseline_ops_s = 0;
+  double fast_ops_s = 0;
+};
+
+json::Value ToJson(const OpResult& r) {
+  json::Object o;
+  o["op"] = r.op;
+  o["baseline_ops_s"] = r.baseline_ops_s;
+  o["fast_ops_s"] = r.fast_ops_s;
+  o["speedup"] = r.baseline_ops_s > 0 ? r.fast_ops_s / r.baseline_ops_s : 0.0;
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool large = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--large") == 0) {
+      large = true;
+    }
+  }
+
+  std::vector<std::size_t> sizes;
+  if (smoke) {
+    sizes = {1000};
+  } else {
+    sizes = {10'000, 100'000};
+    if (large) {
+      sizes.push_back(1'000'000);
+    }
+  }
+  const std::size_t stat_sample = smoke ? 256 : 2048;
+  const int stat_rounds = smoke ? 4 : 8;
+  const int readdir_calls = smoke ? 16 : 64;
+  const int count_calls = smoke ? 4 : 16;
+
+  json::Array size_results;
+  for (const std::size_t n : sizes) {
+    // ~256 files per directory, one block per index file.
+    const std::size_t dirs = std::max<std::size_t>(1, n / 256);
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(n) * 4 * kKiB + 64 * kMiB;
+    Fixture fx(capacity, olfs::MetadataVolume::kDefaultCacheCapacity);
+
+    std::vector<std::string> paths;
+    std::vector<std::string> names;  // "/idx" + path
+    paths.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      paths.push_back("/bench/d" + std::to_string(i % dirs) + "/f" +
+                      std::to_string(i / dirs));
+      names.push_back(olfs::MetadataVolume::IndexName(paths.back()));
+    }
+
+    OpResult create{.op = "create"};
+    {
+      auto start = Clock::now();
+      Status status =
+          fx.sim.RunUntilComplete(LegacyCreateMany(&fx.volume, &names));
+      create.baseline_ops_s =
+          status.ok() ? static_cast<double>(n) / SecondsSince(start) : 0;
+      if (!status.ok()) {
+        std::fprintf(stderr, "legacy create failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    fx.mv.WipeAll();
+    {
+      auto start = Clock::now();
+      Status status =
+          fx.sim.RunUntilComplete(FastCreateMany(&fx.mv, &paths));
+      create.fast_ops_s =
+          status.ok() ? static_cast<double>(n) / SecondsSince(start) : 0;
+      if (!status.ok()) {
+        std::fprintf(stderr, "create failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+
+    // Hot stat set: a uniform sample of paths, revisited every round.
+    std::vector<std::string> sample_paths;
+    const std::size_t stride = std::max<std::size_t>(1, n / stat_sample);
+    for (std::size_t i = 0; i < n; i += stride) {
+      sample_paths.push_back(paths[i]);
+    }
+    const double stat_ops = static_cast<double>(sample_paths.size());
+
+    // Best-of-rounds for both sides: each round is timed on its own and the
+    // fastest kept, so a scheduler hiccup during one round doesn't skew the
+    // ratio (both paths get the identical treatment).
+    OpResult stat{.op = "stat"};
+    for (int r = 0; r < stat_rounds; ++r) {
+      auto start = Clock::now();
+      Status status = fx.sim.RunUntilComplete(
+          LegacyStatMany(&fx.volume, &sample_paths, 1));
+      if (!status.ok()) {
+        std::fprintf(stderr, "legacy stat failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      stat.baseline_ops_s =
+          std::max(stat.baseline_ops_s, stat_ops / SecondsSince(start));
+    }
+    {
+      // One warm pass (the Puts above already populated the cache; this
+      // covers entries evicted since), then the measured rounds.
+      Status warm = fx.sim.RunUntilComplete(
+          FastStatMany(&fx.mv, &sample_paths, 1));
+      if (!warm.ok()) {
+        std::fprintf(stderr, "stat warmup failed: %s\n",
+                     warm.ToString().c_str());
+        return 1;
+      }
+    }
+    for (int r = 0; r < stat_rounds; ++r) {
+      auto start = Clock::now();
+      Status status = fx.sim.RunUntilComplete(
+          FastStatMany(&fx.mv, &sample_paths, 1));
+      if (!status.ok()) {
+        std::fprintf(stderr, "stat failed: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      stat.fast_ops_s =
+          std::max(stat.fast_ops_s, stat_ops / SecondsSince(start));
+    }
+
+    // readdir over a rotating set of directories.
+    OpResult readdir{.op = "readdir"};
+    {
+      std::size_t entries_seen = 0;
+      auto start = Clock::now();
+      for (int i = 0; i < readdir_calls; ++i) {
+        entries_seen += LegacyListChildren(
+            fx.volume, "/bench/d" + std::to_string(i % dirs)).size();
+      }
+      readdir.baseline_ops_s = readdir_calls / SecondsSince(start);
+      if (entries_seen == 0) {
+        std::fprintf(stderr, "legacy readdir saw no entries\n");
+        return 1;
+      }
+    }
+    {
+      std::size_t entries_seen = 0;
+      auto start = Clock::now();
+      for (int i = 0; i < readdir_calls; ++i) {
+        entries_seen +=
+            fx.mv.ListChildren("/bench/d" + std::to_string(i % dirs)).size();
+      }
+      readdir.fast_ops_s = readdir_calls / SecondsSince(start);
+      if (entries_seen == 0) {
+        std::fprintf(stderr, "readdir saw no entries\n");
+        return 1;
+      }
+    }
+
+    OpResult count{.op = "index_count"};
+    {
+      auto start = Clock::now();
+      std::uint64_t total = 0;
+      for (int i = 0; i < count_calls; ++i) {
+        total += LegacyIndexCount(fx.volume);
+      }
+      count.baseline_ops_s = count_calls / SecondsSince(start);
+      if (total != static_cast<std::uint64_t>(n) * count_calls) {
+        std::fprintf(stderr, "legacy index_count mismatch\n");
+        return 1;
+      }
+    }
+    {
+      auto start = Clock::now();
+      std::uint64_t total = 0;
+      for (int i = 0; i < count_calls; ++i) {
+        total += fx.mv.index_count();
+      }
+      count.fast_ops_s = count_calls / SecondsSince(start);
+      if (total != static_cast<std::uint64_t>(n) * count_calls) {
+        std::fprintf(stderr, "index_count mismatch\n");
+        return 1;
+      }
+    }
+
+    double snapshot_entries_s = 0;
+    {
+      auto start = Clock::now();
+      auto snapshot = fx.sim.RunUntilComplete(
+          fx.mv.BuildSnapshotImage("mv-bench-snap", capacity));
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "snapshot build failed: %s\n",
+                     snapshot.status().ToString().c_str());
+        return 1;
+      }
+      snapshot_entries_s = static_cast<double>(n) / SecondsSince(start);
+    }
+
+    json::Object row;
+    row["entries"] = json::Value(static_cast<std::int64_t>(n));
+    json::Array ops;
+    for (const OpResult& r : {create, stat, readdir, count}) {
+      ops.push_back(ToJson(r));
+    }
+    row["ops"] = json::Value(std::move(ops));
+    row["snapshot_build_entries_s"] = json::Value(snapshot_entries_s);
+    json::Object cache;
+    cache["hits"] = json::Value(
+        static_cast<std::int64_t>(fx.mv.cache_stats().hits));
+    cache["misses"] = json::Value(
+        static_cast<std::int64_t>(fx.mv.cache_stats().misses));
+    cache["evictions"] = json::Value(
+        static_cast<std::int64_t>(fx.mv.cache_stats().evictions));
+    row["cache"] = json::Value(std::move(cache));
+    size_results.push_back(json::Value(std::move(row)));
+  }
+
+  const std::vector<std::string> mismatches =
+      RunDifferential(/*seed=*/0x5eedu, smoke ? 200 : 600);
+  for (const std::string& m : mismatches) {
+    std::fprintf(stderr, "differential mismatch: %s\n", m.c_str());
+  }
+
+  json::Object doc;
+  doc["bench"] = json::Value("mv_hotpath");
+  doc["results"] = json::Value(std::move(size_results));
+  doc["differential_identical"] = json::Value(mismatches.empty());
+  std::printf("%s\n", json::Value(std::move(doc)).DumpPretty().c_str());
+  return mismatches.empty() ? 0 : 1;
+}

@@ -10,8 +10,9 @@ namespace ros::json {
 
 namespace {
 const Value kNullValue{};
+}  // namespace
 
-void AppendEscaped(std::string& out, std::string_view s) {
+void AppendQuoted(std::string& out, std::string_view s) {
   out.push_back('"');
   for (char c : s) {
     switch (c) {
@@ -35,6 +36,14 @@ void AppendEscaped(std::string& out, std::string_view s) {
   out.push_back('"');
 }
 
+void AppendInt(std::string& out, std::int64_t v) {
+  char buf[24];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 24 bytes always fit an int64
+  out.append(buf, p);
+}
+
+namespace {
 void AppendIndent(std::string& out, int indent, int depth) {
   if (indent > 0) {
     out.push_back('\n');
@@ -64,7 +73,7 @@ void Value::DumpTo(std::string& out, int indent, int depth) const {
   } else if (is_bool()) {
     out += as_bool() ? "true" : "false";
   } else if (is_int()) {
-    out += std::to_string(as_int());
+    AppendInt(out, as_int());
   } else if (is_double()) {
     double d = as_double();
     if (std::isfinite(d)) {
@@ -81,7 +90,7 @@ void Value::DumpTo(std::string& out, int indent, int depth) const {
       out += "null";  // JSON has no NaN/Inf
     }
   } else if (is_string()) {
-    AppendEscaped(out, as_string());
+    AppendQuoted(out, as_string());
   } else if (is_array()) {
     const Array& arr = as_array();
     if (arr.empty()) {
@@ -114,7 +123,7 @@ void Value::DumpTo(std::string& out, int indent, int depth) const {
       }
       first = false;
       AppendIndent(out, indent, depth + 1);
-      AppendEscaped(out, key);
+      AppendQuoted(out, key);
       out.push_back(':');
       if (indent > 0) {
         out.push_back(' ');
@@ -395,6 +404,116 @@ class Parser {
 
 StatusOr<Value> Parse(std::string_view text) {
   return Parser(text).ParseDocument();
+}
+
+// --- Scanner ---------------------------------------------------------------
+
+void Scanner::SkipSpace() {
+  while (pos_ < text_.size() &&
+         std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+}
+
+bool Scanner::Consume(char c) {
+  SkipSpace();
+  if (pos_ < text_.size() && text_[pos_] == c) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+bool Scanner::Peek(char c) {
+  SkipSpace();
+  return pos_ < text_.size() && text_[pos_] == c;
+}
+
+bool Scanner::ConsumeKey(std::string_view key) {
+  const std::size_t saved = pos_;
+  SkipSpace();
+  if (pos_ + key.size() + 2 > text_.size() || text_[pos_] != '"' ||
+      text_.substr(pos_ + 1, key.size()) != key ||
+      text_[pos_ + 1 + key.size()] != '"') {
+    pos_ = saved;
+    return false;
+  }
+  pos_ += key.size() + 2;
+  if (!Consume(':')) {
+    pos_ = saved;
+    return false;
+  }
+  return true;
+}
+
+bool Scanner::ReadString(std::string* out) {
+  if (!Consume('"')) {
+    return false;
+  }
+  const std::size_t start = pos_;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '"') {
+      out->assign(text_.data() + start, pos_ - start);
+      ++pos_;
+      return true;
+    }
+    if (c == '\\') {
+      return false;  // escapes are the tree parser's job
+    }
+    ++pos_;
+  }
+  return false;  // unterminated
+}
+
+bool Scanner::ReadInt(std::int64_t* out) {
+  SkipSpace();
+  const std::size_t start = pos_;
+  if (pos_ < text_.size() && text_[pos_] == '-') {
+    ++pos_;
+  }
+  const std::size_t digits_start = pos_;
+  while (pos_ < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+  const std::size_t ndigits = pos_ - digits_start;
+  // Mirror the strict grammar: no empty/leading-zero forms, and anything
+  // continuing into a fraction or exponent is a double, not an int.
+  if (ndigits == 0 ||
+      (ndigits > 1 && text_[digits_start] == '0') ||
+      (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                               text_[pos_] == 'E'))) {
+    pos_ = start;
+    return false;
+  }
+  auto [p, ec] = std::from_chars(text_.data() + start, text_.data() + pos_,
+                                 *out);
+  if (ec != std::errc() || p != text_.data() + pos_) {
+    pos_ = start;
+    return false;  // overflow: the tree parser turns this into a double
+  }
+  return true;
+}
+
+bool Scanner::ReadBool(bool* out) {
+  SkipSpace();
+  if (text_.substr(pos_, 4) == "true") {
+    pos_ += 4;
+    *out = true;
+    return true;
+  }
+  if (text_.substr(pos_, 5) == "false") {
+    pos_ += 5;
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+bool Scanner::AtEnd() {
+  SkipSpace();
+  return pos_ == text_.size();
 }
 
 }  // namespace ros::json

@@ -90,6 +90,11 @@ class Value {
   std::string Dump() const;
   // Serializes with 2-space indentation.
   std::string DumpPretty() const;
+  // Appends the compact serialization to `out`: one output buffer threaded
+  // through the whole tree, no per-node temporaries. Hot serializers can
+  // reserve + reuse the buffer across calls.
+  void DumpTo(std::string& out) const { DumpTo(out, /*indent=*/0,
+                                               /*depth=*/0); }
 
   friend bool operator==(const Value& a, const Value& b) {
     return a.rep_ == b.rep_;
@@ -105,6 +110,48 @@ class Value {
 
 // Parses a JSON document. Returns InvalidArgument on malformed input.
 StatusOr<Value> Parse(std::string_view text);
+
+// Building blocks for hand-rolled serializers of hot, fixed-shape
+// documents (e.g. MV index files): byte-identical to what Value::Dump
+// emits for the same data, without building a Value tree first.
+
+// Appends `s` as a quoted JSON string with the same escaping as Dump.
+void AppendQuoted(std::string& out, std::string_view s);
+// Appends the decimal rendering of `v` (no allocation).
+void AppendInt(std::string& out, std::int64_t v);
+
+// Pull-scanner for hot decoders of documents in the canonical shape that
+// Value::Dump produces (compact, known key order). Every method skips
+// leading whitespace and returns false on any mismatch; decoders treat a
+// false as "not the canonical shape" and fall back to the tree parser, so
+// the fast path never has to produce error messages — only to agree with
+// the tree parser on every input it accepts.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  // Consumes a single structural character.
+  bool Consume(char c);
+  // True when the next non-space character is `c` (nothing consumed).
+  bool Peek(char c);
+  // Consumes `"key":` where `key` contains no characters needing escapes.
+  bool ConsumeKey(std::string_view key);
+  // Reads a string literal. Bails (false) on any backslash escape — the
+  // tree parser handles those rare documents.
+  bool ReadString(std::string* out);
+  // Reads an integer per the strict JSON grammar (no leading zeros, and
+  // bails on fraction/exponent forms, which parse as doubles).
+  bool ReadInt(std::int64_t* out);
+  bool ReadBool(bool* out);
+  // True when only trailing whitespace remains.
+  bool AtEnd();
+
+ private:
+  void SkipSpace();
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace ros::json
 

@@ -17,21 +17,69 @@ Volume::Volume(sim::Simulator& sim, BlockDevice* device, VolumeParams params)
 }
 
 StatusOr<std::uint64_t> Volume::FileSize(const std::string& name) const {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
+  const FileMeta* meta = FindMeta(name);
+  if (meta == nullptr) {
     return NotFoundError("no file " + name);
   }
-  return it->second.size;
+  return meta->size;
+}
+
+StatusOr<Volume::FileStat> Volume::StatFile(const std::string& name) const {
+  const FileMeta* meta = FindMeta(name);
+  if (meta == nullptr) {
+    return NotFoundError("no file " + name);
+  }
+  return FileStat{meta->size, meta->write_gen};
 }
 
 std::vector<std::string> Volume::List(const std::string& prefix) const {
   std::vector<std::string> out;
-  for (const auto& [name, meta] : files_) {
-    if (name.rfind(prefix, 0) == 0) {
-      out.push_back(name);
-    }
+  // The map is ordered, so every match sits in one contiguous run starting
+  // at lower_bound(prefix); stop at the first non-match.
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && NameHasPrefix(it->first, prefix); ++it) {
+    out.push_back(it->first);
   }
   return out;
+}
+
+std::uint64_t Volume::CountPrefix(const std::string& prefix) const {
+  std::uint64_t count = 0;
+  for (auto it = files_.lower_bound(prefix);
+       it != files_.end() && NameHasPrefix(it->first, prefix); ++it) {
+    ++count;
+  }
+  return count;
+}
+
+bool Volume::AnyWithPrefix(const std::string& prefix) const {
+  auto it = files_.lower_bound(prefix);
+  return it != files_.end() && NameHasPrefix(it->first, prefix);
+}
+
+std::vector<std::string> Volume::ListChildren(const std::string& prefix,
+                                              char delimiter) const {
+  std::vector<std::string> children;
+  auto it = files_.lower_bound(prefix);
+  while (it != files_.end() && NameHasPrefix(it->first, prefix)) {
+    const std::string_view rest =
+        std::string_view(it->first).substr(prefix.size());
+    const std::size_t cut = rest.find(delimiter);
+    if (cut == std::string_view::npos) {
+      if (!rest.empty()) {
+        children.emplace_back(rest);
+      }
+      ++it;
+      continue;
+    }
+    // A descendant below `prefix + head + delimiter`: seek past the whole
+    // subtree in one lower_bound instead of filtering every entry in it.
+    std::string skip = prefix;
+    skip.append(rest.substr(0, cut));
+    skip.push_back(static_cast<char>(delimiter + 1));
+    it = files_.lower_bound(skip);
+  }
+  return children;
 }
 
 Status Volume::Allocate(std::uint64_t blocks, std::vector<Extent>* out) {
@@ -113,10 +161,15 @@ sim::Task<Status> Volume::WriteMetadata() {
 }
 
 sim::Task<Status> Volume::Create(std::string name) {
-  if (files_.count(name) > 0) {
+  auto [it, inserted] = files_.try_emplace(name);
+  if (!inserted) {
     co_return AlreadyExistsError("file exists: " + name);
   }
-  files_[name] = FileMeta{};
+  Touch(it->second);
+  // Key the side-index on the map node's own string: both live and die
+  // together, so the view can never dangle.
+  by_name_.emplace(it->first, &it->second);
+  NotifyMutation(name);
   co_return co_await WriteMetadata();
 }
 
@@ -156,11 +209,13 @@ Status Volume::MapRange(
 
 sim::Task<Status> Volume::Write(std::string name, std::uint64_t offset,
                                 std::vector<std::uint8_t> data) {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
+  FileMeta* found = FindMeta(name);
+  if (found == nullptr) {
     co_return NotFoundError("no file " + name);
   }
-  FileMeta& meta = it->second;
+  FileMeta& meta = *found;
+  Touch(meta);
+  NotifyMutation(name);
   const std::uint64_t end = offset + data.size();
 
   // Grow allocation to cover the write.
@@ -194,11 +249,11 @@ sim::Task<Status> Volume::Write(std::string name, std::uint64_t offset,
 
 sim::Task<Status> Volume::Append(std::string name,
                                  std::vector<std::uint8_t> data) {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
+  const FileMeta* meta = FindMeta(name);
+  if (meta == nullptr) {
     co_return NotFoundError("no file " + name);
   }
-  co_return co_await Write(name, it->second.size, std::move(data));
+  co_return co_await Write(name, meta->size, std::move(data));
 }
 
 sim::Task<Status> Volume::AppendSparse(std::string name,
@@ -210,9 +265,11 @@ sim::Task<Status> Volume::AppendSparse(std::string name,
   if (tail == 0) {
     co_return OkStatus();
   }
-  auto it = files_.find(name);
-  ROS_CHECK(it != files_.end());
-  FileMeta& meta = it->second;
+  FileMeta* found = FindMeta(name);
+  ROS_CHECK(found != nullptr);
+  FileMeta& meta = *found;
+  Touch(meta);
+  NotifyMutation(name);
   // Allocate the covering blocks so space accounting stays honest, then
   // charge the device for the zero tail without storing it.
   std::uint64_t have_blocks = 0;
@@ -237,11 +294,11 @@ sim::Task<Status> Volume::AppendSparse(std::string name,
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::Read(
     std::string name, std::uint64_t offset,
     std::uint64_t length) const {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
+  const FileMeta* found = FindMeta(name);
+  if (found == nullptr) {
     co_return NotFoundError("no file " + name);
   }
-  const FileMeta& meta = it->second;
+  const FileMeta& meta = *found;
   if (offset + length > meta.size) {
     co_return OutOfRangeError("read beyond end of " + name);
   }
@@ -263,19 +320,48 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::Read(
 sim::Task<Status> Volume::ReadDiscard(std::string name,
                                       std::uint64_t offset,
                                       std::uint64_t length) const {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
+  const FileMeta* meta = FindMeta(name);
+  if (meta == nullptr) {
     co_return NotFoundError("no file " + name);
   }
-  if (offset + length > it->second.size) {
+  if (offset + length > meta->size) {
     co_return OutOfRangeError("read beyond end of " + name);
   }
   std::vector<std::pair<std::uint64_t, std::uint64_t>> segs;
-  ROS_CO_RETURN_IF_ERROR(MapRange(it->second, offset, length, &segs));
+  ROS_CO_RETURN_IF_ERROR(MapRange(*meta, offset, length, &segs));
   for (const auto& [dev_offset, n] : segs) {
     ROS_CO_RETURN_IF_ERROR(co_await device_->ReadDiscard(dev_offset, n));
   }
   co_return OkStatus();
+}
+
+StatusOr<Volume::ByteSegments> Volume::MapFileRange(
+    const std::string& name, std::uint64_t offset,
+    std::uint64_t length) const {
+  const FileMeta* meta = FindMeta(name);
+  if (meta == nullptr) {
+    return NotFoundError("no file " + name);
+  }
+  if (offset + length > meta->size) {
+    return OutOfRangeError("range beyond end of " + name);
+  }
+  ByteSegments segments;
+  ROS_RETURN_IF_ERROR(MapRange(*meta, offset, length, &segments));
+  return segments;
+}
+
+sim::Task<Status> Volume::ReadDiscardSegments(ByteSegments segments) const {
+  for (const auto& [dev_offset, n] : segments) {
+    ROS_CO_RETURN_IF_ERROR(co_await device_->ReadDiscard(dev_offset, n));
+  }
+  co_return OkStatus();
+}
+
+sim::Task<Status> Volume::ReadDiscardSegment(std::uint64_t dev_offset,
+                                             std::uint64_t length) const {
+  // Plain forward (not a coroutine): the device's task is the whole job,
+  // so the hot replay path pays no extra frame.
+  return device_->ReadDiscard(dev_offset, length);
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::ReadAll(
@@ -289,14 +375,14 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Volume::ReadAll(
 
 sim::Task<Status> Volume::WriteAll(std::string name,
                                    std::vector<std::uint8_t> data) {
-  auto it = files_.find(name);
-  if (it == files_.end()) {
+  FileMeta* meta = FindMeta(name);
+  if (meta == nullptr) {
     co_return NotFoundError("no file " + name);
   }
   // Truncate: release old extents, then write fresh.
-  Free(it->second.extents);
-  it->second.extents.clear();
-  it->second.size = 0;
+  Free(meta->extents);
+  meta->extents.clear();
+  meta->size = 0;
   co_return co_await Write(name, 0, std::move(data));
 }
 
@@ -306,15 +392,19 @@ sim::Task<Status> Volume::Delete(std::string name) {
     co_return NotFoundError("no file " + name);
   }
   Free(it->second.extents);
+  by_name_.erase(it->first);
   files_.erase(it);
+  NotifyMutation(name);
   co_return co_await WriteMetadata();
 }
 
 void Volume::FormatQuick() {
+  by_name_.clear();
   files_.clear();
   free_extents_.clear();
   free_extents_[1] = total_blocks_ - 1;
   used_blocks_ = 1;
+  NotifyMutation("");
 }
 
 }  // namespace ros::disk

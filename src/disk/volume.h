@@ -13,8 +13,11 @@
 #define ROS_SRC_DISK_VOLUME_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/status.h"
@@ -55,10 +58,49 @@ class Volume {
   std::uint64_t file_count() const { return files_.size(); }
 
   bool Exists(const std::string& name) const {
-    return files_.count(name) > 0;
+    return FindMeta(name) != nullptr;
   }
   StatusOr<std::uint64_t> FileSize(const std::string& name) const;
+
+  // Size plus the file's write generation: a volume-wide monotonic counter
+  // stamped on every mutation. Generations are never reused (not even
+  // across Delete/Create or FormatQuick), so a caller that cached derived
+  // state for a file can use `write_gen` as a coherence token.
+  struct FileStat {
+    std::uint64_t size = 0;
+    std::uint64_t write_gen = 0;
+  };
+  StatusOr<FileStat> StatFile(const std::string& name) const;
+
+  // Names with `prefix`, in lexicographic order. Range-bounded: seeks to
+  // the first matching name and stops at the first non-match instead of
+  // scanning the whole file table.
   std::vector<std::string> List(const std::string& prefix = "") const;
+
+  // Number of names with `prefix`, without materializing them.
+  std::uint64_t CountPrefix(const std::string& prefix) const;
+
+  // True when at least one name has `prefix` (O(log n)).
+  bool AnyWithPrefix(const std::string& prefix) const;
+
+  // Calls fn(name, size) for every file whose name starts with `prefix`,
+  // in lexicographic order, without building a vector of names. `fn` must
+  // not mutate the volume.
+  template <typename Fn>
+  void ForEachPrefix(const std::string& prefix, Fn&& fn) const {
+    for (auto it = files_.lower_bound(prefix);
+         it != files_.end() && NameHasPrefix(it->first, prefix); ++it) {
+      fn(it->first, it->second.size);
+    }
+  }
+
+  // Distinct next path segments after `prefix` (S3-style delimiter
+  // listing), in lexicographic order. A name `prefix + "x"` with no
+  // delimiter in "x" yields "x"; names under `prefix + "x" + delimiter`
+  // are skipped as a whole subtree with one seek rather than being
+  // visited and filtered one by one.
+  std::vector<std::string> ListChildren(const std::string& prefix,
+                                        char delimiter = '/') const;
 
   // Creates an empty file (one inode + a journaled metadata write).
   sim::Task<Status> Create(std::string name);
@@ -86,6 +128,24 @@ class Volume {
   sim::Task<Status> ReadDiscard(std::string name, std::uint64_t offset,
                                 std::uint64_t length) const;
 
+  // Device byte ranges (offset, length) backing [offset, offset+length) of
+  // the file. The mapping is stable exactly as long as the file's write
+  // generation is unchanged, so per-generation caches can keep it alongside
+  // their derived state and replay the device charge without another name
+  // lookup.
+  using ByteSegments = std::vector<std::pair<std::uint64_t, std::uint64_t>>;
+  StatusOr<ByteSegments> MapFileRange(const std::string& name,
+                                      std::uint64_t offset,
+                                      std::uint64_t length) const;
+
+  // Charges the read time of previously mapped segments — byte-for-byte the
+  // same device requests ReadDiscard would issue for the range they came
+  // from. The single-segment overload covers the common case (small files
+  // map to one contiguous run) without a vector in flight.
+  sim::Task<Status> ReadDiscardSegments(ByteSegments segments) const;
+  sim::Task<Status> ReadDiscardSegment(std::uint64_t dev_offset,
+                                       std::uint64_t length) const;
+
   // Reads the whole file.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadAll(
       std::string name) const;
@@ -99,6 +159,17 @@ class Volume {
   // Drops every file (mkfs). Instant bookkeeping; devices keep stale bytes.
   void FormatQuick();
 
+  // Invoked synchronously (never across a suspension) whenever a file's
+  // bytes, extents, or existence change — Create, Write, Append,
+  // AppendSparse, WriteAll, Delete — with the file's name; FormatQuick
+  // passes "" (everything changed). Caches layered above use this for
+  // push invalidation instead of polling StatFile on every read. One
+  // observer per volume; pass nullptr to unregister.
+  using MutationObserver = std::function<void(const std::string& name)>;
+  void SetMutationObserver(MutationObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   struct Extent {
     std::uint64_t start_block;
@@ -106,8 +177,36 @@ class Volume {
   };
   struct FileMeta {
     std::uint64_t size = 0;
+    std::uint64_t write_gen = 0;
     std::vector<Extent> extents;
   };
+
+  static bool NameHasPrefix(const std::string& name,
+                            const std::string& prefix) {
+    return name.compare(0, prefix.size(), prefix) == 0;
+  }
+
+  // Stamps a fresh, never-reused generation on a mutated file.
+  void Touch(FileMeta& meta) { meta.write_gen = ++next_write_gen_; }
+
+  void NotifyMutation(const std::string& name) {
+    if (observer_) {
+      observer_(name);
+    }
+  }
+
+  // O(1) point lookup via the hash side-index (the ordered map would pay an
+  // O(log n) walk with long-common-prefix string compares on every stat of
+  // a big namespace). Pointers stay valid until the file is deleted:
+  // std::map nodes never move.
+  FileMeta* FindMeta(const std::string& name) {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second;
+  }
+  const FileMeta* FindMeta(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second;
+  }
 
   // Allocates `blocks` blocks, first-fit. Appends extents to `out`.
   Status Allocate(std::uint64_t blocks, std::vector<Extent>* out);
@@ -127,8 +226,14 @@ class Volume {
   VolumeParams params_;
   std::uint64_t total_blocks_;
   std::uint64_t used_blocks_ = 0;
+  std::uint64_t next_write_gen_ = 0;
+  // Ordered by name for the range-bounded scans; the side-index below maps
+  // each node's key (a stable string_view into the map node) to its meta
+  // for O(1) point lookups. Both are maintained on Create/Delete/Format.
   std::map<std::string, FileMeta> files_;
+  std::unordered_map<std::string_view, FileMeta*> by_name_;
   std::map<std::uint64_t, std::uint64_t> free_extents_;  // start -> length
+  MutationObserver observer_;
 };
 
 }  // namespace ros::disk

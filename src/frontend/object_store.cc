@@ -102,11 +102,11 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObject(
 sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObjectVersion(
     std::string bucket, std::string key, int version) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
-  auto index = co_await olfs_->mv().Get(path);
+  auto index = co_await olfs_->mv().GetRef(path);
   if (!index.ok()) {
     co_return index.status();
   }
-  auto entry = index->Version(version);
+  auto entry = (*index)->Version(version);
   if (!entry.ok()) {
     co_return entry.status();
   }

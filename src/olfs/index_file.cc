@@ -82,40 +82,64 @@ Status IndexFile::UpdateLatest(const VersionEntry& entry) {
 }
 
 std::string IndexFile::ToJson() const {
-  json::Object root;
-  root["path"] = json::Value(path_);
-  root["type"] = json::Value(type_ == EntryType::kFile ? "file" : "dir");
-  root["next_ver"] = json::Value(next_version_);
-  json::Array entries;
+  // Hand-rolled writer into one reserved buffer. json::Object is a
+  // std::map, so the tree dump this replaces emitted keys alphabetically;
+  // the literals below reproduce that order exactly (root: entries,
+  // forepart, next_ver, path, type; entry: del, loc, parts, size, ver;
+  // part: img, size) and index_file_test asserts byte equality against the
+  // tree dump.
+  std::string out;
+  out.reserve(96 + path_.size() + entries_.size() * 80 +
+              forepart_.size() * 2);
+  out += "{\"entries\":[";
+  bool first_entry = true;
   for (const VersionEntry& entry : entries_) {
-    json::Object e;
-    e["ver"] = json::Value(entry.version);
-    e["loc"] = json::Value(std::string(1, LocationCode(entry.location)));
-    e["size"] = json::Value(entry.total_size);
-    e["del"] = json::Value(entry.tombstone);
-    json::Array parts;
-    for (const FilePart& part : entry.parts) {
-      json::Object p;
-      p["img"] = json::Value(part.image_id);
-      p["size"] = json::Value(part.size);
-      parts.push_back(json::Value(std::move(p)));
+    if (!first_entry) {
+      out.push_back(',');
     }
-    e["parts"] = json::Value(std::move(parts));
-    entries.push_back(json::Value(std::move(e)));
+    first_entry = false;
+    out += "{\"del\":";
+    out += entry.tombstone ? "true" : "false";
+    out += ",\"loc\":\"";
+    out.push_back(LocationCode(entry.location));
+    out += "\",\"parts\":[";
+    bool first_part = true;
+    for (const FilePart& part : entry.parts) {
+      if (!first_part) {
+        out.push_back(',');
+      }
+      first_part = false;
+      out += "{\"img\":";
+      json::AppendQuoted(out, part.image_id);
+      out += ",\"size\":";
+      json::AppendInt(out, static_cast<std::int64_t>(part.size));
+      out.push_back('}');
+    }
+    out += "],\"size\":";
+    json::AppendInt(out, static_cast<std::int64_t>(entry.total_size));
+    out += ",\"ver\":";
+    json::AppendInt(out, entry.version);
+    out.push_back('}');
   }
-  root["entries"] = json::Value(std::move(entries));
+  out.push_back(']');
   if (!forepart_.empty()) {
     // Hex-encoded forepart: JSON-safe and platform independent.
-    std::string hex;
-    hex.reserve(forepart_.size() * 2);
+    out += ",\"forepart\":\"";
     constexpr char kDigits[] = "0123456789abcdef";
     for (std::uint8_t byte : forepart_) {
-      hex.push_back(kDigits[byte >> 4]);
-      hex.push_back(kDigits[byte & 0xF]);
+      out.push_back(kDigits[byte >> 4]);
+      out.push_back(kDigits[byte & 0xF]);
     }
-    root["forepart"] = json::Value(std::move(hex));
+    out.push_back('"');
   }
-  return json::Value(std::move(root)).Dump();
+  out += ",\"next_ver\":";
+  json::AppendInt(out, next_version_);
+  out += ",\"path\":";
+  json::AppendQuoted(out, path_);
+  out += ",\"type\":\"";
+  out += type_ == EntryType::kFile ? "file" : "dir";
+  out += "\"}";
+  return out;
 }
 
 namespace {
@@ -155,7 +179,117 @@ StatusOr<std::uint64_t> GetSize(const json::Value& obj, std::string_view key) {
 
 }  // namespace
 
+std::optional<IndexFile> IndexFile::FastParse(std::string_view text) {
+  json::Scanner s(text);
+  IndexFile out;
+  if (!s.Consume('{') || !s.ConsumeKey("entries") || !s.Consume('[')) {
+    return std::nullopt;
+  }
+  if (!s.Peek(']')) {
+    do {
+      VersionEntry entry;
+      std::string loc;
+      std::int64_t size = 0;
+      std::int64_t ver = 0;
+      if (!s.Consume('{') || !s.ConsumeKey("del") ||
+          !s.ReadBool(&entry.tombstone) || !s.Consume(',') ||
+          !s.ConsumeKey("loc") || !s.ReadString(&loc) || loc.size() != 1) {
+        return std::nullopt;
+      }
+      auto kind = LocationFromCode(loc[0]);
+      if (!kind.ok()) {
+        return std::nullopt;
+      }
+      entry.location = *kind;
+      if (!s.Consume(',') || !s.ConsumeKey("parts") || !s.Consume('[')) {
+        return std::nullopt;
+      }
+      if (!s.Peek(']')) {
+        do {
+          FilePart part;
+          std::int64_t part_size = 0;
+          if (!s.Consume('{') || !s.ConsumeKey("img") ||
+              !s.ReadString(&part.image_id) || !s.Consume(',') ||
+              !s.ConsumeKey("size") || !s.ReadInt(&part_size) ||
+              part_size < 0 || !s.Consume('}')) {
+            return std::nullopt;
+          }
+          part.size = static_cast<std::uint64_t>(part_size);
+          entry.parts.push_back(std::move(part));
+        } while (s.Consume(','));
+      }
+      if (!s.Consume(']') || !s.Consume(',') || !s.ConsumeKey("size") ||
+          !s.ReadInt(&size) || size < 0 || !s.Consume(',') ||
+          !s.ConsumeKey("ver") || !s.ReadInt(&ver) || ver < 1 ||
+          ver > std::numeric_limits<int>::max() || !s.Consume('}')) {
+        return std::nullopt;
+      }
+      entry.total_size = static_cast<std::uint64_t>(size);
+      entry.version = static_cast<int>(ver);
+      out.entries_.push_back(std::move(entry));
+    } while (s.Consume(','));
+  }
+  if (!s.Consume(']')) {
+    return std::nullopt;
+  }
+  if (!s.Consume(',')) {
+    return std::nullopt;
+  }
+  if (s.ConsumeKey("forepart")) {
+    std::string hex;
+    if (!s.ReadString(&hex) || hex.size() % 2 != 0 || !s.Consume(',')) {
+      return std::nullopt;
+    }
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      return -1;
+    };
+    out.forepart_.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      const int hi = nibble(hex[i]);
+      const int lo = nibble(hex[i + 1]);
+      if (hi < 0 || lo < 0) {
+        return std::nullopt;
+      }
+      out.forepart_.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+  }
+  std::int64_t next_ver = 0;
+  std::string type;
+  if (!s.ConsumeKey("next_ver") || !s.ReadInt(&next_ver) || next_ver < 1 ||
+      next_ver > std::numeric_limits<int>::max() || !s.Consume(',') ||
+      !s.ConsumeKey("path") || !s.ReadString(&out.path_) ||
+      !s.Consume(',') || !s.ConsumeKey("type") || !s.ReadString(&type) ||
+      !s.Consume('}') || !s.AtEnd()) {
+    return std::nullopt;
+  }
+  if (type == "file") {
+    out.type_ = EntryType::kFile;
+  } else if (type == "dir") {
+    out.type_ = EntryType::kDirectory;
+  } else {
+    return std::nullopt;
+  }
+  out.next_version_ = static_cast<int>(next_ver);
+  // The tree decoder rejects entry versions outside [1, next_ver); bail so
+  // it produces its error.
+  for (const VersionEntry& entry : out.entries_) {
+    if (entry.version >= out.next_version_) {
+      return std::nullopt;
+    }
+  }
+  return out;
+}
+
 StatusOr<IndexFile> IndexFile::FromJson(std::string_view text) {
+  if (std::optional<IndexFile> fast = FastParse(text)) {
+    return std::move(*fast);
+  }
+  return FromJsonTree(text);
+}
+
+StatusOr<IndexFile> IndexFile::FromJsonTree(std::string_view text) {
   ROS_ASSIGN_OR_RETURN(json::Value root, json::Parse(text));
   if (!root.is_object()) {
     return InvalidArgumentError("index file is not a JSON object");

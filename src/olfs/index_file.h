@@ -11,6 +11,7 @@
 #define ROS_SRC_OLFS_INDEX_FILE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -83,15 +84,30 @@ class IndexFile {
   }
   const std::vector<std::uint8_t>& forepart() const { return forepart_; }
 
-  // JSON round trip (the on-MV representation).
+  // JSON round trip (the on-MV representation). ToJson is a hand-rolled
+  // writer into one reserved buffer, byte-identical to dumping the
+  // equivalent json::Value tree (deterministic key order — index bytes
+  // feed parity, so stability matters).
   std::string ToJson() const;
+  // Decodes `text`. Canonical documents (the exact shape ToJson emits) take
+  // a scanner fast path that never builds a json::Value tree; everything
+  // else — reordered keys, escapes, corruption — falls back to FromJsonTree,
+  // so error behaviour and accepted inputs are identical to the tree
+  // decoder on every input.
   static StatusOr<IndexFile> FromJson(std::string_view text);
+  // The reference tree-based decoder (exposed for differential tests and
+  // the mv_hotpath bench's pre-change baseline).
+  static StatusOr<IndexFile> FromJsonTree(std::string_view text);
 
   // Approximate on-MV footprint in bytes (the paper quotes ~388 bytes
   // typical with one entry).
   std::uint64_t ApproximateSize() const { return ToJson().size(); }
 
  private:
+  // Scanner-based decoder for canonical documents; nullopt means "shape
+  // not recognized, use the tree decoder".
+  static std::optional<IndexFile> FastParse(std::string_view text);
+
   std::string path_;
   EntryType type_ = EntryType::kFile;
   std::vector<VersionEntry> entries_;

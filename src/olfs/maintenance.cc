@@ -50,6 +50,13 @@ json::Value Maintenance::StatusReport() const {
       json::Value(static_cast<std::int64_t>(olfs_->cache().misses()));
   cache["file_cache_bytes"] = json::Value(
       static_cast<std::int64_t>(olfs_->file_cache().used_bytes()));
+  const auto& index_stats = olfs_->mv().cache_stats();
+  cache["index_hits"] =
+      json::Value(static_cast<std::int64_t>(index_stats.hits));
+  cache["index_misses"] =
+      json::Value(static_cast<std::int64_t>(index_stats.misses));
+  cache["index_evictions"] =
+      json::Value(static_cast<std::int64_t>(index_stats.evictions));
   report["caches"] = json::Value(std::move(cache));
 
   json::Object namespace_info;

@@ -1,36 +1,105 @@
 #include "src/olfs/metadata_volume.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace ros::olfs {
-
-namespace {
-std::vector<std::uint8_t> ToBytes(const std::string& s) {
-  return {s.begin(), s.end()};
-}
-std::string ToString(const std::vector<std::uint8_t>& v) {
-  return {v.begin(), v.end()};
-}
-}  // namespace
 
 sim::Task<Status> MetadataVolume::Put(IndexFile index) {
   const std::string name = IndexName(index.path());
   if (!volume_->Exists(name)) {
     ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
   }
-  co_return co_await volume_->WriteAll(name, ToBytes(index.ToJson()));
+  const std::string doc = index.ToJson();
+  const auto before = volume_->StatFile(name);
+  ROS_CO_RETURN_IF_ERROR(co_await volume_->WriteAll(
+      name, std::vector<std::uint8_t>(doc.begin(), doc.end())));
+  // Write-through: publish the decoded object only when our write was the
+  // sole mutation in the window — one generation step on the file. Any
+  // interleaved writer (to this or another file) advances the volume-wide
+  // counter further and we simply skip the insert; the next Get re-decodes.
+  const auto after = volume_->StatFile(name);
+  if (before.ok() && after.ok() &&
+      after->write_gen == before->write_gen + 1) {
+    auto segments = volume_->MapFileRange(name, 0, after->size);
+    if (segments.ok()) {
+      const std::string path = index.path();
+      CacheInsert(path, std::make_shared<const IndexFile>(std::move(index)),
+                  after->write_gen, std::move(*segments));
+    }
+  }
+  co_return OkStatus();
+}
+
+sim::Task<StatusOr<MetadataVolume::IndexPtr>> MetadataVolume::GetRef(
+    std::string path) const {
+  // A present entry is current by construction — every volume mutation
+  // (even ones that bypass this class) synchronously dropped what it
+  // touched — so a hit is one hash probe, no stat. With a non-zero
+  // capacity every GetRef lands in exactly one of hits/misses.
+  if (cache_capacity_ != 0) {
+    auto it = cache_map_.find(std::string_view(path));
+    if (it != cache_map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++cache_stats_.hits;
+      // Share the decoded object (eviction during the device wait can't
+      // invalidate it); only the segment list must be copied onto the
+      // frame before suspending. Replaying the cached device mapping
+      // issues exactly the requests the uncached ReadAll below would, so
+      // cache state never shifts simulated timing — only host-side
+      // decode work.
+      const CacheEntry& hit = lru_.front();
+      IndexPtr shared = hit.index;
+      if (hit.segments.size() == 1) {
+        const auto [dev_offset, n] = hit.segments.front();
+        ROS_CO_RETURN_IF_ERROR(
+            co_await volume_->ReadDiscardSegment(dev_offset, n));
+      } else {
+        disk::Volume::ByteSegments segments = hit.segments;
+        ROS_CO_RETURN_IF_ERROR(
+            co_await volume_->ReadDiscardSegments(std::move(segments)));
+      }
+      co_return std::move(shared);
+    }
+    ++cache_stats_.misses;
+  }
+  const std::string name = IndexName(path);
+  const auto stat = volume_->StatFile(name);
+  if (!stat.ok()) {
+    co_return stat.status();
+  }
+  auto data = co_await volume_->ReadAll(name);
+  if (!data.ok()) {
+    co_return data.status();
+  }
+  auto decoded = IndexFile::FromJson(std::string_view(
+      reinterpret_cast<const char*>(data->data()), data->size()));
+  if (!decoded.ok()) {
+    co_return decoded.status();
+  }
+  auto shared = std::make_shared<const IndexFile>(std::move(*decoded));
+  // Cache only if the file kept its generation across the read, which pins
+  // the decoded object (and its device mapping) to exactly the bytes read.
+  const auto stat_after = volume_->StatFile(name);
+  if (stat_after.ok() && stat_after->write_gen == stat->write_gen) {
+    auto segments = volume_->MapFileRange(name, 0, stat->size);
+    if (segments.ok()) {
+      CacheInsert(path, shared, stat->write_gen, std::move(*segments));
+    }
+  }
+  co_return std::move(shared);
 }
 
 sim::Task<StatusOr<IndexFile>> MetadataVolume::Get(
     std::string path) const {
-  auto data = co_await volume_->ReadAll(IndexName(path));
-  if (!data.ok()) {
-    co_return data.status();
+  auto ref = co_await GetRef(std::move(path));
+  if (!ref.ok()) {
+    co_return ref.status();
   }
-  co_return IndexFile::FromJson(ToString(*data));
+  co_return IndexFile(**ref);
 }
 
 sim::Task<Status> MetadataVolume::Remove(std::string path) {
+  CacheErase(path);
   co_return co_await volume_->Delete(IndexName(path));
 }
 
@@ -38,29 +107,35 @@ std::vector<std::string> MetadataVolume::ListChildren(
     const std::string& path) const {
   const std::string prefix =
       path == "/" ? IndexName("/") : IndexName(path) + "/";
-  std::vector<std::string> children;
-  for (const std::string& name : volume_->List(prefix)) {
-    std::string_view rest = std::string_view(name).substr(prefix.size());
-    if (rest.empty() || rest.find('/') != std::string_view::npos) {
-      continue;  // not a direct child
-    }
-    children.emplace_back(rest);
+  // Direct children only; whole grandchild subtrees are skipped with one
+  // seek each instead of being filtered entry by entry. Map order is
+  // lexicographic, so the result needs no sort.
+  return volume_->ListChildren(prefix);
+}
+
+bool MetadataVolume::HasChildren(const std::string& path) const {
+  const std::string prefix =
+      path == "/" ? IndexName("/") : IndexName(path) + "/";
+  if (!volume_->Exists(prefix)) {
+    return volume_->AnyWithPrefix(prefix);
   }
-  std::sort(children.begin(), children.end());
-  return children;
+  // `prefix` itself is an index file (the root's own, "/idx/"): a child
+  // must extend it.
+  return volume_->CountPrefix(prefix) > 1;
 }
 
 std::vector<std::string> MetadataVolume::AllPaths() const {
   std::vector<std::string> paths;
-  for (const std::string& name : volume_->List("/idx/")) {
-    paths.push_back(name.substr(4));  // strip "/idx"
-  }
-  std::sort(paths.begin(), paths.end());
-  return paths;
+  paths.reserve(volume_->CountPrefix("/idx/"));
+  volume_->ForEachPrefix(
+      "/idx/", [&paths](const std::string& name, std::uint64_t) {
+        paths.push_back(name.substr(4));  // strip "/idx"
+      });
+  return paths;  // map order is lexicographic; already sorted
 }
 
 std::uint64_t MetadataVolume::index_count() const {
-  return volume_->List("/idx/").size();
+  return volume_->CountPrefix("/idx/");
 }
 
 sim::Task<Status> MetadataVolume::PutState(std::string key,
@@ -69,7 +144,9 @@ sim::Task<Status> MetadataVolume::PutState(std::string key,
   if (!volume_->Exists(name)) {
     ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
   }
-  co_return co_await volume_->WriteAll(name, ToBytes(v.Dump()));
+  const std::string doc = v.Dump();
+  co_return co_await volume_->WriteAll(
+      name, std::vector<std::uint8_t>(doc.begin(), doc.end()));
 }
 
 sim::Task<StatusOr<json::Value>> MetadataVolume::GetState(
@@ -78,12 +155,15 @@ sim::Task<StatusOr<json::Value>> MetadataVolume::GetState(
   if (!data.ok()) {
     co_return data.status();
   }
-  co_return json::Parse(ToString(*data));
+  co_return json::Parse(std::string_view(
+      reinterpret_cast<const char*>(data->data()), data->size()));
 }
 
 sim::Task<StatusOr<udf::Image>> MetadataVolume::BuildSnapshotImage(
     std::string image_id, std::uint64_t capacity) const {
   udf::Image image(image_id, capacity);
+  // Materialized List on purpose: the loop suspends on every ReadAll, and
+  // map iterators must not be held across a co_await.
   for (const std::string& name : volume_->List("/idx/")) {
     auto data = co_await volume_->ReadAll(name);
     if (!data.ok()) {
@@ -105,7 +185,7 @@ sim::Task<StatusOr<udf::Image>> MetadataVolume::BuildSnapshotImage(
 // keep the snapshot alive for the duration of the restore.
 sim::Task<Status> MetadataVolume::RestoreFromSnapshot(
     const udf::Image& snapshot) {
-  Status failure = OkStatus();
+  CacheClear();
   std::vector<std::pair<std::string, const udf::Node*>> files;
   snapshot.Walk([&](const std::string& path, const udf::Node& node) {
     if (node.type == udf::NodeType::kFile &&
@@ -113,6 +193,10 @@ sim::Task<Status> MetadataVolume::RestoreFromSnapshot(
       files.emplace_back(path, &node);
     }
   });
+  // Restore every file we can; a single bad entry (or a transient volume
+  // error) should not abandon the rest of the namespace.
+  Status first_error = OkStatus();
+  std::uint64_t failed = 0;
   for (const auto& [path, node] : files) {
     std::string global_path = path.substr(kSnapshotDir.size());
     constexpr std::string_view kSuffix = "#idx";
@@ -121,14 +205,83 @@ sim::Task<Status> MetadataVolume::RestoreFromSnapshot(
       global_path.resize(global_path.size() - kSuffix.size());
     }
     const std::string name = IndexName(global_path);
+    Status status = OkStatus();
     if (!volume_->Exists(name)) {
-      ROS_CO_RETURN_IF_ERROR(co_await volume_->Create(name));
+      status = co_await volume_->Create(name);
     }
-    std::vector<std::uint8_t> content(node->data);
-    ROS_CO_RETURN_IF_ERROR(co_await volume_->WriteAll(name,
-                                                      std::move(content)));
+    if (status.ok()) {
+      std::vector<std::uint8_t> content(node->data);
+      status = co_await volume_->WriteAll(name, std::move(content));
+    }
+    if (!status.ok()) {
+      ++failed;
+      if (first_error.ok()) {
+        first_error = status;
+      }
+    }
   }
-  co_return failure;
+  if (failed > 1) {
+    co_return Status(first_error.code(),
+                     std::string(first_error.message()) + " (and " +
+                         std::to_string(failed - 1) +
+                         " more restore failures)");
+  }
+  co_return first_error;
+}
+
+void MetadataVolume::OnVolumeMutation(const std::string& name) const {
+  if (cache_map_.empty()) {
+    return;
+  }
+  if (name.empty()) {  // FormatQuick: everything changed
+    CacheClear();
+    return;
+  }
+  // Only "/idx..." files back cached entries; the map is keyed by path,
+  // which is the name minus that prefix (a view — no allocation here, and
+  // this runs on every volume write).
+  std::string_view view(name);
+  if (view.substr(0, 4) == "/idx") {
+    CacheErase(view.substr(4));
+  }
+}
+
+void MetadataVolume::CacheInsert(const std::string& path, IndexPtr index,
+                                 std::uint64_t write_gen,
+                                 disk::Volume::ByteSegments segments) const {
+  if (cache_capacity_ == 0) {
+    return;
+  }
+  auto it = cache_map_.find(std::string_view(path));
+  if (it != cache_map_.end()) {
+    it->second->index = std::move(index);
+    it->second->write_gen = write_gen;
+    it->second->segments = std::move(segments);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(
+      CacheEntry{path, std::move(index), write_gen, std::move(segments)});
+  cache_map_.emplace(lru_.front().path, lru_.begin());
+  if (cache_map_.size() > cache_capacity_) {
+    cache_map_.erase(std::string_view(lru_.back().path));
+    lru_.pop_back();
+    ++cache_stats_.evictions;
+  }
+}
+
+void MetadataVolume::CacheErase(std::string_view path) const {
+  auto it = cache_map_.find(path);
+  if (it == cache_map_.end()) {
+    return;
+  }
+  lru_.erase(it->second);
+  cache_map_.erase(it);
+}
+
+void MetadataVolume::CacheClear() const {
+  lru_.clear();
+  cache_map_.clear();
 }
 
 }  // namespace ros::olfs

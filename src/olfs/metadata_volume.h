@@ -6,10 +6,32 @@
 // and stores one JSON index file per namespace entry, plus system running
 // state. Metadata and data storage are physically decoupled: nothing here
 // holds file payloads (except the optional forepart).
+//
+// Hot reads are served from a bounded write-through LRU cache of *decoded*
+// IndexFile objects shared as immutable `IndexPtr`s (DESIGN.md §5d). A
+// cache hit still charges the same simulated SSD read as the uncached
+// path (the bytes still come off the MV pair; what the cache removes is
+// host-side JSON decode work), so simulated timings are identical with
+// the cache on or off.
+//
+// Coherence is push-based: the MV registers disk::Volume's mutation
+// observer, and every volume-level write — including ones that bypass
+// this class, e.g. recovery tools or corruption tests poking volume()
+// directly — synchronously drops the touched entry, so a hit needs no
+// stat and can never serve masked bytes. Inserts are additionally pinned
+// to disk::Volume's never-reused per-file write generations: a decode is
+// published only if the file's generation is unchanged across the read
+// (or advanced by exactly our own write), which keeps concurrent
+// writers from publishing stale decodes across a suspension.
 #ifndef ROS_SRC_OLFS_METADATA_VOLUME_H_
 #define ROS_SRC_OLFS_METADATA_VOLUME_H_
 
+#include <cstddef>
+#include <list>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/json.h"
@@ -23,7 +45,23 @@ namespace ros::olfs {
 
 class MetadataVolume {
  public:
-  explicit MetadataVolume(disk::Volume* volume) : volume_(volume) {}
+  // Default bound: ~64k decoded entries. At the paper's ~388 bytes per
+  // index file this is a few tens of MB of RAM fronting a billion-entry
+  // namespace's hot set. `cache_capacity = 0` disables the cache entirely
+  // (differential tests and the mv_hotpath baseline use this).
+  static constexpr std::size_t kDefaultCacheCapacity = 64 * 1024;
+
+  explicit MetadataVolume(disk::Volume* volume,
+                          std::size_t cache_capacity = kDefaultCacheCapacity)
+      : volume_(volume), cache_capacity_(cache_capacity) {
+    volume_->SetMutationObserver(
+        [this](const std::string& name) { OnVolumeMutation(name); });
+  }
+  ~MetadataVolume() { volume_->SetMutationObserver(nullptr); }
+
+  // The registered observer captures `this`.
+  MetadataVolume(const MetadataVolume&) = delete;
+  MetadataVolume& operator=(const MetadataVolume&) = delete;
 
   // --- index files ---
 
@@ -32,11 +70,28 @@ class MetadataVolume {
   }
 
   sim::Task<Status> Put(IndexFile index);
+
+  // Hot read path: the decoded index as an immutable shared object. A
+  // cache hit hands back the cached object itself (a refcount bump, no
+  // deep copy); a miss decodes, publishes to the cache, and returns the
+  // shared decode. Readers that never modify the index (stat, read,
+  // forepart) should use this.
+  using IndexPtr = std::shared_ptr<const IndexFile>;
+  sim::Task<StatusOr<IndexPtr>> GetRef(std::string path) const;
+
+  // Mutable copy for callers about to modify and Put back.
   sim::Task<StatusOr<IndexFile>> Get(std::string path) const;
+
   sim::Task<Status> Remove(std::string path);
 
   // Direct children (leaf names) of a directory in the global namespace.
+  // Range-bounded: skips whole subtrees instead of filtering every
+  // descendant.
   std::vector<std::string> ListChildren(const std::string& path) const;
+
+  // True when the directory has at least one entry below it (O(log n);
+  // cheaper than ListChildren when only emptiness matters).
+  bool HasChildren(const std::string& path) const;
 
   // All namespace paths (for snapshots and consistency checks).
   std::vector<std::string> AllPaths() const;
@@ -54,14 +109,30 @@ class MetadataVolume {
       std::string image_id, std::uint64_t capacity) const;
 
   // Restores the namespace from a snapshot image (inverse of the above).
-  // Existing index files are replaced.
+  // Existing index files are replaced. Keeps going past per-file failures
+  // and reports the first error (annotated with how many more failed)
+  // rather than aborting the whole restore.
   sim::Task<Status> RestoreFromSnapshot(const udf::Image& snapshot);
 
   // Wipes the namespace (simulating MV loss before a recovery).
-  void WipeAll() { volume_->FormatQuick(); }
+  void WipeAll() {
+    CacheClear();
+    volume_->FormatQuick();
+  }
 
   std::uint64_t index_count() const;
   disk::Volume* volume() { return volume_; }
+
+  // --- decoded-index cache introspection ---
+
+  struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;    // any Get not served from cache
+    std::uint64_t evictions = 0;  // LRU capacity evictions only
+  };
+  const CacheStats& cache_stats() const { return cache_stats_; }
+  std::size_t cache_size() const { return cache_map_.size(); }
+  std::size_t cache_capacity() const { return cache_capacity_; }
 
   // MV file-name mapping (exposed for tests).
   static std::string IndexName(const std::string& path) {
@@ -70,7 +141,37 @@ class MetadataVolume {
   static constexpr std::string_view kSnapshotDir = "/.mv";
 
  private:
+  struct CacheEntry {
+    std::string path;
+    IndexPtr index;  // immutable; hits share it, eviction can't invalidate
+    std::uint64_t write_gen = 0;  // generation this decode corresponds to
+    // Device ranges of the whole index file, valid for exactly this
+    // generation (push invalidation drops the entry on any mutation):
+    // hits replay the read charge from here instead of paying a second
+    // file-table lookup.
+    disk::Volume::ByteSegments segments;
+  };
+  using LruList = std::list<CacheEntry>;
+
+  // The volume's mutation observer: drops whatever the write touched.
+  void OnVolumeMutation(const std::string& name) const;
+
+  // Decodes nothing itself: callers hand over the decoded index plus the
+  // generation and the file's device mapping for that generation.
+  void CacheInsert(const std::string& path, IndexPtr index,
+                   std::uint64_t write_gen,
+                   disk::Volume::ByteSegments segments) const;
+  void CacheErase(std::string_view path) const;
+  void CacheClear() const;
+
   disk::Volume* volume_;
+  std::size_t cache_capacity_;
+  // The cache is a performance detail of logically-const Gets. The map is
+  // keyed on each entry's own path string (list nodes are stable), so
+  // lookups and invalidations never build a key.
+  mutable LruList lru_;  // front = most recently used
+  mutable std::unordered_map<std::string_view, LruList::iterator> cache_map_;
+  mutable CacheStats cache_stats_;
 };
 
 }  // namespace ros::olfs

@@ -106,8 +106,8 @@ sim::Task<Status> Olfs::Create(std::string path,
   co_await ChargeOp("stat", /*first=*/true);
   sim::Mutex::ScopedLock lock = co_await LockPath(path);
   if (mv_->Exists(path)) {
-    auto existing = co_await mv_->Get(path);
-    if (existing.ok() && existing->Latest().ok()) {
+    auto existing = co_await mv_->GetRef(path);
+    if (existing.ok() && (*existing)->Latest().ok()) {
       co_return AlreadyExistsError(path + " exists");
     }
   }
@@ -330,11 +330,11 @@ sim::Task<Status> Olfs::CloseStream(std::string path) {
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::Read(
     std::string path, std::uint64_t offset, std::uint64_t length) {
   co_await ChargeOp("stat", /*first=*/true);
-  auto index = co_await mv_->Get(path);
+  auto index = co_await mv_->GetRef(path);
   if (!index.ok()) {
     co_return index.status();
   }
-  auto latest = index->Latest();
+  auto latest = (*index)->Latest();
   if (!latest.ok()) {
     co_return latest.status();
   }
@@ -348,11 +348,11 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadVersion(
     std::string path, int version, std::uint64_t offset,
     std::uint64_t length) {
   co_await ChargeOp("stat", /*first=*/true);
-  auto index = co_await mv_->Get(path);
+  auto index = co_await mv_->GetRef(path);
   if (!index.ok()) {
     co_return index.status();
   }
-  auto entry = index->Version(version);
+  auto entry = (*index)->Version(version);
   if (!entry.ok()) {
     co_return entry.status();
   }
@@ -369,11 +369,11 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadForepart(
   }
   // Served straight from MV: one SSD index read, ~2 ms total (§4.8).
   co_await sim_.Delay(sim::Millis(1));
-  auto index = co_await mv_->Get(path);
+  auto index = co_await mv_->GetRef(path);
   if (!index.ok()) {
     co_return index.status();
   }
-  co_return index->forepart();
+  co_return (*index)->forepart();
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
@@ -397,13 +397,14 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
           record.ok() && (*record)->tier == ImageTier::kBurnedOnly;
     }
     if (needs_fetch) {
-      auto index = co_await mv_->Get(path);
-      if (index.ok() && index->Latest().ok() &&
-          (*index->Latest())->version == entry.version &&
-          offset + length <= index->forepart().size()) {
+      auto index = co_await mv_->GetRef(path);
+      if (index.ok() && (*index)->Latest().ok() &&
+          (*(*index)->Latest())->version == entry.version &&
+          offset + length <= (*index)->forepart().size()) {
+        const auto& forepart = (*index)->forepart();
         co_return std::vector<std::uint8_t>(
-            index->forepart().begin() + static_cast<long>(offset),
-            index->forepart().begin() + static_cast<long>(offset + length));
+            forepart.begin() + static_cast<long>(offset),
+            forepart.begin() + static_cast<long>(offset + length));
       }
     }
   }
@@ -605,14 +606,14 @@ sim::Task<StatusOr<FileInfo>> Olfs::Stat(std::string path) {
     root.is_directory = true;
     co_return root;
   }
-  auto index = co_await mv_->Get(path);
+  auto index = co_await mv_->GetRef(path);
   if (!index.ok()) {
     co_return index.status();
   }
   FileInfo info;
-  info.is_directory = index->type() == EntryType::kDirectory;
+  info.is_directory = (*index)->type() == EntryType::kDirectory;
   if (!info.is_directory) {
-    auto latest = index->Latest();
+    auto latest = (*index)->Latest();
     if (!latest.ok()) {
       co_return latest.status();
     }
@@ -671,7 +672,7 @@ sim::Task<Status> Olfs::Unlink(std::string path) {
     co_return index.status();
   }
   if (index->type() == EntryType::kDirectory) {
-    if (!mv_->ListChildren(path).empty()) {
+    if (mv_->HasChildren(path)) {
       co_return FailedPreconditionError(path + " is not empty");
     }
     co_await ChargeOp("unlink");

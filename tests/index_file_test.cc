@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace ros::olfs {
 namespace {
 
@@ -126,6 +130,84 @@ TEST(IndexFile, MalformedJsonRejected) {
                    R"({"path":"/a","type":"file","next_ver":2,)"
                    R"("entries":[{"ver":1,"loc":"Z","size":0,"parts":[]}]})")
                    .ok());
+}
+
+// A corpus of index files covering every encoded feature: directories,
+// multi-part versions, tombstones, deleted-flag entries, foreparts, ring
+// wraparound, and escape-needing paths.
+std::vector<IndexFile> CorpusIndexes() {
+  std::vector<IndexFile> corpus;
+  corpus.emplace_back("/dir", EntryType::kDirectory);
+
+  IndexFile multi("/a/multi", EntryType::kFile);
+  VersionEntry entry = MakeEntry(LocationKind::kDisc, "img-000001", 5000);
+  entry.parts.push_back({"img-000002", 7000});
+  entry.total_size = 12000;
+  multi.AddVersion(std::move(entry), 15);
+  multi.set_forepart({0x00, 0x01, 0xFF});
+  corpus.push_back(std::move(multi));
+
+  IndexFile tomb("/a/tomb", EntryType::kFile);
+  tomb.AddVersion(MakeEntry(LocationKind::kBucket, "img-1", 1), 15);
+  VersionEntry dead;
+  dead.tombstone = true;
+  tomb.AddVersion(std::move(dead), 15);
+  corpus.push_back(std::move(tomb));
+
+  IndexFile ring("/a/ring", EntryType::kFile);
+  for (int i = 1; i <= 20; ++i) {
+    ring.AddVersion(MakeEntry(LocationKind::kImage, "img", i), 15);
+  }
+  corpus.push_back(std::move(ring));
+
+  IndexFile escaped("/a/we\"ird\npath", EntryType::kFile);
+  escaped.AddVersion(MakeEntry(LocationKind::kBucket, "b\\1", 3), 15);
+  corpus.push_back(std::move(escaped));
+  return corpus;
+}
+
+// The canonical-shape fast parser and the tree parser must agree on every
+// document either of them accepts; ToJson must be byte-stable through both.
+TEST(IndexFile, FastAndTreeParsersAgreeOnCorpus) {
+  for (const IndexFile& index : CorpusIndexes()) {
+    const std::string doc = index.ToJson();
+    auto fast = IndexFile::FromJson(doc);
+    auto tree = IndexFile::FromJsonTree(doc);
+    ASSERT_TRUE(fast.ok()) << doc;
+    ASSERT_TRUE(tree.ok()) << doc;
+    EXPECT_EQ(fast->ToJson(), doc);
+    EXPECT_EQ(tree->ToJson(), doc);
+  }
+}
+
+TEST(IndexFile, NonCanonicalDocumentsFallBackToTreeParser) {
+  // Same data, keys reordered: valid JSON, but not the shape ToJson emits.
+  const std::string reordered =
+      R"({"type":"file","path":"/x","next_ver":2,)"
+      R"("entries":[{"loc":"B","ver":1,"del":false,"size":9,)"
+      R"("parts":[{"size":9,"img":"img-7"}]}]})";
+  auto via_tree = IndexFile::FromJsonTree(reordered);
+  auto via_front_door = IndexFile::FromJson(reordered);
+  ASSERT_TRUE(via_tree.ok()) << via_tree.status().ToString();
+  ASSERT_TRUE(via_front_door.ok()) << via_front_door.status().ToString();
+  EXPECT_EQ(via_tree->ToJson(), via_front_door->ToJson());
+  EXPECT_EQ(via_front_door->path(), "/x");
+  EXPECT_EQ((*via_front_door->Latest())->total_size, 9u);
+}
+
+TEST(IndexFile, ParsersRejectTheSameCorruptInputs) {
+  const std::string good = CorpusIndexes()[1].ToJson();
+  std::vector<std::string> corrupt;
+  corrupt.push_back(good.substr(0, good.size() / 2));  // truncated
+  corrupt.push_back(good + "garbage");                 // trailing bytes
+  std::string flipped = good;
+  flipped[good.find(':')] = ';';                       // structural damage
+  corrupt.push_back(flipped);
+  corrupt.push_back("{}");                             // fields missing
+  for (const std::string& doc : corrupt) {
+    EXPECT_FALSE(IndexFile::FromJson(doc).ok()) << doc;
+    EXPECT_FALSE(IndexFile::FromJsonTree(doc).ok()) << doc;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <string>
 
 namespace ros::json {
@@ -94,6 +96,85 @@ TEST(JsonParse, DeepNestingGuard) {
   std::string deep(200, '[');
   deep += std::string(200, ']');
   EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonDumpTo, AppendsWithoutClearingAndMatchesDump) {
+  Object obj;
+  obj["k"] = Value("v");
+  obj["n"] = Value(17);
+  Value v(std::move(obj));
+  std::string out = "prefix:";
+  v.DumpTo(out);
+  EXPECT_EQ(out, "prefix:" + v.Dump());
+  // Reusing the same buffer accumulates (callers clear between uses).
+  v.DumpTo(out);
+  EXPECT_EQ(out, "prefix:" + v.Dump() + v.Dump());
+}
+
+TEST(JsonAppend, QuotedMatchesDumpEscaping) {
+  for (const char* input :
+       {"plain", "a\"b\\c\nd\te", "\x01\x1f ok", "é中", ""}) {
+    const std::string s(input);
+    std::string via_append;
+    AppendQuoted(via_append, s);
+    EXPECT_EQ(via_append, Value(s).Dump()) << "for input " << s;
+  }
+}
+
+TEST(JsonAppend, IntMatchesDump) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{7}, std::int64_t{-1},
+                         std::int64_t{1234567890123},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    std::string out;
+    AppendInt(out, v);
+    EXPECT_EQ(out, Value(v).Dump());
+  }
+}
+
+TEST(JsonScanner, ConsumesCanonicalShape) {
+  Scanner scanner(R"( {"name":"abc","n":-42,"flag":true} )");
+  std::string name;
+  std::int64_t n = 0;
+  bool flag = false;
+  EXPECT_TRUE(scanner.Consume('{'));
+  EXPECT_TRUE(scanner.ConsumeKey("name"));
+  EXPECT_TRUE(scanner.ReadString(&name));
+  EXPECT_TRUE(scanner.Consume(','));
+  EXPECT_TRUE(scanner.ConsumeKey("n"));
+  EXPECT_TRUE(scanner.ReadInt(&n));
+  EXPECT_TRUE(scanner.Consume(','));
+  EXPECT_TRUE(scanner.ConsumeKey("flag"));
+  EXPECT_TRUE(scanner.ReadBool(&flag));
+  EXPECT_TRUE(scanner.Peek('}'));
+  EXPECT_TRUE(scanner.Peek('}'));  // Peek consumed nothing
+  EXPECT_TRUE(scanner.Consume('}'));
+  EXPECT_TRUE(scanner.AtEnd());
+  EXPECT_EQ(name, "abc");
+  EXPECT_EQ(n, -42);
+  EXPECT_TRUE(flag);
+}
+
+TEST(JsonScanner, BailsOnNonCanonicalInput) {
+  // Escaped strings are valid JSON but not canonical-scanner territory.
+  std::string out;
+  EXPECT_FALSE(Scanner(R"("a\nb")").ReadString(&out));
+  // Leading zeros and float forms are not ints.
+  std::int64_t n = 0;
+  EXPECT_FALSE(Scanner("007").ReadInt(&n));
+  {
+    Scanner s("2.5");
+    EXPECT_FALSE(s.ReadInt(&n));
+  }
+  // Wrong key, wrong char, trailing garbage.
+  EXPECT_FALSE(Scanner(R"("other":1)").ConsumeKey("name"));
+  EXPECT_FALSE(Scanner("]").Consume('['));
+  {
+    Scanner s("true x");
+    bool b = false;
+    EXPECT_TRUE(s.ReadBool(&b));
+    EXPECT_FALSE(s.AtEnd());
+  }
 }
 
 TEST(JsonRoundTrip, DumpThenParseIsIdentity) {

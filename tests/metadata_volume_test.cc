@@ -133,5 +133,113 @@ TEST_F(MetadataVolumeTest, AllPathsSorted) {
   EXPECT_EQ(mv_.AllPaths(), (std::vector<std::string>{"/a", "/m/k", "/z"}));
 }
 
+TEST_F(MetadataVolumeTest, HasChildrenMatchesListChildren) {
+  EXPECT_FALSE(mv_.HasChildren("/"));
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.Put(IndexFile("/d", EntryType::kDirectory))).ok());
+  EXPECT_FALSE(mv_.HasChildren("/d"));
+  EXPECT_TRUE(mv_.HasChildren("/"));  // "/d" itself is a child of the root
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/d/f", 1))).ok());
+  EXPECT_TRUE(mv_.HasChildren("/d"));
+  EXPECT_TRUE(mv_.HasChildren("/"));
+  EXPECT_FALSE(mv_.HasChildren("/d/f"));
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Remove("/d/f")).ok());
+  EXPECT_FALSE(mv_.HasChildren("/d"));
+}
+
+TEST_F(MetadataVolumeTest, PutPublishesToCacheAndGetHits) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/c", 5))).ok());
+  EXPECT_EQ(mv_.cache_size(), 1u);
+  const auto before = mv_.cache_stats();
+  auto index = sim_.RunUntilComplete(mv_.Get("/c"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index->Latest())->total_size, 5u);
+  EXPECT_EQ(mv_.cache_stats().hits, before.hits + 1);
+  EXPECT_EQ(mv_.cache_stats().misses, before.misses);
+}
+
+TEST_F(MetadataVolumeTest, GetRefSharesOneDecodedObject) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/s", 9))).ok());
+  auto first = sim_.RunUntilComplete(mv_.GetRef("/s"));
+  auto second = sim_.RunUntilComplete(mv_.GetRef("/s"));
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // Hits hand out the same immutable decode, not copies.
+  EXPECT_EQ(first->get(), second->get());
+  EXPECT_EQ((**first).path(), "/s");
+}
+
+TEST_F(MetadataVolumeTest, GetAndGetRefAgree) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/both", 3))).ok());
+  auto ref = sim_.RunUntilComplete(mv_.GetRef("/both"));
+  auto copy = sim_.RunUntilComplete(mv_.Get("/both"));
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ((*ref)->ToJson(), copy->ToJson());
+  EXPECT_EQ(sim_.RunUntilComplete(mv_.GetRef("/nope")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetadataVolumeTest, DirectVolumeWriteInvalidatesCachedEntry) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/inv", 1))).ok());
+  auto warm = sim_.RunUntilComplete(mv_.Get("/inv"));
+  ASSERT_TRUE(warm.ok());
+
+  // Bypass the MV entirely — recovery tools and corruption tests write the
+  // volume directly. The mutation observer must drop the cached decode.
+  const std::string doc = FileIndex("/inv", 42).ToJson();
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_.volume()->WriteAll(
+                      MetadataVolume::IndexName("/inv"),
+                      std::vector<std::uint8_t>(doc.begin(), doc.end())))
+                  .ok());
+  const auto misses_before = mv_.cache_stats().misses;
+  auto fresh = sim_.RunUntilComplete(mv_.Get("/inv"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*fresh->Latest())->total_size, 42u);
+  EXPECT_EQ(mv_.cache_stats().misses, misses_before + 1);
+}
+
+TEST_F(MetadataVolumeTest, RemoveAndWipeDropCachedEntries) {
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/r1", 1))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex("/r2", 2))).ok());
+  EXPECT_EQ(mv_.cache_size(), 2u);
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_.Remove("/r1")).ok());
+  EXPECT_EQ(mv_.cache_size(), 1u);
+  EXPECT_EQ(sim_.RunUntilComplete(mv_.Get("/r1")).status().code(),
+            StatusCode::kNotFound);
+  mv_.WipeAll();
+  EXPECT_EQ(mv_.cache_size(), 0u);
+  EXPECT_EQ(sim_.RunUntilComplete(mv_.Get("/r2")).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(MetadataVolumeTest, RestorePastPerFileFailuresReportsCount) {
+  for (const char* path : {"/p/a", "/p/b", "/p/c"}) {
+    ASSERT_TRUE(sim_.RunUntilComplete(mv_.Put(FileIndex(path, 7))).ok());
+  }
+  auto snapshot = sim_.RunUntilComplete(
+      mv_.BuildSnapshotImage("mv-snap-err", 64 * kMiB));
+  ASSERT_TRUE(snapshot.ok());
+
+  mv_.WipeAll();
+  // Leave the volume with no free space: every restored WriteAll must
+  // fail, and the restore should keep going and report all of it rather
+  // than abort on the first entry.
+  disk::Volume* volume = mv_.volume();
+  ASSERT_TRUE(sim_.RunUntilComplete(volume->Create("/fill")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume->Write("/fill", 0,
+                                std::vector<std::uint8_t>(
+                                    volume->free_bytes())))
+                  .ok());
+
+  Status status = sim_.RunUntilComplete(mv_.RestoreFromSnapshot(*snapshot));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(std::string(status.message()).find("2 more restore failures"),
+            std::string::npos)
+      << status.ToString();
+}
+
 }  // namespace
 }  // namespace ros::olfs

@@ -157,6 +157,160 @@ TEST_F(VolumeTest, FragmentationHandledByExtentChaining) {
   EXPECT_EQ(*read, data);
 }
 
+TEST_F(VolumeTest, CountAndAnyWithPrefix) {
+  for (const char* name : {"/a/1", "/a/2", "/a/3", "/ab", "/b/1"}) {
+    ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create(name)).ok());
+  }
+  EXPECT_EQ(volume_.CountPrefix("/a/"), 3u);
+  EXPECT_EQ(volume_.CountPrefix("/a"), 4u);  // "/ab" matches too
+  EXPECT_EQ(volume_.CountPrefix(""), 5u);
+  EXPECT_EQ(volume_.CountPrefix("/c"), 0u);
+  EXPECT_TRUE(volume_.AnyWithPrefix("/a/"));
+  EXPECT_TRUE(volume_.AnyWithPrefix("/b"));
+  EXPECT_FALSE(volume_.AnyWithPrefix("/c"));
+  EXPECT_FALSE(volume_.AnyWithPrefix("/a/4"));
+}
+
+TEST_F(VolumeTest, ForEachPrefixVisitsInOrderWithSizes) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/p/b")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/p/a")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("/p/a", 0, Bytes("xy")))
+                  .ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/q")).ok());
+  std::vector<std::pair<std::string, std::uint64_t>> seen;
+  volume_.ForEachPrefix("/p/", [&seen](const std::string& name,
+                                       std::uint64_t size) {
+    seen.emplace_back(name, size);
+  });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::uint64_t>{"/p/a", 2u}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::uint64_t>{"/p/b", 0u}));
+}
+
+TEST_F(VolumeTest, ListChildrenSkipsSubtrees) {
+  // A child is a name that exists itself (the MV gives every directory its
+  // own index file); names deeper under it are skipped as one subtree.
+  for (const char* name : {"/d", "/d/file", "/d/sub", "/d/sub/a",
+                           "/d/sub/b/deep", "/d/zzz", "/e"}) {
+    ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create(name)).ok());
+  }
+  EXPECT_EQ(volume_.ListChildren("/d/"),
+            (std::vector<std::string>{"file", "sub", "zzz"}));
+  EXPECT_EQ(volume_.ListChildren("/"), (std::vector<std::string>{"d", "e"}));
+  // "/d/sub/b" never existed as its own name: descendants alone do not
+  // make it a child, and the whole "/d/sub/b/..." subtree costs one seek.
+  EXPECT_EQ(volume_.ListChildren("/d/sub/"),
+            (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(volume_.ListChildren("/nope/").empty());
+}
+
+TEST_F(VolumeTest, WriteGenerationsMonotonicAndNeverReused) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("g")).ok());
+  const auto created = volume_.StatFile("g");
+  ASSERT_TRUE(created.ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("g", 0, Bytes("a"))).ok());
+  const auto written = volume_.StatFile("g");
+  ASSERT_TRUE(written.ok());
+  EXPECT_GT(written->write_gen, created->write_gen);
+  EXPECT_EQ(written->size, 1u);
+
+  // Even a Delete/Create cycle of the same name must advance, so stale
+  // cached state can never alias a recreated file.
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Delete("g")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("g")).ok());
+  const auto recreated = volume_.StatFile("g");
+  ASSERT_TRUE(recreated.ok());
+  EXPECT_GT(recreated->write_gen, written->write_gen);
+
+  // FormatQuick keeps the counter too.
+  volume_.FormatQuick();
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("g")).ok());
+  const auto after_format = volume_.StatFile("g");
+  ASSERT_TRUE(after_format.ok());
+  EXPECT_GT(after_format->write_gen, recreated->write_gen);
+
+  EXPECT_EQ(volume_.StatFile("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(VolumeTest, MapFileRangeReplaysSameCharges) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("m")).ok());
+  std::vector<std::uint8_t> data(3 * volume_.block_size() + 17, 7);
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("m", 0, data)).ok());
+
+  auto segments = volume_.MapFileRange("m", 0, data.size());
+  ASSERT_TRUE(segments.ok());
+  std::uint64_t mapped = 0;
+  for (const auto& [dev_offset, length] : *segments) {
+    mapped += length;
+  }
+  EXPECT_EQ(mapped, data.size());
+
+  // Replaying the mapping must cost exactly what ReadDiscard costs.
+  const sim::TimePoint t0 = sim_.now();
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.ReadDiscard("m", 0, data.size())).ok());
+  const sim::TimePoint direct = sim_.now() - t0;
+  const sim::TimePoint t1 = sim_.now();
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.ReadDiscardSegments(*segments)).ok());
+  const sim::TimePoint replay = sim_.now() - t1;
+  EXPECT_EQ(direct, replay);
+
+  // Single-segment overload agrees with the vector form.
+  if (segments->size() == 1) {
+    const auto [dev_offset, length] = segments->front();
+    const sim::TimePoint t2 = sim_.now();
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    volume_.ReadDiscardSegment(dev_offset, length)).ok());
+    EXPECT_EQ(sim_.now() - t2, replay);
+  }
+
+  EXPECT_EQ(volume_.MapFileRange("m", data.size(), 1).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(volume_.MapFileRange("nope", 0, 1).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(VolumeTest, MutationObserverSeesEveryMutation) {
+  std::vector<std::string> events;
+  volume_.SetMutationObserver(
+      [&events](const std::string& name) { events.push_back(name); });
+
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/f")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("/f", 0, Bytes("a"))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Append("/f", Bytes("b"))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.WriteAll("/f", Bytes("c"))).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.AppendSparse("/f", Bytes("d"), 8)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Delete("/f")).ok());
+  // Every mutation named the file it touched, at least once each.
+  EXPECT_GE(events.size(), 6u);
+  for (const auto& name : events) {
+    EXPECT_EQ(name, "/f");
+  }
+
+  // FormatQuick notifies with the empty name ("everything changed").
+  events.clear();
+  volume_.FormatQuick();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.front(), "");
+
+  // Reads never notify.
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/r")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Write("/r", 0, Bytes("x"))).ok());
+  events.clear();
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.ReadAll("/r")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.ReadDiscard("/r", 0, 1)).ok());
+  (void)volume_.StatFile("/r");
+  (void)volume_.List("/");
+  EXPECT_TRUE(events.empty());
+
+  volume_.SetMutationObserver(nullptr);  // unregister must be safe
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/s")).ok());
+  EXPECT_TRUE(events.empty());
+}
+
 TEST_F(VolumeTest, MetadataVolumeUses1KBlocks) {
   EXPECT_EQ(volume_.block_size(), 1 * kKiB);
 }

@@ -30,6 +30,12 @@ leans on but the compiler cannot fully check:
   raw-new-delete      Raw `new` / `delete` expressions. The codebase owns
                       memory through containers and std::unique_ptr only.
 
+  list-size-only      `List(...)` immediately chained into `.size()` or
+                      `.empty()`: the call materializes a vector of every
+                      matching name just to count it (or test for one).
+                      Volume offers CountPrefix / AnyWithPrefix that answer
+                      the same question without the allocation.
+
 Usage:
     tools/ros_lint.py [paths...]          # default: src/ of the repo root
     tools/ros_lint.py --list-status-fns   # debug: dump the Status fn set
@@ -56,6 +62,7 @@ RULES = (
     "coro-ref-param",
     "coro-ref-lambda",
     "raw-new-delete",
+    "list-size-only",
 )
 
 ALLOW_RE = re.compile(r"ros-lint:\s*allow\(([^)]*)\)")
@@ -341,11 +348,34 @@ class FileLint:
                 "raw 'delete' — owning pointers must be std::unique_ptr",
             )
 
+    # --- rule: list-size-only -------------------------------------------
+
+    LIST_CALL_RE = re.compile(r"(?:\.|->)\s*List\s*\(")
+
+    def check_list_size_only(self) -> None:
+        for m in self.LIST_CALL_RE.finditer(self.stripped):
+            open_paren = self.stripped.index("(", m.end() - 1)
+            end = find_matching(self.stripped, open_paren, "(", ")")
+            if end < 0:
+                continue
+            rest = self.stripped[end:].lstrip()
+            tail = re.match(r"(?:\.|->)\s*(size|empty)\s*\(\s*\)", rest)
+            if not tail:
+                continue
+            self.report(
+                m.start(),
+                "list-size-only",
+                f"List(...).{tail.group(1)}() materializes every matching "
+                "name just to measure the result; use CountPrefix(...) for "
+                "counts or AnyWithPrefix(...) for emptiness",
+            )
+
     def run(self) -> list[Finding]:
         self.check_discarded_status()
         self.check_coro_ref_param()
         self.check_coro_ref_lambda()
         self.check_raw_new_delete()
+        self.check_list_size_only()
         return self.findings
 
 

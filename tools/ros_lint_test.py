@@ -186,6 +186,49 @@ class RawNewDeleteTest(unittest.TestCase):
         self.assertEqual(lint_source(src), [])
 
 
+class ListSizeOnlyTest(unittest.TestCase):
+    def test_flags_chained_size_and_empty(self):
+        src = ("void f() {\n"
+               "  auto n = volume_->List(prefix).size();\n"
+               "  if (volume.List(\"/idx/\").empty()) { return; }\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertEqual(rules.count("list-size-only"), 2)
+
+    def test_multiline_chain_flagged(self):
+        src = ("void f() {\n"
+               "  auto n = volume_->List(LongPrefixExpression(a, b))\n"
+               "               .size();\n"
+               "}\n")
+        rules = lint_source(src)
+        self.assertIn(("list-size-only", 2), rules)
+
+    def test_stored_or_iterated_result_clean(self):
+        # Materializing the vector and *using* it is the point of List;
+        # only size/emptiness-of-a-temporary is the smell.
+        src = ("void f() {\n"
+               "  auto names = volume_->List(prefix);\n"
+               "  for (const auto& n : names) { Use(n); }\n"
+               "  auto count = names.size();\n"
+               "}\n")
+        self.assertEqual(lint_source(src), [])
+
+    def test_list_children_not_flagged(self):
+        # Exact-name match only: ListChildren returns direct children and
+        # has no CountPrefix analogue.
+        src = ("void f() {\n"
+               "  auto n = volume_->ListChildren(prefix).size();\n"
+               "}\n")
+        self.assertEqual(lint_source(src), [])
+
+    def test_inline_allow_suppresses(self):
+        src = ("void f() {\n"
+               "  // ros-lint: allow(list-size-only): test asserts contents\n"
+               "  auto n = volume_->List(prefix).size();\n"
+               "}\n")
+        self.assertEqual(lint_source(src), [])
+
+
 class AllowlistTest(unittest.TestCase):
     def test_allowlist_file_filters_by_suffix_and_rule(self):
         with tempfile.TemporaryDirectory() as tmp:
