@@ -42,6 +42,21 @@ void StorageDevice::LoadBytes(std::uint64_t offset,
   }
 }
 
+Status StorageDevice::CheckInjectedFault(bool is_read) {
+  if (faults_ == nullptr) {
+    return OkStatus();
+  }
+  if (faults_->ShouldInject(sim::FaultKind::kHddFailure, name_)) {
+    failed_ = true;
+    return UnavailableError("device " + name_ + " failed (injected)");
+  }
+  if (is_read &&
+      faults_->ShouldInject(sim::FaultKind::kHddReadError, name_)) {
+    return DataLossError("injected latent read error on device " + name_);
+  }
+  return OkStatus();
+}
+
 sim::Task<Status> StorageDevice::Write(std::uint64_t offset,
                                        std::vector<std::uint8_t> data) {
   if (offset + data.size() > capacity_) {
@@ -51,6 +66,7 @@ sim::Task<Status> StorageDevice::Write(std::uint64_t offset,
   if (failed_) {
     co_return UnavailableError("device " + name_ + " failed");
   }
+  ROS_CO_RETURN_IF_ERROR(CheckInjectedFault(/*is_read=*/false));
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(WriteLatency(offset) +
                       sim::TransferTime(data.size(),
@@ -74,6 +90,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> StorageDevice::Read(
   if (failed_) {
     co_return UnavailableError("device " + name_ + " failed");
   }
+  ROS_CO_RETURN_IF_ERROR(CheckInjectedFault(/*is_read=*/true));
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(ReadLatency(offset) +
                       sim::TransferTime(length, perf_.read_bytes_per_sec));
@@ -97,6 +114,7 @@ sim::Task<Status> StorageDevice::WriteDiscard(std::uint64_t offset,
   if (failed_) {
     co_return UnavailableError("device " + name_ + " failed");
   }
+  ROS_CO_RETURN_IF_ERROR(CheckInjectedFault(/*is_read=*/false));
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(WriteLatency(offset) +
                       sim::TransferTime(length, perf_.write_bytes_per_sec));
@@ -115,6 +133,7 @@ sim::Task<Status> StorageDevice::ReadDiscard(std::uint64_t offset,
   if (failed_) {
     co_return UnavailableError("device " + name_ + " failed");
   }
+  ROS_CO_RETURN_IF_ERROR(CheckInjectedFault(/*is_read=*/true));
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(ReadLatency(offset) +
                       sim::TransferTime(length, perf_.read_bytes_per_sec));
@@ -136,6 +155,7 @@ sim::Task<Status> StorageDevice::WriteMulti(std::vector<Segment> segments) {
   if (failed_) {
     co_return UnavailableError("device " + name_ + " failed");
   }
+  ROS_CO_RETURN_IF_ERROR(CheckInjectedFault(/*is_read=*/false));
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(WriteLatency(segments.front().offset) +
                       sim::TransferTime(total, perf_.write_bytes_per_sec));
@@ -163,6 +183,7 @@ sim::Task<Status> StorageDevice::ReadMulti(std::vector<Segment>* segments) {
   if (failed_) {
     co_return UnavailableError("device " + name_ + " failed");
   }
+  ROS_CO_RETURN_IF_ERROR(CheckInjectedFault(/*is_read=*/true));
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(ReadLatency(segments->front().offset) +
                       sim::TransferTime(total, perf_.read_bytes_per_sec));

@@ -18,6 +18,7 @@
 
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/sync.h"
 #include "src/sim/task.h"
@@ -123,6 +124,11 @@ class StorageDevice : public BlockDevice {
   void Replace();
   bool failed() const { return failed_; }
 
+  // Installs (or removes, with nullptr) the fault injector consulted at
+  // each request: kHddFailure kills the device, kHddReadError fails one
+  // read with kDataLoss. The hook site is the device name.
+  void set_fault_injector(sim::FaultInjector* faults) { faults_ = faults; }
+
   const std::string& name() const { return name_; }
   std::uint64_t bytes_written() const override { return bytes_written_; }
   std::uint64_t bytes_read() const override { return bytes_read_; }
@@ -133,6 +139,9 @@ class StorageDevice : public BlockDevice {
 
   void StoreBytes(std::uint64_t offset, std::span<const std::uint8_t> data);
   void LoadBytes(std::uint64_t offset, std::span<std::uint8_t> out) const;
+
+  // Consults the fault injector (if any) at the head of a request.
+  Status CheckInjectedFault(bool is_read);
 
   // Positioning cost applies only when the head moves: a request starting
   // where the previous one of the same kind ended streams for free.
@@ -151,6 +160,7 @@ class StorageDevice : public BlockDevice {
   std::uint64_t last_write_end_ = ~0ull;
   sim::Mutex queue_;  // FIFO request serialization
   bool failed_ = false;
+  sim::FaultInjector* faults_ = nullptr;
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> chunks_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;

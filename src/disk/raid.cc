@@ -441,6 +441,9 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> RaidVolume::Read(
 
   if (level_ == RaidLevel::kRaid1) {
     // Round-robin across live mirrors.
+    // ros-lint: allow(retry-unclassified): mirror failover, not backoff —
+    // any per-device error means "try the next replica", and exhausting
+    // the replica set is the classification.
     for (int attempt = 0; attempt < num_devices(); ++attempt) {
       StorageDevice* device =
           devices_[next_mirror_read_++ % devices_.size()];

@@ -73,6 +73,18 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> OpticalDrive::Read(
     set_->AddReader();
   }
 
+  // Latent sector error: the media under this read has silently rotted.
+  // Corrupting the disc (rather than failing the call) makes the fault
+  // persistent and scrub-discoverable, exactly like real bit rot.
+  if (faults_ != nullptr &&
+      faults_->ShouldInject(sim::FaultKind::kLatentSectorError,
+                            fault_site_)) {
+    auto session = disc_->FindSession(image_id);
+    if (session.ok()) {
+      disc_->CorruptSector(((*session)->start + offset) / kSectorSize);
+    }
+  }
+
   // Head movement: sequential continuation of the previous read is free; a
   // different file or a jump costs a seek.
   const bool sequential =
@@ -110,6 +122,13 @@ sim::Task<StatusOr<BurnResult>> OpticalDrive::BurnImage(
   }
   if (payload.size() > logical_size) {
     co_return InvalidArgumentError("payload exceeds logical size");
+  }
+  // Injected burn failure: the write strategy aborts and the media must
+  // be treated as suspect (kDataLoss => the burn manager re-burns the
+  // whole array onto spare media rather than retrying in place).
+  if (faults_ != nullptr &&
+      faults_->ShouldInject(sim::FaultKind::kBurnFailure, fault_site_)) {
+    co_return DataLossError("injected burn failure on " + fault_site_);
   }
 
   // Resume path: an open session for this image continues where it left

@@ -20,6 +20,7 @@
 #include "src/common/status.h"
 #include "src/drive/disc.h"
 #include "src/drive/speed_profile.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 #include "src/sim/time.h"
@@ -117,6 +118,14 @@ class OpticalDrive {
   // Asks an in-flight burn to stop at the next chunk boundary.
   void RequestInterrupt() { interrupt_requested_ = true; }
 
+  // Installs the fault injector consulted per burn (kBurnFailure) and per
+  // read (kLatentSectorError: the sector under the head rots, surfacing
+  // as kDataLoss from the session CRC). Site: "drive:<id>".
+  void set_fault_injector(sim::FaultInjector* faults) {
+    faults_ = faults;
+    fault_site_ = "drive:" + std::to_string(id_);
+  }
+
   // Observer for burn progress, used by the figure benches:
   // called as (progress_fraction, instantaneous_speed_x).
   std::function<void(double, double)> burn_observer;
@@ -135,6 +144,8 @@ class OpticalDrive {
   DriveTimings timings_;
   DriveState state_ = DriveState::kEmpty;
   Disc* disc_ = nullptr;
+  sim::FaultInjector* faults_ = nullptr;
+  std::string fault_site_;
   bool vfs_mounted_ = false;
   bool interrupt_requested_ = false;
   std::string last_read_image_;

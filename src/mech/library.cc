@@ -54,6 +54,40 @@ sim::Task<Status> Library::LoadArrayLocked(TrayAddress tray, int bay) {
     co_return FailedPreconditionError("drive bay already loaded");
   }
 
+  int discs_in_drives = 0;
+  Status status = co_await LoadArraySteps(tray, &discs_in_drives);
+  if (status.ok()) {
+    bays_[bay].loaded_from = tray;
+    ++loads_;
+    ROS_LOG(kDebug) << "loaded array " << tray.ToString() << " into bay "
+                    << bay;
+    co_return OkStatus();
+  }
+
+  // A mid-load fault leaves the array split between the arm, the drives and
+  // possibly a fanned-out tray. Re-seat everything onto the home tray so the
+  // caller can simply retry LoadArray, then surface the original error.
+  const ArmState& arm = plc_.arm_state(tray.roller);
+  const bool disturbed =
+      discs_in_drives > 0 || arm.carrying || arm.discs_held > 0 ||
+      plc_.roller_state(tray.roller).fanned_out.has_value();
+  if (disturbed) {
+    Status reseat = co_await ReseatAfterFault(tray, discs_in_drives);
+    if (reseat.ok()) {
+      ++fault_recoveries_;
+      ROS_LOG(kWarning) << "load of " << tray.ToString()
+                        << " failed and was re-seated: " << status.ToString();
+    } else {
+      ++reseat_failures_;
+      ROS_LOG(kWarning) << "load recovery for " << tray.ToString()
+                        << " failed: " << reseat.ToString();
+    }
+  }
+  co_return status;
+}
+
+sim::Task<Status> Library::LoadArraySteps(TrayAddress tray,
+                                          int* discs_in_drives) {
   const int roller = tray.roller;
   const RollerState& rstate = plc_.roller_state(roller);
 
@@ -87,22 +121,26 @@ sim::Task<Status> Library::LoadArrayLocked(TrayAddress tray, int bay) {
     done->Set();
   }(this, roller, &arm_up, &ascent_status));
 
-  ROS_CO_RETURN_IF_ERROR(
-      co_await plc_.Execute({.op = PlcOp::kFanInTray, .roller = roller}));
-  ROS_CO_RETURN_IF_ERROR(
-      co_await plc_.Execute({.op = PlcOp::kOpenDriveTrays, .roller = roller}));
+  // Join the ascent before any early return: the spawned task writes into
+  // this frame's locals, so the frame must outlive it even on a fault.
+  Status fan_in =
+      co_await plc_.Execute({.op = PlcOp::kFanInTray, .roller = roller});
+  Status open_trays = OkStatus();
+  if (fan_in.ok()) {
+    open_trays = co_await plc_.Execute(
+        {.op = PlcOp::kOpenDriveTrays, .roller = roller});
+  }
   co_await arm_up.Wait();
+  ROS_CO_RETURN_IF_ERROR(fan_in);
+  ROS_CO_RETURN_IF_ERROR(open_trays);
   ROS_CO_RETURN_IF_ERROR(ascent_status);
 
   // Separate the 12 discs into the 12 drives, bottom disc first.
   for (int disc = 0; disc < kDiscsPerTray; ++disc) {
     ROS_CO_RETURN_IF_ERROR(
         co_await plc_.Execute({.op = PlcOp::kSeparateDisc, .roller = roller}));
+    ++*discs_in_drives;
   }
-
-  bays_[bay].loaded_from = tray;
-  ++loads_;
-  ROS_LOG(kDebug) << "loaded array " << tray.ToString() << " into bay " << bay;
   co_return OkStatus();
 }
 
@@ -128,6 +166,43 @@ sim::Task<Status> Library::UnloadArrayLocked(TrayAddress tray, int bay) {
     co_return FailedPreconditionError("home tray unexpectedly occupied");
   }
 
+  int discs_in_drives = kDiscsPerTray;
+  Status status = co_await UnloadArraySteps(tray, &discs_in_drives);
+  if (status.ok()) {
+    tray_occupied_[tray.ToIndex()] = true;
+    bays_[bay].loaded_from.reset();
+    ++unloads_;
+    ROS_LOG(kDebug) << "unloaded bay " << bay << " back to "
+                    << tray.ToString();
+    // The empty arm returns to park off the critical path, still holding
+    // the arm mutex so the next operation finds it parked.
+    sim_.Spawn(ReturnArmInBackground(roller));
+    co_return OkStatus();
+  }
+
+  // A mid-unload fault is recovered in place: the re-seat sequence finishes
+  // the job (collect the stragglers, place the array, fan in, park), so a
+  // successful recovery *completes* the unload.
+  Status reseat = co_await ReseatAfterFault(tray, discs_in_drives);
+  if (!reseat.ok()) {
+    ++reseat_failures_;
+    ROS_LOG(kWarning) << "unload recovery for bay " << bay
+                      << " failed: " << reseat.ToString();
+    co_return status;
+  }
+  ++fault_recoveries_;
+  tray_occupied_[tray.ToIndex()] = true;
+  bays_[bay].loaded_from.reset();
+  ++unloads_;
+  ROS_LOG(kWarning) << "unload of bay " << bay << " self-healed after fault: "
+                    << status.ToString();
+  co_return OkStatus();
+}
+
+sim::Task<Status> Library::UnloadArraySteps(TrayAddress tray,
+                                            int* discs_in_drives) {
+  const int roller = tray.roller;
+
   // Eject all 12 drive trays, then collect the discs one by one, top drive
   // first, rebuilding the array on the arm.
   ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
@@ -135,6 +210,7 @@ sim::Task<Status> Library::UnloadArrayLocked(TrayAddress tray, int bay) {
   for (int disc = 0; disc < kDiscsPerTray; ++disc) {
     ROS_CO_RETURN_IF_ERROR(
         co_await plc_.Execute({.op = PlcOp::kCollectDisc, .roller = roller}));
+    --*discs_in_drives;
   }
 
   // Carry the array down to its home layer; the roller cannot rotate while
@@ -149,16 +225,59 @@ sim::Task<Status> Library::UnloadArrayLocked(TrayAddress tray, int bay) {
       co_await plc_.Execute({.op = PlcOp::kPlaceArray, .roller = roller}));
   ROS_CO_RETURN_IF_ERROR(
       co_await plc_.Execute({.op = PlcOp::kFanInTray, .roller = roller}));
-
-  tray_occupied_[tray.ToIndex()] = true;
-  bays_[bay].loaded_from.reset();
-  ++unloads_;
-  ROS_LOG(kDebug) << "unloaded bay " << bay << " back to " << tray.ToString();
-
-  // The empty arm returns to park off the critical path, still holding the
-  // arm mutex so the next operation finds it parked.
-  sim_.Spawn(ReturnArmInBackground(roller));
   co_return OkStatus();
+}
+
+sim::Task<Status> Library::ReseatAfterFault(TrayAddress tray,
+                                            int discs_in_drives) {
+  const int roller = tray.roller;
+  // Live views: the PLC updates these as recovery instructions execute.
+  const ArmState& arm = plc_.arm_state(roller);
+  const RollerState& rstate = plc_.roller_state(roller);
+
+  // Pull back any discs already seated in drives.
+  if (discs_in_drives > 0) {
+    ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+        {.op = PlcOp::kEjectDriveTrays, .roller = roller}, /*recovery=*/true));
+    for (int i = 0; i < discs_in_drives; ++i) {
+      ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+          {.op = PlcOp::kCollectDisc, .roller = roller}, /*recovery=*/true));
+    }
+  }
+
+  // Carry the rebuilt array back to its home tray.
+  if (arm.carrying || arm.discs_held > 0) {
+    if (rstate.fanned_out.has_value() && *rstate.fanned_out != tray.slot) {
+      ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+          {.op = PlcOp::kFanInTray, .roller = roller}, /*recovery=*/true));
+    }
+    if (!rstate.fanned_out.has_value()) {
+      if (rstate.facing_slot != tray.slot) {
+        ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+            {.op = PlcOp::kRotateRoller, .roller = roller, .slot = tray.slot},
+            /*recovery=*/true));
+      }
+      ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+          {.op = PlcOp::kFanOutTray, .roller = roller, .slot = tray.slot},
+          /*recovery=*/true));
+    }
+    if (arm.layer != tray.layer) {
+      ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+          {.op = PlcOp::kMoveArm, .roller = roller, .layer = tray.layer},
+          /*recovery=*/true));
+    }
+    ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+        {.op = PlcOp::kPlaceArray, .roller = roller}, /*recovery=*/true));
+    tray_occupied_[tray.ToIndex()] = true;
+  }
+
+  // Leave the roller neutral and the arm parked.
+  if (rstate.fanned_out.has_value()) {
+    ROS_CO_RETURN_IF_ERROR(co_await plc_.Execute(
+        {.op = PlcOp::kFanInTray, .roller = roller}, /*recovery=*/true));
+  }
+  co_return co_await plc_.Execute({.op = PlcOp::kReturnArm, .roller = roller},
+                                  /*recovery=*/true);
 }
 
 sim::Task<void> Library::ReturnArmInBackground(int roller) {

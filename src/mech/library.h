@@ -73,10 +73,25 @@ class Library {
   // Telemetry.
   std::uint64_t loads_completed() const { return loads_; }
   std::uint64_t unloads_completed() const { return unloads_; }
+  // Mid-operation mechanical faults recovered by re-seating the disc array
+  // onto its home tray, and recoveries that themselves failed (wedged arm;
+  // needs operator attention).
+  std::uint64_t fault_recoveries() const { return fault_recoveries_; }
+  std::uint64_t reseat_failures() const { return reseat_failures_; }
 
  private:
   sim::Task<Status> LoadArrayLocked(TrayAddress tray, int bay);
   sim::Task<Status> UnloadArrayLocked(TrayAddress tray, int bay);
+  // The raw PLC sequences, without precondition checks or bookkeeping.
+  // `*discs_in_drives` always reflects how many discs of the array are
+  // currently seated in drives, so a failure can be recovered precisely.
+  sim::Task<Status> LoadArraySteps(TrayAddress tray, int* discs_in_drives);
+  sim::Task<Status> UnloadArraySteps(TrayAddress tray, int* discs_in_drives);
+  // Recovery sequence after a mid-operation fault: collect any discs left
+  // in drives, carry the array back to its home tray, place it, fan in and
+  // park the arm. Runs the PLC in recovery mode (slow, sensor-checked, no
+  // fault injection), so it models an automated re-seat cycle.
+  sim::Task<Status> ReseatAfterFault(TrayAddress tray, int discs_in_drives);
   // Spawned after an unload: returns the arm to its park position.
   sim::Task<void> ReturnArmInBackground(int roller);
 
@@ -90,6 +105,8 @@ class Library {
 
   std::uint64_t loads_ = 0;
   std::uint64_t unloads_ = 0;
+  std::uint64_t fault_recoveries_ = 0;
+  std::uint64_t reseat_failures_ = 0;
 };
 
 }  // namespace ros::mech

@@ -21,14 +21,15 @@ std::string_view PlcOpName(PlcOp op) {
   return "UNKNOWN";
 }
 
-sim::Task<Status> Plc::Actuate(sim::Duration motion) {
+sim::Task<Status> Plc::Actuate(sim::Duration motion, bool recovery) {
   ++instructions_;
   sim::TimePoint start = sim_.now();
   co_await sim_.Delay(motion);
   // Feedback loop: the range sensors verify the final position to 0.05 mm;
-  // a miscalibrated seat re-actuates with a fixed penalty.
+  // a miscalibrated seat re-actuates with a fixed penalty. Recovery-mode
+  // actuations run slow and sensor-checked, so they never miscalibrate.
   int retries = 0;
-  while (faults_.miscalibration_rate > 0 &&
+  while (!recovery && faults_.miscalibration_rate > 0 &&
          rng_.Chance(faults_.miscalibration_rate)) {
     if (++retries > faults_.max_retries) {
       busy_time_ += sim_.now() - start;
@@ -41,9 +42,20 @@ sim::Task<Status> Plc::Actuate(sim::Duration motion) {
   co_return OkStatus();
 }
 
-sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
+sim::Task<Status> Plc::Execute(PlcInstruction instruction, bool recovery) {
   if (instruction.roller < 0 || instruction.roller >= num_rollers()) {
     co_return InvalidArgumentError("bad roller id");
+  }
+  // Injected pick/place fault: the feedback loop detects an out-of-
+  // tolerance seat it cannot correct, charges its full retry budget and
+  // aborts the instruction before any state changes.
+  if (!recovery && injector_ != nullptr &&
+      injector_->ShouldInject(sim::FaultKind::kMechFault,
+                              PlcOpName(instruction.op))) {
+    co_await sim_.Delay(timing_.recalibration_delay * faults_.max_retries);
+    co_return UnavailableError(
+        std::string("injected mech fault: ") +
+        std::string(PlcOpName(instruction.op)));
   }
   RollerState& roller = rollers_[instruction.roller];
   ArmState& arm = arms_[instruction.roller];
@@ -59,7 +71,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       }
       sim::Duration t =
           timing_.RotateTime(roller.facing_slot, instruction.slot);
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t, recovery));
       roller.facing_slot = instruction.slot;
       co_return OkStatus();
     }
@@ -70,7 +82,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       }
       sim::Duration t =
           timing_.ArmTravelTime(arm.layer, instruction.layer, arm.carrying);
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t, recovery));
       arm.layer = instruction.layer;
       co_return OkStatus();
     }
@@ -79,7 +91,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       // Fast straight ascent to the park position (layer 0, atop drives).
       sim::Duration t = timing_.arm_full_travel_return * arm.layer /
                         (kLayersPerRoller - 1);
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(t, recovery));
       arm.layer = 0;
       co_return OkStatus();
     }
@@ -91,7 +103,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       if (roller.facing_slot != instruction.slot) {
         co_return FailedPreconditionError("slot not facing the arm");
       }
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.tray_fan_out));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.tray_fan_out, recovery));
       roller.fanned_out = instruction.slot;
       co_return OkStatus();
     }
@@ -100,7 +112,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       if (!roller.fanned_out.has_value()) {
         co_return FailedPreconditionError("no tray fanned out");
       }
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.tray_fan_in));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.tray_fan_in, recovery));
       roller.fanned_out.reset();
       co_return OkStatus();
     }
@@ -112,7 +124,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       if (!roller.fanned_out.has_value()) {
         co_return FailedPreconditionError("no tray fanned out to grab from");
       }
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.grab_array));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.grab_array, recovery));
       arm.carrying = true;
       arm.discs_held = kDiscsPerTray;
       co_return OkStatus();
@@ -125,7 +137,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       if (!roller.fanned_out.has_value()) {
         co_return FailedPreconditionError("no tray fanned out to place onto");
       }
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.place_array));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.place_array, recovery));
       arm.carrying = false;
       arm.discs_held = 0;
       co_return OkStatus();
@@ -135,7 +147,7 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       if (!arm.carrying || arm.discs_held <= 0) {
         co_return FailedPreconditionError("no disc to separate");
       }
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.separate_per_disc));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.separate_per_disc, recovery));
       if (--arm.discs_held == 0) {
         arm.carrying = false;
       }
@@ -146,17 +158,17 @@ sim::Task<Status> Plc::Execute(PlcInstruction instruction) {
       if (arm.discs_held >= kDiscsPerTray) {
         co_return FailedPreconditionError("carried array already full");
       }
-      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.collect_per_disc));
+      ROS_CO_RETURN_IF_ERROR(co_await Actuate(timing_.collect_per_disc, recovery));
       arm.carrying = true;
       ++arm.discs_held;
       co_return OkStatus();
     }
 
     case PlcOp::kOpenDriveTrays:
-      co_return co_await Actuate(timing_.drive_trays_open);
+      co_return co_await Actuate(timing_.drive_trays_open, recovery);
 
     case PlcOp::kEjectDriveTrays:
-      co_return co_await Actuate(timing_.drive_trays_eject);
+      co_return co_await Actuate(timing_.drive_trays_eject, recovery);
   }
   co_return InternalError("unhandled PLC opcode");
 }

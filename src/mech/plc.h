@@ -23,6 +23,7 @@
 #include "src/common/status.h"
 #include "src/mech/geometry.h"
 #include "src/mech/timing.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 
@@ -84,8 +85,14 @@ class Plc {
   // Executes one instruction, charging its mechanical delay to simulated
   // time and updating sensor state. Returns FailedPrecondition if the
   // instruction is illegal in the current state (e.g. grabbing with a full
-  // arm), or Unavailable if recalibration retries are exhausted.
-  sim::Task<Status> Execute(PlcInstruction instruction);
+  // arm), or Unavailable if recalibration retries are exhausted or a
+  // mechanical fault is injected. State only mutates after a successful
+  // actuation, so a failed instruction leaves the sensors consistent with
+  // the op never having run. `recovery` marks the slow, operator-style
+  // re-seat sequences (Library::ReseatAfterFault): those run with fault
+  // injection and miscalibration disabled.
+  sim::Task<Status> Execute(PlcInstruction instruction,
+                            bool recovery = false);
 
   const MechTimingModel& timing() const { return timing_; }
   const RollerState& roller_state(int roller) const {
@@ -96,6 +103,12 @@ class Plc {
 
   void set_fault_model(PlcFaultModel model) { faults_ = model; }
 
+  // Deterministic mech-fault injection (kMechFault); the hook site is the
+  // instruction's opcode name, so plans can target e.g. "GRAB_ARRAY".
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   // Telemetry.
   std::uint64_t instructions_executed() const { return instructions_; }
   std::uint64_t recalibrations() const { return recalibrations_; }
@@ -103,12 +116,13 @@ class Plc {
 
  private:
   // Runs the feedback loop for one actuation of duration `motion`.
-  sim::Task<Status> Actuate(sim::Duration motion);
+  sim::Task<Status> Actuate(sim::Duration motion, bool recovery = false);
 
   sim::Simulator& sim_;
   MechTimingModel timing_;
   Rng rng_;
   PlcFaultModel faults_;
+  sim::FaultInjector* injector_ = nullptr;
   std::vector<RollerState> rollers_;
   std::vector<ArmState> arms_;
 

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/sim/join.h"
+#include "src/sim/retry.h"
 #include "src/udf/serializer.h"
 
 namespace ros::olfs {
@@ -116,10 +117,16 @@ sim::Task<void> BurnManager::BurnArrayTask(
     da_->set_state(job.tray, ArrayState::kUsed);
   }
 
-  // Burn with retry: a failed array (bad media, burn errors) is marked
-  // kFailed in the DAindex and the job moves to a fresh empty array.
+  // Burn with two-tier retry. Transient failures (a mechanical fault, a
+  // momentarily busy drive) leave the media sound: the same array retries
+  // in place under params.burn_retry's backoff. Permanent failures (burn
+  // errors: suspect media) mark the array kFailed in the DAindex and the
+  // job moves to a fresh empty array.
   constexpr int kMaxArrayRetries = 2;
-  for (int attempt = 0; attempt <= kMaxArrayRetries; ++attempt) {
+  sim::Retrier retrier(sim_, params_.burn_retry,
+                       static_cast<std::uint64_t>(job.tray.ToIndex()) + 1);
+  int reallocations = 0;
+  while (true) {
     auto bay = co_await mech_->AcquireBay(std::nullopt, /*wait=*/true);
     if (!bay.ok()) {
       last_error_ = bay.status();
@@ -134,10 +141,24 @@ sim::Task<void> BurnManager::BurnArrayTask(
       co_return;
     }
     last_error_ = status;
+    if (sim::IsTransient(status.code())) {
+      if (co_await retrier.AwaitRetry(status)) {
+        ++burn_retries_;
+        ROS_LOG(kWarning) << "transient burn failure on array "
+                          << job.tray.ToString() << "; retrying in place: "
+                          << status.ToString();
+        continue;
+      }
+      fatal_error_ = status;
+      break;
+    }
     da_->set_state(job.tray, ArrayState::kFailed);
     ROS_LOG(kWarning) << "burn of array " << job.tray.ToString()
                       << " failed (" << status.ToString()
                       << "); reallocating";
+    if (++reallocations > kMaxArrayRetries) {
+      break;
+    }
     auto tray = da_->AllocateEmpty();
     if (!tray.ok()) {
       last_error_ = tray.status();
@@ -146,6 +167,7 @@ sim::Task<void> BurnManager::BurnArrayTask(
     }
     job.tray = *tray;
     da_->set_state(job.tray, ArrayState::kUsed);
+    ++arrays_reallocated_;
     job.burned_bytes.clear();
     job.resumed = false;
   }

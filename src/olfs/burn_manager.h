@@ -63,6 +63,10 @@ class BurnManager {
   int arrays_burned() const { return arrays_burned_; }
   int active_burns() const { return active_burns_; }
   int interrupts_taken() const { return interrupts_taken_; }
+  // Transient burn-path failures retried in place (same disc array), and
+  // arrays abandoned for spare media after a permanent failure.
+  int burn_retries() const { return burn_retries_; }
+  int arrays_reallocated() const { return arrays_reallocated_; }
   // Most recent error observed, including transient ones that a retry
   // recovered from (telemetry).
   Status last_error() const { return last_error_; }
@@ -103,6 +107,8 @@ class BurnManager {
   int active_burns_ = 0;
   int arrays_burned_ = 0;
   int interrupts_taken_ = 0;
+  int burn_retries_ = 0;
+  int arrays_reallocated_ = 0;
   std::vector<std::string> claimed_;  // images owned by running burn tasks
   std::vector<bool> interrupt_requested_;
   sim::ConditionVariable burns_changed_;

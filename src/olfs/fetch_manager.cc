@@ -1,10 +1,35 @@
 #include "src/olfs/fetch_manager.h"
 
+#include <utility>
+
+#include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/sim/retry.h"
 
 namespace ros::olfs {
 
 sim::Task<StatusOr<FetchLease>> FetchManager::FetchDisc(
+    std::string image_id) {
+  sim::Retrier retrier(
+      sim_, params_.mech_retry,
+      Fnv1a64({reinterpret_cast<const std::uint8_t*>(image_id.data()),
+               image_id.size()}));
+  while (true) {
+    StatusOr<FetchLease> lease = co_await FetchDiscOnce(image_id);
+    if (lease.ok()) {
+      co_return std::move(lease);
+    }
+    if (!co_await retrier.AwaitRetry(lease.status())) {
+      co_return lease.status();
+    }
+    ++retries_;
+    ROS_LOG(kWarning) << "retrying fetch of " << image_id << " (attempt "
+                      << retrier.attempts() + 1
+                      << "): " << lease.status().ToString();
+  }
+}
+
+sim::Task<StatusOr<FetchLease>> FetchManager::FetchDiscOnce(
     std::string image_id) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(image_id));

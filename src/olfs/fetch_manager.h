@@ -27,12 +27,33 @@
 namespace ros::olfs {
 
 // Exclusive use of a drive (and its bay) for the duration of a read.
-// Release() parks the array; the lease must be released exactly once.
+// Release() parks the array; it is idempotent, and the destructor releases
+// any still-held bay, so an error return mid-read can never leak a bay.
 class FetchLease {
  public:
   FetchLease() = default;
   FetchLease(MechController* mech, int bay, drive::OpticalDrive* drive)
       : mech_(mech), bay_(bay), drive_(drive) {}
+  ~FetchLease() { Release(); }
+
+  FetchLease(FetchLease&& other) noexcept
+      : mech_(other.mech_), bay_(other.bay_), drive_(other.drive_) {
+    other.mech_ = nullptr;
+    other.drive_ = nullptr;
+  }
+  FetchLease& operator=(FetchLease&& other) noexcept {
+    if (this != &other) {
+      Release();
+      mech_ = other.mech_;
+      bay_ = other.bay_;
+      drive_ = other.drive_;
+      other.mech_ = nullptr;
+      other.drive_ = nullptr;
+    }
+    return *this;
+  }
+  FetchLease(const FetchLease&) = delete;
+  FetchLease& operator=(const FetchLease&) = delete;
 
   drive::OpticalDrive* drive() { return drive_; }
   int bay() const { return bay_; }
@@ -65,11 +86,18 @@ class FetchManager {
   // mechanical resources", §4.1).
 
   // Ensures the disc holding `image_id` sits in a drive; returns the lease.
+  // Transient mechanical faults (kUnavailable) are retried under
+  // params.mech_retry; each retry re-runs bay selection, so a bay whose
+  // mechanics misbehaved naturally falls back to another bay.
   sim::Task<StatusOr<FetchLease>> FetchDisc(std::string image_id);
 
   std::uint64_t fetches() const { return fetches_; }
+  std::uint64_t retries() const { return retries_; }
 
  private:
+  // One fetch attempt, no retry.
+  sim::Task<StatusOr<FetchLease>> FetchDiscOnce(std::string image_id);
+
   sim::Simulator& sim_;
   OlfsParams params_;
   DiscImageStore* images_;
@@ -78,6 +106,7 @@ class FetchManager {
   // tray index -> completion event of the load currently in flight.
   std::map<int, std::shared_ptr<sim::Event>> inflight_;
   std::uint64_t fetches_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 }  // namespace ros::olfs

@@ -59,6 +59,40 @@ json::Value Maintenance::StatusReport() const {
       json::Value(static_cast<std::int64_t>(index_stats.evictions));
   report["caches"] = json::Value(std::move(cache));
 
+  // Self-healing: the fault/retry/repair pipeline (§4.7), plus raw
+  // injector telemetry when a chaos plan is installed.
+  json::Object resilience;
+  resilience["degraded_reads"] =
+      json::Value(static_cast<std::int64_t>(olfs_->degraded_reads()));
+  resilience["reconstructions"] =
+      json::Value(static_cast<std::int64_t>(olfs_->reconstructions()));
+  resilience["images_repaired"] =
+      json::Value(static_cast<std::int64_t>(olfs_->images_repaired()));
+  resilience["burn_retries"] = json::Value(olfs_->burns().burn_retries());
+  resilience["arrays_reallocated"] =
+      json::Value(olfs_->burns().arrays_reallocated());
+  resilience["fetch_retries"] =
+      json::Value(static_cast<std::int64_t>(olfs_->fetches().retries()));
+  resilience["mech_recoveries"] = json::Value(static_cast<std::int64_t>(
+      olfs_->system().library()->fault_recoveries()));
+  resilience["mech_reseat_failures"] = json::Value(
+      static_cast<std::int64_t>(olfs_->system().library()->reseat_failures()));
+  if (sim::FaultInjector* injector = olfs_->system().fault_injector()) {
+    json::Object injected;
+    for (int k = 0; k < sim::kNumFaultKinds; ++k) {
+      const auto kind = static_cast<sim::FaultKind>(k);
+      json::Object counts;
+      counts["ops_seen"] = json::Value(
+          static_cast<std::int64_t>(injector->ops_seen(kind)));
+      counts["injected"] = json::Value(
+          static_cast<std::int64_t>(injector->injected(kind)));
+      injected[std::string(sim::FaultKindName(kind))] =
+          json::Value(std::move(counts));
+    }
+    resilience["injected_faults"] = json::Value(std::move(injected));
+  }
+  report["resilience"] = json::Value(std::move(resilience));
+
   json::Object namespace_info;
   namespace_info["entries"] =
       json::Value(static_cast<std::int64_t>(olfs_->mv().index_count()));

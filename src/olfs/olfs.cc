@@ -461,6 +461,33 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
       cache_->RecordMiss();
       auto data = co_await ReadFromDisc(part.image_id, internal_path,
                                         offset, length);
+      if (!data.ok() && (data.status().code() == StatusCode::kDataLoss ||
+                         data.status().code() == StatusCode::kUnavailable)) {
+        // Degraded read (§4.7): the disc is damaged or unreachable.
+        // Reconstruct the whole image from surviving members + parity,
+        // serve the requested bytes, and re-stage the image so it burns
+        // onto fresh media — the read succeeds, the repair rides behind.
+        ++degraded_reads_;
+        ROS_LOG(kWarning) << "degraded read of " << internal_path << " ("
+                          << part.image_id
+                          << "): " << data.status().ToString();
+        auto recovered = co_await ReconstructFromParity(part.image_id);
+        if (recovered.ok()) {
+          auto image = udf::Serializer::Parse(*recovered);
+          if (image.ok()) {
+            ++reconstructions_;
+            auto repaired =
+                std::make_shared<udf::Image>(std::move(*image));
+            auto bytes = repaired->ReadFile(internal_path, offset, length);
+            Status staged = co_await RepairImage(part.image_id, repaired);
+            if (!staged.ok()) {
+              ROS_LOG(kWarning) << "repair staging of " << part.image_id
+                                << " failed: " << staged.ToString();
+            }
+            co_return bytes;
+          }
+        }
+      }
       if (data.ok() && file_cache_->enabled()) {
         sim_.Spawn(PrefetchTask(part.image_id, internal_path));
       }
@@ -719,101 +746,111 @@ sim::Task<StatusOr<int>> Olfs::ScrubAndRepair() {
     }
     ROS_LOG(kInfo) << "scrub found sector errors on "
                    << (*record)->disc->ToString() << "; repairing " << id;
-
-    // Gather surviving member streams + the P parity stream.
-    const std::vector<std::string> members = (*record)->array_members;
-    if (members.empty()) {
-      co_return DataLossError("no parity membership recorded for " + id);
-    }
-    std::vector<std::vector<std::uint8_t>> streams(members.size());
-    std::vector<std::vector<std::uint8_t>> parity_streams;
-    int missing = -1;
-    for (std::size_t k = 0; k < members.size(); ++k) {
-      if (members[k] == id) {
-        missing = static_cast<int>(k);
-        continue;
-      }
-      auto member = images_->Lookup(members[k]);
-      if (!member.ok() || !(*member)->disc.has_value()) {
-        co_return DataLossError("member " + members[k] + " unavailable");
-      }
-      ROS_CO_ASSIGN_OR_RETURN(FetchLease lease,
-                              co_await fetcher_->FetchDisc(members[k]));
-      Status mounted = co_await lease.drive()->MountVfs();
-      if (!mounted.ok()) {
-        lease.Release();
-        co_return mounted;
-      }
-      drive::Disc* member_disc = lease.drive()->disc();
-      auto session = member_disc->FindSession(members[k]);
-      if (!session.ok()) {
-        lease.Release();
-        co_return session.status();
-      }
-      // Charge the full-stream optical read.
-      auto timed = co_await lease.drive()->Read(
-          members[k], 0, std::max<std::uint64_t>(1, (*session)->data.size()));
-      if (!timed.ok()) {
-        lease.Release();
-        co_return timed.status();
-      }
-      auto stream = member_disc->ReadSession(members[k], 0,
-                                             (*session)->data.size());
-      lease.Release();
-      if (!stream.ok()) {
-        co_return stream.status();
-      }
-      const bool is_parity = members[k].size() > 2 &&
-                             members[k].substr(members[k].size() - 2) == "-P";
-      if (is_parity) {
-        parity_streams.push_back(std::move(*stream));
-      } else {
-        streams[k] = std::move(*stream);
-      }
-    }
-    if (missing < 0) {
-      co_return InternalError("corrupted image not in its own array");
-    }
-    // Strip parity slots from the member list (they were appended last).
-    std::vector<std::vector<std::uint8_t>> data_streams;
-    int missing_data_index = -1;
-    for (std::size_t k = 0; k < members.size(); ++k) {
-      const std::string& member = members[k];
-      if (member.size() > 2 && (member.substr(member.size() - 2) == "-P" ||
-                                member.substr(member.size() - 2) == "-Q")) {
-        continue;
-      }
-      if (static_cast<int>(k) == missing) {
-        missing_data_index = static_cast<int>(data_streams.size());
-      }
-      data_streams.push_back(std::move(streams[k]));
-    }
-    ROS_CO_ASSIGN_OR_RETURN(
-        std::vector<std::uint8_t> recovered,
-        ParityBuilder::Recover(data_streams, parity_streams,
-                               missing_data_index));
+    ROS_CO_ASSIGN_OR_RETURN(std::vector<std::uint8_t> recovered,
+                            co_await ReconstructFromParity(id));
     auto image = udf::Serializer::Parse(recovered);
     if (!image.ok()) {
       co_return DataLossError("parity recovery failed CRC for " + id);
     }
-    // The recovered data re-enters the write path (staged back into the
-    // disk buffer) and will burn onto a fresh disc array (§4.7).
-    auto repaired_image = std::make_shared<udf::Image>(std::move(*image));
-    const int vol = 0;
-    disk::Volume* volume = buckets_->volume(vol);
-    const std::string file =
-        BucketManager::VolumeFileName(id) + "#repair" +
-        std::to_string(repaired_generation_++);
-    ROS_CO_RETURN_IF_ERROR(co_await volume->Create(file));
-    ROS_CO_RETURN_IF_ERROR(co_await volume->AppendSparse(
-        file, {}, repaired_image->used_bytes()));
-    ROS_CO_RETURN_IF_ERROR(
-        images_->ReopenForRepair(id, repaired_image, vol, file));
-    disc_mounts_.erase(id);
+    ++reconstructions_;
+    ROS_CO_RETURN_IF_ERROR(co_await RepairImage(
+        id, std::make_shared<udf::Image>(std::move(*image))));
     ++repaired;
-    burns_->NotifyImageClosed(id);
   }
   co_return repaired;
+}
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReconstructFromParity(
+    std::string image_id) {
+  ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
+                          images_->Lookup(image_id));
+  // Gather surviving member streams + the parity stream(s).
+  const std::vector<std::string> members = record->array_members;
+  if (members.empty()) {
+    co_return DataLossError("no parity membership recorded for " + image_id);
+  }
+  std::vector<std::vector<std::uint8_t>> streams(members.size());
+  std::vector<std::vector<std::uint8_t>> parity_streams;
+  int missing = -1;
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    if (members[k] == image_id) {
+      missing = static_cast<int>(k);
+      continue;
+    }
+    auto member = images_->Lookup(members[k]);
+    if (!member.ok() || !(*member)->disc.has_value()) {
+      co_return DataLossError("member " + members[k] + " unavailable");
+    }
+    ROS_CO_ASSIGN_OR_RETURN(FetchLease lease,
+                            co_await fetcher_->FetchDisc(members[k]));
+    Status mounted = co_await lease.drive()->MountVfs();
+    if (!mounted.ok()) {
+      co_return mounted;
+    }
+    drive::Disc* member_disc = lease.drive()->disc();
+    auto session = member_disc->FindSession(members[k]);
+    if (!session.ok()) {
+      co_return session.status();
+    }
+    // Charge the full-stream optical read.
+    auto timed = co_await lease.drive()->Read(
+        members[k], 0, std::max<std::uint64_t>(1, (*session)->data.size()));
+    if (!timed.ok()) {
+      co_return timed.status();
+    }
+    auto stream = member_disc->ReadSession(members[k], 0,
+                                           (*session)->data.size());
+    lease.Release();
+    if (!stream.ok()) {
+      co_return stream.status();
+    }
+    const bool is_parity = members[k].size() > 2 &&
+                           members[k].substr(members[k].size() - 2) == "-P";
+    if (is_parity) {
+      parity_streams.push_back(std::move(*stream));
+    } else {
+      streams[k] = std::move(*stream);
+    }
+  }
+  if (missing < 0) {
+    co_return InternalError("corrupted image not in its own array");
+  }
+  // Strip parity slots from the member list (they were appended last).
+  std::vector<std::vector<std::uint8_t>> data_streams;
+  int missing_data_index = -1;
+  for (std::size_t k = 0; k < members.size(); ++k) {
+    const std::string& member = members[k];
+    if (member.size() > 2 && (member.substr(member.size() - 2) == "-P" ||
+                              member.substr(member.size() - 2) == "-Q")) {
+      continue;
+    }
+    if (static_cast<int>(k) == missing) {
+      missing_data_index = static_cast<int>(data_streams.size());
+    }
+    data_streams.push_back(std::move(streams[k]));
+  }
+  co_return ParityBuilder::Recover(data_streams, parity_streams,
+                                   missing_data_index);
+}
+
+sim::Task<Status> Olfs::RepairImage(std::string image_id,
+                                    std::shared_ptr<udf::Image> image) {
+  // The recovered data re-enters the write path (staged back into the
+  // disk buffer) and will burn onto a fresh disc array (§4.7).
+  const int vol = 0;
+  disk::Volume* volume = buckets_->volume(vol);
+  const std::string file =
+      BucketManager::VolumeFileName(image_id) + "#repair" +
+      std::to_string(repaired_generation_++);
+  ROS_CO_RETURN_IF_ERROR(co_await volume->Create(file));
+  ROS_CO_RETURN_IF_ERROR(
+      co_await volume->AppendSparse(file, {}, image->used_bytes()));
+  ROS_CO_RETURN_IF_ERROR(
+      images_->ReopenForRepair(image_id, image, vol, file));
+  disc_mounts_.erase(image_id);
+  ++images_repaired_;
+  burns_->NotifyImageClosed(image_id);
+  co_return OkStatus();
 }
 
 void Olfs::StartBackgroundPolicies(sim::Duration mv_snapshot_interval,

@@ -156,6 +156,13 @@ class Olfs {
     disc_mounts_.erase(image_id);
   }
 
+  // Self-healing telemetry: reads served degraded (the disc read failed),
+  // successful parity reconstructions, and images re-staged for re-burn.
+  std::uint64_t degraded_reads() const { return degraded_reads_; }
+  std::uint64_t reconstructions() const { return reconstructions_; }
+  std::uint64_t images_repaired() const { return images_repaired_; }
+
+  RosSystem& system() { return *system_; }
   MetadataVolume& mv() { return *mv_; }
   DiscImageStore& images() { return *images_; }
   BucketManager& buckets() { return *buckets_; }
@@ -204,6 +211,17 @@ class Olfs {
   sim::Task<void> PrefetchTask(std::string image_id,
                                std::string internal_path);
 
+  // Rebuilds the full serialized stream of a damaged or unreachable image
+  // from its array's surviving members + parity (§4.7). Charges the
+  // optical reads of every surviving member.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReconstructFromParity(
+      std::string image_id);
+
+  // Stages a recovered image back into the disk buffer (tier kBuffered)
+  // and queues its re-burn onto fresh media.
+  sim::Task<Status> RepairImage(std::string image_id,
+                                std::shared_ptr<udf::Image> image);
+
   sim::Simulator& sim_;
   RosSystem* system_;
   OlfsParams params_;
@@ -233,6 +251,9 @@ class Olfs {
   std::vector<std::string> op_trace_;
   int mv_snapshot_counter_ = 0;
   int repaired_generation_ = 0;
+  std::uint64_t degraded_reads_ = 0;
+  std::uint64_t reconstructions_ = 0;
+  std::uint64_t images_repaired_ = 0;
   std::uint64_t namespace_writes_ = 0;      // dirtiness since last snapshot
   std::uint64_t last_snapshot_writes_ = 0;
   sim::TimePoint last_write_time_ = 0;

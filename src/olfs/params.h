@@ -7,6 +7,7 @@
 #include "src/common/units.h"
 #include "src/drive/disc.h"
 #include "src/drive/optical_drive.h"
+#include "src/sim/retry.h"
 #include "src/sim/time.h"
 
 namespace ros::olfs {
@@ -64,6 +65,15 @@ struct OlfsParams {
   // data images is ready (§4.3). The controller staggers burn starts while
   // it stages each image to its drive (Fig 9).
   BusyDrivePolicy busy_drive_policy = BusyDrivePolicy::kWaitForBurn;
+
+  // Self-healing budgets: transient (kUnavailable) mechanical faults during
+  // a fetch re-run bay selection under `mech_retry`; transient burn-path
+  // faults re-attempt the same array under `burn_retry` before the burn
+  // manager escalates to spare media.
+  sim::RetryPolicy mech_retry{.max_attempts = 3,
+                              .initial_backoff = sim::Seconds(2)};
+  sim::RetryPolicy burn_retry{.max_attempts = 3,
+                              .initial_backoff = sim::Seconds(5)};
 
   // 11 (RAID-5) or 10 (RAID-6) data images per 12-disc array.
   int data_images_per_array() const { return 12 - parity_images; }

@@ -17,6 +17,7 @@
 #include "src/mech/library.h"
 #include "src/olfs/disc_inventory.h"
 #include "src/olfs/params.h"
+#include "src/sim/fault.h"
 #include "src/sim/simulator.h"
 
 namespace ros::olfs {
@@ -105,6 +106,25 @@ class RosSystem {
   const SystemConfig& config() const { return config_; }
   DiscInventory& discs() { return discs_; }
 
+  // Installs a fault injector on every fault hook in the rack: all SSDs
+  // and HDDs, every optical drive, and the PLC. Pass nullptr to detach.
+  void InstallFaultInjector(sim::FaultInjector* injector) {
+    fault_injector_ = injector;
+    for (auto& ssd : ssds_) {
+      ssd->set_fault_injector(injector);
+    }
+    for (auto& hdd : hdds_) {
+      hdd->set_fault_injector(injector);
+    }
+    for (auto& set : drive_sets_) {
+      for (int i = 0; i < set->size(); ++i) {
+        set->drive(i).set_fault_injector(injector);
+      }
+    }
+    library_->plc().set_fault_injector(injector);
+  }
+  sim::FaultInjector* fault_injector() { return fault_injector_; }
+
  private:
   SystemConfig config_;
   std::vector<std::unique_ptr<disk::StorageDevice>> ssds_;
@@ -116,6 +136,7 @@ class RosSystem {
   std::unique_ptr<mech::Library> library_;
   std::vector<std::unique_ptr<drive::DriveSet>> drive_sets_;
   DiscInventory discs_;
+  sim::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace ros::olfs

@@ -1,0 +1,89 @@
+#include "src/sim/fault.h"
+
+#include "src/common/logging.h"
+#include "src/common/status.h"
+
+namespace ros::sim {
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBurnFailure: return "burn_failure";
+    case FaultKind::kLatentSectorError: return "latent_sector_error";
+    case FaultKind::kMechFault: return "mech_fault";
+    case FaultKind::kHddFailure: return "hdd_failure";
+    case FaultKind::kHddReadError: return "hdd_read_error";
+  }
+  return "unknown";
+}
+
+void FaultInjector::FailNth(FaultKind kind, std::string site,
+                            std::uint64_t nth) {
+  ROS_CHECK(nth >= 1);
+  one_shots_[static_cast<int>(kind)].push_back(
+      {.site = std::move(site), .nth = nth});
+}
+
+void FaultInjector::SetRate(FaultKind kind, double rate) {
+  ROS_CHECK(rate >= 0.0 && rate <= 1.0);
+  rates_[static_cast<int>(kind)] = rate;
+}
+
+double FaultInjector::rate(FaultKind kind) const {
+  return rates_[static_cast<int>(kind)];
+}
+
+bool FaultInjector::ShouldInject(FaultKind kind, std::string_view site) {
+  const int k = static_cast<int>(kind);
+  const std::uint64_t global = ++seen_[k];
+  std::uint64_t site_count = 0;
+  if (!one_shots_[k].empty()) {
+    auto it = site_seen_[k].find(site);
+    if (it == site_seen_[k].end()) {
+      it = site_seen_[k].emplace(std::string(site), 0).first;
+    }
+    site_count = ++it->second;
+  }
+
+  bool hit = false;
+  for (OneShot& shot : one_shots_[k]) {
+    if (shot.fired) {
+      continue;
+    }
+    const bool match = shot.site.empty() ? global == shot.nth
+                                         : (shot.site == site &&
+                                            site_count == shot.nth);
+    if (match) {
+      shot.fired = true;
+      hit = true;
+    }
+  }
+  // Rate check runs even after a scripted hit so the RNG stream — and
+  // with it every later rate decision — is independent of the script.
+  if (rates_[k] > 0 && rng_.Chance(rates_[k])) {
+    hit = true;
+  }
+  if (hit) {
+    ++injected_[k];
+    ROS_LOG(kDebug) << "injected " << FaultKindName(kind) << " at "
+                    << site;
+  }
+  return hit;
+}
+
+std::uint64_t FaultInjector::ops_seen(FaultKind kind) const {
+  return seen_[static_cast<int>(kind)];
+}
+
+std::uint64_t FaultInjector::injected(FaultKind kind) const {
+  return injected_[static_cast<int>(kind)];
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (int k = 0; k < kNumFaultKinds; ++k) {
+    total += injected_[k];
+  }
+  return total;
+}
+
+}  // namespace ros::sim

@@ -1,0 +1,83 @@
+// Deterministic fault injection for the simulated rack.
+//
+// A FaultInjector holds a seeded fault plan: scripted one-shot triggers
+// ("fail the 3rd burn on drive 2") and rate-based background faults
+// (latent sector errors, burn failures, mechanical pick/place faults, HDD
+// death). Components expose a hook point per fault kind and consult the
+// injector only when one is installed, so the default configuration is
+// zero-cost and — because the plan consumes random numbers only for kinds
+// with a non-zero rate — an installed-but-empty injector leaves behaviour
+// and simulated timings bit-identical to no injector at all.
+//
+// Sites name the physical unit a hook fires on: "drive:<id>" for optical
+// drives, the device name ("hdd0_1") for block devices, and the PLC opcode
+// name ("GRAB_ARRAY") for mechanical instructions. A one-shot with an
+// empty site matches the kind's global operation counter instead.
+#ifndef ROS_SRC_SIM_FAULT_H_
+#define ROS_SRC_SIM_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace ros::sim {
+
+enum class FaultKind {
+  kBurnFailure = 0,    // an optical burn aborts; the media is suspect
+  kLatentSectorError,  // a sector under the read head has rotted
+  kMechFault,          // a PLC actuation faults out (pick/place/rotate)
+  kHddFailure,         // whole-device death; I/O fails until Replace()
+  kHddReadError,       // one block-device read returns kDataLoss
+};
+
+inline constexpr int kNumFaultKinds = 5;
+
+std::string_view FaultKindName(FaultKind kind);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed = 1) : rng_(seed) {}
+
+  // Scripts the nth (1-based) operation of `kind` to fail. With a
+  // non-empty `site` the count is per-site ("fail burn #3 on drive 2");
+  // empty counts every site together. Each trigger fires exactly once.
+  void FailNth(FaultKind kind, std::string site, std::uint64_t nth);
+
+  // Background fault rate: every operation of `kind` fails independently
+  // with probability `rate`. A rate of 0 (the default) consumes no
+  // randomness at all.
+  void SetRate(FaultKind kind, double rate);
+  double rate(FaultKind kind) const;
+
+  // Hook point. Counts the operation and decides whether it should fail.
+  // Scripted triggers are checked first (no RNG), then the kind's rate.
+  bool ShouldInject(FaultKind kind, std::string_view site);
+
+  // Telemetry for maintenance reports and chaos assertions.
+  std::uint64_t ops_seen(FaultKind kind) const;
+  std::uint64_t injected(FaultKind kind) const;
+  std::uint64_t total_injected() const;
+
+ private:
+  struct OneShot {
+    std::string site;  // empty = match the global counter
+    std::uint64_t nth = 0;
+    bool fired = false;
+  };
+
+  Rng rng_;
+  double rates_[kNumFaultKinds] = {};
+  std::uint64_t seen_[kNumFaultKinds] = {};
+  std::uint64_t injected_[kNumFaultKinds] = {};
+  std::vector<OneShot> one_shots_[kNumFaultKinds];
+  std::map<std::string, std::uint64_t, std::less<>>
+      site_seen_[kNumFaultKinds];
+};
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_FAULT_H_

@@ -1,0 +1,42 @@
+#include "src/sim/retry.h"
+
+#include <algorithm>
+
+namespace ros::sim {
+
+bool IsTransient(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
+
+Task<bool> Retrier::AwaitRetry(Status status) {
+  last_error_ = status;
+  if (status.ok() || !IsTransient(status.code())) {
+    co_return false;
+  }
+  if (!started_) {
+    started_ = true;
+    first_failure_ = sim_.now();
+  }
+  if (attempts_ >= policy_.max_attempts) {
+    co_return false;
+  }
+  Duration backoff = next_backoff_;
+  if (policy_.jitter > 0) {
+    const double factor =
+        1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+    backoff = static_cast<Duration>(static_cast<double>(backoff) * factor);
+  }
+  if (policy_.deadline > 0 &&
+      sim_.now() - first_failure_ + backoff > policy_.deadline) {
+    co_return false;
+  }
+  ++attempts_;
+  co_await sim_.Delay(backoff);
+  next_backoff_ = std::min<Duration>(
+      policy_.max_backoff,
+      static_cast<Duration>(static_cast<double>(next_backoff_) *
+                            policy_.multiplier));
+  co_return true;
+}
+
+}  // namespace ros::sim

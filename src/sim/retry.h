@@ -1,0 +1,77 @@
+// Sim-time retry with exponential backoff and deterministic jitter.
+//
+// Long-running subsystems (burn pipeline, mechanical fetches) must not
+// treat a transient fault — a PLC actuation that faulted out, a drive bay
+// that is momentarily dead — as the end of the world. A Retrier classifies
+// a failed attempt's Status, charges an exponentially growing, seeded-
+// jittered backoff to simulated time, and tells the caller whether another
+// attempt is within the policy's attempt/deadline budget.
+//
+// The canonical retry loop:
+//
+//   sim::Retrier retrier(sim, policy, seed);
+//   while (true) {
+//     Status status = co_await Attempt();
+//     if (status.ok()) break;
+//     if (!co_await retrier.AwaitRetry(status)) co_return status;
+//   }
+#ifndef ROS_SRC_SIM_RETRY_H_
+#define ROS_SRC_SIM_RETRY_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+#include "src/sim/time.h"
+
+namespace ros::sim {
+
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries, including the first
+  Duration initial_backoff = Millis(500);
+  Duration max_backoff = Seconds(30);
+  double multiplier = 2.0;
+  // Each backoff is scaled by a deterministic factor in [1-j, 1+j] so
+  // synchronized retriers de-correlate without breaking reproducibility.
+  double jitter = 0.25;
+  // Total elapsed-sim-time budget from the first AwaitRetry; 0 = none.
+  Duration deadline = 0;
+};
+
+// Transient errors are worth retrying; everything else (bad arguments,
+// media data loss, exhausted resources) is permanent for the operation
+// that observed it and must be handled, not repeated.
+bool IsTransient(StatusCode code);
+
+class Retrier {
+ public:
+  Retrier(Simulator& sim, RetryPolicy policy, std::uint64_t seed = 1)
+      : sim_(sim), policy_(policy), rng_(seed),
+        next_backoff_(policy.initial_backoff) {}
+
+  // Call after a failed attempt. Returns true after charging the backoff
+  // delay when the error is transient and budget remains; false when the
+  // error is permanent or the attempt/deadline budget is spent (the
+  // caller should give up and propagate `status`).
+  Task<bool> AwaitRetry(Status status);
+
+  // Attempts consumed so far (1 = only the initial attempt).
+  int attempts() const { return attempts_; }
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  Simulator& sim_;
+  RetryPolicy policy_;
+  Rng rng_;
+  Duration next_backoff_;
+  int attempts_ = 1;
+  bool started_ = false;
+  TimePoint first_failure_ = 0;
+  Status last_error_;
+};
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_RETRY_H_

@@ -132,6 +132,53 @@ TEST_F(MechControllerTest, BootInventoryFindsParkedArrays) {
   EXPECT_EQ(*fresh.bay_tray(*bay), tray);
 }
 
+TEST_F(MechControllerTest, NonWaitingAcquireOfBusyWantedArrayFails) {
+  mech::TrayAddress tray{0, 4, 1};
+  auto bay = sim_.RunUntilComplete(mc_->AcquireBay(tray, false));
+  ASSERT_TRUE(bay.ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mc_->LoadArray(tray, *bay)).ok());
+
+  // The wanted array sits in a busy bay. Even though the other bay is
+  // free, a non-waiting acquire must not grab it: reloading the same
+  // array elsewhere while its discs are in drives would fork the media.
+  ASSERT_EQ(mc_->bay_state(1 - *bay), BayState::kEmpty);
+  auto blocked = sim_.RunUntilComplete(mc_->AcquireBay(tray, false));
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+
+  // A waiting acquire parks until the burnlike owner releases, then gets
+  // the bay that already holds the array (§4.8's wait-for-burn shape).
+  std::optional<int> woken;
+  sim_.Spawn([](MechController* mc, mech::TrayAddress want,
+                std::optional<int>* out) -> sim::Task<void> {
+    auto got = co_await mc->AcquireBay(want, true);
+    ROS_CHECK(got.ok());
+    *out = *got;
+    mc->ReleaseBay(*got);
+  }(mc_.get(), tray, &woken));
+  sim_.RunFor(sim::Seconds(5));
+  EXPECT_FALSE(woken.has_value());
+  mc_->ReleaseBay(*bay);
+  sim_.Run();
+  ASSERT_TRUE(woken.has_value());
+  EXPECT_EQ(*woken, *bay);
+}
+
+TEST_F(MechControllerTest, NonWaitingAcquireWithAllBaysBusyFails) {
+  auto a = sim_.RunUntilComplete(mc_->AcquireBay(std::nullopt, false));
+  auto b = sim_.RunUntilComplete(mc_->AcquireBay(std::nullopt, false));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto blocked = sim_.RunUntilComplete(mc_->AcquireBay(std::nullopt, false));
+  EXPECT_EQ(blocked.status().code(), StatusCode::kUnavailable);
+  // Releasing one bay makes non-waiting acquisition succeed again.
+  mc_->ReleaseBay(*a);
+  auto again = sim_.RunUntilComplete(mc_->AcquireBay(std::nullopt, false));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *a);
+  mc_->ReleaseBay(*again);
+  mc_->ReleaseBay(*b);
+}
+
 TEST_F(MechControllerTest, LoadIntoOccupiedBayFails) {
   auto bay = sim_.RunUntilComplete(mc_->AcquireBay(std::nullopt, false));
   ASSERT_TRUE(bay.ok());

@@ -327,19 +327,58 @@ TEST_F(OlfsTest, ScrubRepairsCorruptedDiscFromParity) {
   ASSERT_TRUE((*record)->disc.has_value());
   olfs_->mech().DiscAt(*(*record)->disc)->CorruptSector(1);
 
-  // Direct read now fails with data loss.
+  // A direct read hits the data loss but is served degraded: the image is
+  // reconstructed from parity inline and queued for repair.
   auto broken = sim_->RunUntilComplete(olfs_->Read("/precious", 0, 100));
-  EXPECT_EQ(broken.status().code(), StatusCode::kDataLoss);
+  ASSERT_TRUE(broken.ok()) << broken.status().ToString();
+  EXPECT_TRUE(std::equal(broken->begin(), broken->end(), payload.begin()));
+  EXPECT_EQ(olfs_->degraded_reads(), 1u);
+  EXPECT_EQ(olfs_->reconstructions(), 1u);
+  EXPECT_EQ(olfs_->images_repaired(), 1u);
+  ASSERT_TRUE(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
 
-  // Scrub finds and repairs it.
+  // The repair already re-staged the image, so the scrub finds nothing
+  // further to do.
   auto repaired = sim_->RunUntilComplete(olfs_->ScrubAndRepair());
   ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
-  EXPECT_EQ(*repaired, 1);
-  ASSERT_TRUE(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
+  EXPECT_EQ(*repaired, 0);
 
   auto data = sim_->RunUntilComplete(olfs_->Read("/precious", 0, 100));
   ASSERT_TRUE(data.ok()) << data.status().ToString();
   EXPECT_TRUE(std::equal(data->begin(), data->end(), payload.begin()));
+}
+
+// §4.7: the scrub itself still detects and repairs silently corrupted
+// burned media that no client has read.
+TEST_F(OlfsTest, ScrubRepairsSilentCorruptionWithoutARead) {
+  OlfsParams params = TestParams();
+  params.read_cache_bytes = 0;
+  Reset(params);
+
+  auto payload = RandomBytes(50 * kKiB, 31);
+  ASSERT_TRUE(sim_->RunUntilComplete(
+                  olfs_->Create("/quiet", payload, payload.size()))
+                  .ok());
+  ASSERT_TRUE(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
+
+  auto index = sim_->RunUntilComplete(olfs_->mv().Get("/quiet"));
+  ASSERT_TRUE(index.ok());
+  const std::string image_id = (*index->Latest())->parts[0].image_id;
+  auto record = olfs_->images().Lookup(image_id);
+  ASSERT_TRUE(record.ok());
+  ASSERT_TRUE((*record)->disc.has_value());
+  olfs_->mech().DiscAt(*(*record)->disc)->CorruptSector(1);
+
+  auto repaired = sim_->RunUntilComplete(olfs_->ScrubAndRepair());
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_EQ(*repaired, 1);
+  EXPECT_EQ(olfs_->reconstructions(), 1u);
+  ASSERT_TRUE(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
+
+  auto data = sim_->RunUntilComplete(olfs_->Read("/quiet", 0, 100));
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_TRUE(std::equal(data->begin(), data->end(), payload.begin()));
+  EXPECT_EQ(olfs_->degraded_reads(), 0u);
 }
 
 // §4.4: with the MV wiped and even the controller replaced, scanning the

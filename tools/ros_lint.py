@@ -36,6 +36,16 @@ leans on but the compiler cannot fully check:
                       Volume offers CountPrefix / AnyWithPrefix that answer
                       the same question without the allocation.
 
+  retry-unclassified  A retry loop (header or body names retry / attempt /
+                      backoff / tries) that co_awaits Status-returning work
+                      and branches only on `.ok()`, never classifying the
+                      failure (`status.code()`, `sim::IsTransient`,
+                      `Retrier::AwaitRetry`, `StatusCode::`). Retrying
+                      without classification spins on permanent errors
+                      (kDataLoss, kNotFound) that no backoff will cure;
+                      transient-vs-permanent is the whole point of
+                      src/sim/retry.h.
+
 Usage:
     tools/ros_lint.py [paths...]          # default: src/ of the repo root
     tools/ros_lint.py --list-status-fns   # debug: dump the Status fn set
@@ -63,6 +73,7 @@ RULES = (
     "coro-ref-lambda",
     "raw-new-delete",
     "list-size-only",
+    "retry-unclassified",
 )
 
 ALLOW_RE = re.compile(r"ros-lint:\s*allow\(([^)]*)\)")
@@ -370,12 +381,59 @@ class FileLint:
                 "counts or AnyWithPrefix(...) for emptiness",
             )
 
+    # --- rule: retry-unclassified ---------------------------------------
+
+    LOOP_RE = re.compile(r"(?<![\w.])(?:while|for)\s*\(")
+    # Whole identifiers only: `entries`/`num_tries` must not count as
+    # `tries` (hence the explicit non-word-char lookarounds instead of \b,
+    # which would let `_`-joined identifiers through).
+    RETRYISH_RE = re.compile(
+        r"(?i)(?<![a-z0-9])(?:retr(?:y|ies)\w*|attempts?\w*|backoff\w*"
+        r"|tries)(?![a-z0-9])"
+    )
+    CLASSIFIED_RE = re.compile(
+        r"\.code\s*\(|IsTransient|AwaitRetry|Retrier|RetryPolicy"
+        r"|StatusCode::"
+    )
+
+    def check_retry_unclassified(self) -> None:
+        for m in self.LOOP_RE.finditer(self.stripped):
+            open_paren = self.stripped.index("(", m.end() - 1)
+            header_end = find_matching(self.stripped, open_paren, "(", ")")
+            if header_end < 0:
+                continue
+            after = self.stripped[header_end:]
+            brace_off = len(after) - len(after.lstrip())
+            if brace_off >= len(after) or after[brace_off] != "{":
+                continue  # single-statement loop body: out of scope
+            body_start = header_end + brace_off
+            body_end = find_matching(self.stripped, body_start, "{", "}")
+            if body_end < 0:
+                continue
+            loop = self.stripped[open_paren:body_end]
+            if not self.RETRYISH_RE.search(loop):
+                continue  # not a retry loop
+            if "co_await" not in loop or ".ok(" not in loop:
+                continue  # no awaited Status decision inside
+            if self.CLASSIFIED_RE.search(loop):
+                continue  # the failure is being classified
+            self.report(
+                m.start(),
+                "retry-unclassified",
+                "retry loop branches only on .ok() of a co_await-ed "
+                "Status; classify the failure (status.code(), "
+                "sim::IsTransient, Retrier::AwaitRetry) so permanent "
+                "errors are not retried forever, or annotate with "
+                "ros-lint: allow(retry-unclassified)",
+            )
+
     def run(self) -> list[Finding]:
         self.check_discarded_status()
         self.check_coro_ref_param()
         self.check_coro_ref_lambda()
         self.check_raw_new_delete()
         self.check_list_size_only()
+        self.check_retry_unclassified()
         return self.findings
 
 

@@ -229,6 +229,120 @@ class ListSizeOnlyTest(unittest.TestCase):
         self.assertEqual(lint_source(src), [])
 
 
+class RetryUnclassifiedTest(unittest.TestCase):
+    def test_flags_ok_only_retry_loop(self):
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+            "    Status s = co_await DoWork();\n"
+            "    if (s.ok()) { co_return s; }\n"
+            "    co_await sim_.Delay(backoff);\n"
+            "  }\n"
+            "  co_return UnavailableError(\"gave up\");\n"
+            "}\n"
+        )
+        rules = lint_source(src)
+        self.assertIn(("retry-unclassified", 2), rules)
+
+    def test_flags_retry_named_while_loop(self):
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  while (retries_left > 0) {\n"
+            "    auto s = co_await DoWork();\n"
+            "    if (s.ok()) { co_return OkStatus(); }\n"
+            "  }\n"
+            "  co_return last;\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src)]
+        self.assertIn("retry-unclassified", rules)
+
+    def test_code_classification_clean(self):
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+            "    Status s = co_await DoWork();\n"
+            "    if (s.ok()) { co_return s; }\n"
+            "    if (s.code() != StatusCode::kUnavailable) { co_return s; }\n"
+            "  }\n"
+            "  co_return UnavailableError(\"gave up\");\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("retry-unclassified", rules)
+
+    def test_retrier_await_retry_clean(self):
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  sim::Retrier retrier(sim_, policy, seed);\n"
+            "  while (true) {\n"
+            "    Status s = co_await DoWork();\n"
+            "    if (s.ok()) { co_return s; }\n"
+            "    if (!co_await retrier.AwaitRetry(s)) { co_return s; }\n"
+            "  }\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("retry-unclassified", rules)
+
+    def test_non_retry_loop_clean(self):
+        # Ordinary work loops co_await Status all over the tree; without a
+        # retry-ish name there is nothing to classify.
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  for (const auto& entry : entries) {\n"
+            "    Status s = co_await Process(entry);\n"
+            "    if (!s.ok()) { co_return s; }\n"
+            "  }\n"
+            "  co_return OkStatus();\n"
+            "}\n"
+        )
+        self.assertEqual(lint_source(src), [])
+
+    def test_entries_identifier_is_not_tries(self):
+        # `entries` / `num_tries` must not make a loop retry-ish.
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  while (entries > 0) {\n"
+            "    Status s = co_await Pop();\n"
+            "    if (!s.ok()) { co_return s; }\n"
+            "    --entries;\n"
+            "  }\n"
+            "  co_return OkStatus();\n"
+            "}\n"
+        )
+        self.assertEqual(lint_source(src), [])
+
+    def test_synchronous_retry_loop_out_of_scope(self):
+        # No co_await: not the coroutine-retry shape this rule targets.
+        src = (
+            "Status f() {\n"
+            "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+            "    Status s = TryOnce();\n"
+            "    if (s.ok()) { return s; }\n"
+            "  }\n"
+            "  return UnavailableError(\"gave up\");\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("retry-unclassified", rules)
+
+    def test_inline_allow_suppresses(self):
+        src = (
+            "sim::Task<Status> f() {\n"
+            "  // ros-lint: allow(retry-unclassified): probe loop, any\n"
+            "  // failure is worth one more poll\n"
+            "  for (int attempt = 0; attempt < 3; ++attempt) {\n"
+            "    Status s = co_await DoWork();\n"
+            "    if (s.ok()) { co_return s; }\n"
+            "  }\n"
+            "  co_return UnavailableError(\"gave up\");\n"
+            "}\n"
+        )
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("retry-unclassified", rules)
+
+
 class AllowlistTest(unittest.TestCase):
     def test_allowlist_file_filters_by_suffix_and_rule(self):
         with tempfile.TemporaryDirectory() as tmp:
