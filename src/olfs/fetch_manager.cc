@@ -58,8 +58,17 @@ sim::Task<StatusOr<FetchLease>> FetchManager::FetchDiscOnce(
     }
   }
 
-  // Share an in-flight load of the same tray instead of double-loading
-  // (the second LoadArray would find the tray empty).
+  if (scheduler_ != nullptr) {
+    ROS_CO_ASSIGN_OR_RETURN(int bay,
+                            co_await scheduler_->AcquireForRead(address));
+    co_return FetchLease(mech_, bay,
+                         &mech_->drive_set(bay).drive(address.index),
+                         scheduler_);
+  }
+
+  // Legacy FIFO shape (scheduler disabled): share an in-flight load of the
+  // same tray instead of double-loading (the second LoadArray would find
+  // the tray empty).
   const int tray_index = address.tray.ToIndex();
   int bay = -1;
   while (true) {
@@ -69,6 +78,8 @@ sim::Task<StatusOr<FetchLease>> FetchManager::FetchDiscOnce(
       co_await done->Wait();
       continue;  // loader finished; re-evaluate
     }
+    // ros-lint: allow(acquire-bay): legacy FIFO path, kept as the bench
+    // baseline and for fetch_scheduler_enabled=false deployments.
     ROS_CO_ASSIGN_OR_RETURN(
         bay, co_await mech_->AcquireBay(address.tray, /*wait=*/true));
 

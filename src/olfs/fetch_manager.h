@@ -19,6 +19,7 @@
 #include "src/common/status.h"
 #include "src/olfs/burn_manager.h"
 #include "src/olfs/disc_image_store.h"
+#include "src/olfs/fetch_scheduler.h"
 #include "src/olfs/mech_controller.h"
 #include "src/olfs/params.h"
 #include "src/sim/simulator.h"
@@ -29,25 +30,32 @@ namespace ros::olfs {
 // Exclusive use of a drive (and its bay) for the duration of a read.
 // Release() parks the array; it is idempotent, and the destructor releases
 // any still-held bay, so an error return mid-read can never leak a bay.
+// A bay claimed through the FetchScheduler is returned through it, so the
+// scheduler can hand it straight to the next same-tray waiter.
 class FetchLease {
  public:
   FetchLease() = default;
-  FetchLease(MechController* mech, int bay, drive::OpticalDrive* drive)
-      : mech_(mech), bay_(bay), drive_(drive) {}
+  FetchLease(MechController* mech, int bay, drive::OpticalDrive* drive,
+             FetchScheduler* scheduler = nullptr)
+      : mech_(mech), scheduler_(scheduler), bay_(bay), drive_(drive) {}
   ~FetchLease() { Release(); }
 
   FetchLease(FetchLease&& other) noexcept
-      : mech_(other.mech_), bay_(other.bay_), drive_(other.drive_) {
+      : mech_(other.mech_), scheduler_(other.scheduler_), bay_(other.bay_),
+        drive_(other.drive_) {
     other.mech_ = nullptr;
+    other.scheduler_ = nullptr;
     other.drive_ = nullptr;
   }
   FetchLease& operator=(FetchLease&& other) noexcept {
     if (this != &other) {
       Release();
       mech_ = other.mech_;
+      scheduler_ = other.scheduler_;
       bay_ = other.bay_;
       drive_ = other.drive_;
       other.mech_ = nullptr;
+      other.scheduler_ = nullptr;
       other.drive_ = nullptr;
     }
     return *this;
@@ -61,14 +69,20 @@ class FetchLease {
 
   void Release() {
     if (mech_ != nullptr) {
-      mech_->ReleaseBay(bay_);
+      if (scheduler_ != nullptr) {
+        scheduler_->ReleaseBay(bay_);
+      } else {
+        mech_->ReleaseBay(bay_);
+      }
       mech_ = nullptr;
+      scheduler_ = nullptr;
       drive_ = nullptr;
     }
   }
 
  private:
   MechController* mech_ = nullptr;
+  FetchScheduler* scheduler_ = nullptr;
   int bay_ = -1;
   drive::OpticalDrive* drive_ = nullptr;
 };
@@ -77,22 +91,29 @@ class FetchManager {
  public:
   FetchManager(sim::Simulator& sim, const OlfsParams& params,
                DiscImageStore* images, MechController* mech,
-               BurnManager* burns)
+               BurnManager* burns, FetchScheduler* scheduler = nullptr)
       : sim_(sim), params_(params), images_(images), mech_(mech),
-        burns_(burns) {}
+        burns_(burns), scheduler_(scheduler) {}
 
   // In-flight load deduplication: concurrent readers of discs in the same
   // tray share one mechanical fetch (the MC "optimizes the usage of
-  // mechanical resources", §4.1).
+  // mechanical resources", §4.1). With a FetchScheduler attached the whole
+  // queue is batched and reordered there; without one the legacy FIFO
+  // shape below applies (kept as the bench/fetch_sched baseline).
 
   // Ensures the disc holding `image_id` sits in a drive; returns the lease.
   // Transient mechanical faults (kUnavailable) are retried under
-  // params.mech_retry; each retry re-runs bay selection, so a bay whose
-  // mechanics misbehaved naturally falls back to another bay.
+  // params.mech_retry; each retry re-enters the scheduler queue (or re-runs
+  // bay selection), so a bay whose mechanics misbehaved naturally falls
+  // back to another bay.
   sim::Task<StatusOr<FetchLease>> FetchDisc(std::string image_id);
 
-  std::uint64_t fetches() const { return fetches_; }
+  // Mechanical load cycles performed on behalf of reads.
+  std::uint64_t fetches() const {
+    return scheduler_ != nullptr ? scheduler_->stats().loads : fetches_;
+  }
   std::uint64_t retries() const { return retries_; }
+  FetchScheduler* scheduler() { return scheduler_; }
 
  private:
   // One fetch attempt, no retry.
@@ -103,7 +124,8 @@ class FetchManager {
   DiscImageStore* images_;
   MechController* mech_;
   BurnManager* burns_;
-  // tray index -> completion event of the load currently in flight.
+  FetchScheduler* scheduler_;
+  // Legacy path: tray index -> completion event of the in-flight load.
   std::map<int, std::shared_ptr<sim::Event>> inflight_;
   std::uint64_t fetches_ = 0;
   std::uint64_t retries_ = 0;

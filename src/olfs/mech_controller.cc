@@ -1,5 +1,7 @@
 #include "src/olfs/mech_controller.h"
 
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace ros::olfs {
@@ -16,6 +18,7 @@ MechController::MechController(sim::Simulator& sim, mech::Library* library,
   ROS_CHECK(static_cast<int>(drive_sets_.size()) <= library_->num_bays());
   bay_states_.assign(drive_sets_.size(), BayState::kEmpty);
   bay_trays_.assign(drive_sets_.size(), std::nullopt);
+  last_parked_.assign(drive_sets_.size(), 0);
   // Boot inventory: a replacement controller finds whatever arrays the
   // previous one left parked in the drives (the rack's physical state
   // outlives the software).
@@ -80,12 +83,29 @@ sim::Task<StatusOr<int>> MechController::AcquireBay(
         co_return bay;
       }
     }
-    // 3. A parked bay (caller unloads it).
+    // 3. A parked bay (caller unloads it). Utility-aware victim choice:
+    // a parked array that queued fetches are waiting for is worth more
+    // than one nobody wants, and among equally wanted arrays the least
+    // recently parked is the weakest locality bet.
+    int victim = -1;
+    bool victim_demand = false;
+    std::uint64_t victim_stamp = 0;
     for (int bay = 0; bay < num_bays(); ++bay) {
-      if (bay_states_[bay] == BayState::kParked) {
-        bay_states_[bay] = BayState::kBusy;
-        co_return bay;
+      if (bay_states_[bay] != BayState::kParked) {
+        continue;
       }
+      const bool demand = demand_oracle_ && bay_trays_[bay].has_value() &&
+                          demand_oracle_(*bay_trays_[bay]);
+      if (victim < 0 || std::pair(demand, last_parked_[bay]) <
+                            std::pair(victim_demand, victim_stamp)) {
+        victim = bay;
+        victim_demand = demand;
+        victim_stamp = last_parked_[bay];
+      }
+    }
+    if (victim >= 0) {
+      bay_states_[victim] = BayState::kBusy;
+      co_return victim;
     }
     if (!wait) {
       co_return UnavailableError("all drive bays are busy");
@@ -94,10 +114,22 @@ sim::Task<StatusOr<int>> MechController::AcquireBay(
   }
 }
 
+bool MechController::TryClaimBay(int bay) {
+  if (bay_states_.at(bay) == BayState::kBusy) {
+    return false;
+  }
+  bay_states_[bay] = BayState::kBusy;
+  return true;
+}
+
 void MechController::ReleaseBay(int bay) {
   ROS_CHECK(bay_states_.at(bay) == BayState::kBusy);
-  bay_states_[bay] = bay_trays_[bay].has_value() ? BayState::kParked
-                                                 : BayState::kEmpty;
+  if (bay_trays_[bay].has_value()) {
+    bay_states_[bay] = BayState::kParked;
+    last_parked_[bay] = ++park_clock_;
+  } else {
+    bay_states_[bay] = BayState::kEmpty;
+  }
   bay_changed_.NotifyAll();
 }
 

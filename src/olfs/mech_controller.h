@@ -8,6 +8,8 @@
 #ifndef ROS_SRC_OLFS_MECH_CONTROLLER_H_
 #define ROS_SRC_OLFS_MECH_CONTROLLER_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -50,13 +52,25 @@ class MechController {
 
   // Claims a bay for exclusive use. Preference order: the bay already
   // holding `want` (if any), an empty bay, a parked bay (which the caller
-  // must unload). Returns the bay index once state is kBusy, or
-  // kUnavailable immediately if every bay is busy and `wait` is false.
+  // must unload — trays with pending fetch demand and recently used trays
+  // are avoided when possible). Returns the bay index once state is kBusy,
+  // or kUnavailable immediately if every bay is busy and `wait` is false.
   sim::Task<StatusOr<int>> AcquireBay(
       std::optional<mech::TrayAddress> want, bool wait);
 
+  // Non-waiting claim of one specific bay: kEmpty/kParked -> kBusy. Used
+  // by the FetchScheduler, which runs its own victim/dispatch policy.
+  bool TryClaimBay(int bay);
+
   // Releases a bay, marking it kParked (array still loaded) or kEmpty.
   void ReleaseBay(int bay);
+
+  // Lets the fetch scheduler advertise queued demand so AcquireBay's
+  // unload-victim pass (used by burns and recovery scans) avoids evicting
+  // an array that readers are waiting for.
+  void SetDemandOracle(std::function<bool(mech::TrayAddress)> oracle) {
+    demand_oracle_ = std::move(oracle);
+  }
 
   // Loads the disc array of `tray` into `bay` (which must be claimed and
   // empty) and inserts the 12 discs into the bay's drives.
@@ -79,6 +93,11 @@ class MechController {
   OlfsParams params_;
   std::vector<BayState> bay_states_;
   std::vector<std::optional<mech::TrayAddress>> bay_trays_;
+  // Logical-clock stamp of each bay's last transition to kParked; the
+  // victim pass prefers the stalest (LRU) parked array.
+  std::vector<std::uint64_t> last_parked_;
+  std::uint64_t park_clock_ = 0;
+  std::function<bool(mech::TrayAddress)> demand_oracle_;
   sim::ConditionVariable bay_changed_;
   DiscInventory* inventory_;  // owned by RosSystem
 };

@@ -45,17 +45,29 @@ Olfs::Olfs(sim::Simulator& sim, RosSystem* system, OlfsParams params)
                                              images_.get());
   parity_ = std::make_unique<ParityBuilder>(sim_, params_, images_.get());
   da_ = std::make_unique<DaIndex>(system->config().rollers);
-  cache_ = std::make_unique<ReadCache>(params_.read_cache_bytes);
+  cache_ = std::make_unique<ReadCache>(params_.read_cache_bytes,
+                                       params_.read_cache_protected_fraction);
   file_cache_ = std::make_unique<FileCache>(params_.file_cache_bytes);
   mech_ = std::make_unique<MechController>(sim_, system->library(),
                                            system->drive_sets(),
                                            &system->discs(), params_);
+  if (params_.fetch_scheduler_enabled) {
+    scheduler_ =
+        std::make_unique<FetchScheduler>(sim_, params_, mech_.get());
+    // Burns and recovery scans pick unload victims through AcquireBay;
+    // the oracle keeps them away from arrays that readers are queued for.
+    mech_->SetDemandOracle([scheduler = scheduler_.get()](
+                               mech::TrayAddress tray) {
+      return scheduler->HasDemand(tray);
+    });
+  }
   burns_ = std::make_unique<BurnManager>(sim_, params_, buckets_.get(),
                                          images_.get(), parity_.get(),
                                          mech_.get(), da_.get(), cache_.get(),
                                          mv_.get());
   fetcher_ = std::make_unique<FetchManager>(sim_, params_, images_.get(),
-                                            mech_.get(), burns_.get());
+                                            mech_.get(), burns_.get(),
+                                            scheduler_.get());
   buckets_->on_image_closed = [this](const std::string& id) {
     burns_->NotifyImageClosed(id);
   };
@@ -440,7 +452,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
     case ImageTier::kOpenBucket:
     case ImageTier::kBuffered:
     case ImageTier::kBurnedCached: {
-      cache_->Touch(part.image_id);
+      (void)cache_->Touch(part.image_id);
       co_return co_await buckets_->ReadBuffered(part.image_id, internal_path,
                                                 offset, length);
     }
@@ -458,7 +470,9 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
           }
         }
       }
-      cache_->RecordMiss();
+      // Not in the read cache by definition of this tier; Touch records
+      // the miss (hit/miss accounting lives inside ReadCache).
+      (void)cache_->Touch(part.image_id);
       auto data = co_await ReadFromDisc(part.image_id, internal_path,
                                         offset, length);
       if (!data.ok() && (data.status().code() == StatusCode::kDataLoss ||
@@ -498,6 +512,37 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadFromDisc(
+    std::string image_id, std::string internal_path,
+    std::uint64_t offset, std::uint64_t length) {
+  // Image-level single-flight: if another reader is mid-drive-read of this
+  // image, wait for it and serve from the parsed view it produced instead
+  // of charging a second optical read of the same sectors.
+  while (true) {
+    auto inflight = image_reads_.find(image_id);
+    if (inflight == image_reads_.end()) {
+      break;
+    }
+    std::shared_ptr<sim::Event> done = inflight->second;
+    co_await done->Wait();
+    auto mounted = disc_mounts_.find(image_id);
+    if (mounted != disc_mounts_.end()) {
+      ++shared_image_reads_;
+      // Buffer copy out of controller memory, not an optical transfer.
+      co_await sim_.Delay(sim::Millis(0.5) + sim::TransferTime(length, 1.2e9));
+      co_return mounted->second->ReadFile(internal_path, offset, length);
+    }
+    // The leader failed; loop and contend for leadership ourselves.
+  }
+  auto done = std::make_shared<sim::Event>(sim_);
+  image_reads_.emplace(image_id, done);
+  auto result =
+      co_await ReadFromDiscLeader(image_id, internal_path, offset, length);
+  image_reads_.erase(image_id);
+  done->Set();
+  co_return result;
+}
+
+sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadFromDiscLeader(
     std::string image_id, std::string internal_path,
     std::uint64_t offset, std::uint64_t length) {
   ROS_CO_ASSIGN_OR_RETURN(FetchLease lease,
@@ -948,6 +993,8 @@ sim::Task<StatusOr<RecoveryReport>> Olfs::RebuildNamespace(
 
   for (const mech::TrayAddress& tray : trays) {
     da_->set_state(tray, ArrayState::kUsed);
+    // ros-lint: allow(acquire-bay): namespace rebuild is a sequential
+    // full-rack scan with no concurrent readers to batch against.
     auto bay = co_await mech_->AcquireBay(tray, /*wait=*/true);
     if (!bay.ok()) {
       co_return bay.status();

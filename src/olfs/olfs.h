@@ -22,6 +22,7 @@
 #include "src/olfs/da_index.h"
 #include "src/olfs/disc_image_store.h"
 #include "src/olfs/fetch_manager.h"
+#include "src/olfs/fetch_scheduler.h"
 #include "src/olfs/file_cache.h"
 #include "src/olfs/mech_controller.h"
 #include "src/olfs/metadata_volume.h"
@@ -162,12 +163,18 @@ class Olfs {
   std::uint64_t reconstructions() const { return reconstructions_; }
   std::uint64_t images_repaired() const { return images_repaired_; }
 
+  // Reads of a disc image served from a concurrent reader's in-flight
+  // drive read (image-level single-flight) instead of re-reading media.
+  std::uint64_t shared_image_reads() const { return shared_image_reads_; }
+
   RosSystem& system() { return *system_; }
   MetadataVolume& mv() { return *mv_; }
   DiscImageStore& images() { return *images_; }
   BucketManager& buckets() { return *buckets_; }
   BurnManager& burns() { return *burns_; }
   FetchManager& fetches() { return *fetcher_; }
+  // Null when params.fetch_scheduler_enabled is false (legacy FIFO path).
+  FetchScheduler* fetch_scheduler() { return scheduler_.get(); }
   ReadCache& cache() { return *cache_; }
   FileCache& file_cache() { return *file_cache_; }
   MechController& mech() { return *mech_; }
@@ -201,8 +208,15 @@ class Olfs {
       std::string internal_path, FilePart part,
       std::uint64_t offset, std::uint64_t length);
 
-  // Reads a file from a disc in a drive, parsing the mounted image.
+  // Reads a file from a disc, sharing one drive read among concurrent
+  // readers of the same image (image-level single-flight): followers wait
+  // for the leader's physical read and serve from the parsed view.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadFromDisc(
+      std::string image_id, std::string internal_path,
+      std::uint64_t offset, std::uint64_t length);
+
+  // The leader's path: fetch lease, mount, physical read, parse.
+  sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadFromDiscLeader(
       std::string image_id, std::string internal_path,
       std::uint64_t offset, std::uint64_t length);
 
@@ -234,11 +248,16 @@ class Olfs {
   std::unique_ptr<ReadCache> cache_;
   std::unique_ptr<FileCache> file_cache_;
   std::unique_ptr<MechController> mech_;
+  std::unique_ptr<FetchScheduler> scheduler_;
   std::unique_ptr<BurnManager> burns_;
   std::unique_ptr<FetchManager> fetcher_;
 
   // Parsed metadata of disc-mounted images (the in-kernel UDF view).
   std::map<std::string, std::shared_ptr<udf::Image>> disc_mounts_;
+
+  // Image-level read single-flight: image id -> completion event of the
+  // drive read currently in flight.
+  std::map<std::string, std::shared_ptr<sim::Event>> image_reads_;
 
   // Open streaming handles: cached index files, flushed on CloseStream.
   std::map<std::string, IndexFile> stream_handles_;
@@ -254,6 +273,7 @@ class Olfs {
   std::uint64_t degraded_reads_ = 0;
   std::uint64_t reconstructions_ = 0;
   std::uint64_t images_repaired_ = 0;
+  std::uint64_t shared_image_reads_ = 0;
   std::uint64_t namespace_writes_ = 0;      // dirtiness since last snapshot
   std::uint64_t last_snapshot_writes_ = 0;
   sim::TimePoint last_write_time_ = 0;

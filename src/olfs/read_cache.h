@@ -1,9 +1,18 @@
-// Read Cache (RC), §4.1: disc-image-granular LRU over the disk buffer.
+// Read Cache (RC), §4.1: disc-image-granular segmented LRU (SLRU) over the
+// disk buffer.
 //
-// Burned images stay cached until capacity pressure evicts the least
-// recently used; unburned images are pinned (their only copy is the
-// buffer). The cache tracks bytes, not image counts, because image sizes
-// vary (partially-filled final buckets, parity images).
+// Burned images stay cached until capacity pressure evicts them; unburned
+// images are pinned (their only copy is the buffer). The cache tracks
+// bytes, not image counts, because image sizes vary (partially-filled final
+// buckets, parity images).
+//
+// Segmentation (probationary/protected) gives scan resistance: an image is
+// admitted probationary and only a re-reference promotes it to the
+// protected segment, so one cold sequential sweep or parity scrub churns
+// through the probationary segment without evicting the hot working set.
+// A ghost list remembers recently evicted ids (no bytes); re-admitting a
+// ghost goes straight to the protected segment — the image proved it has
+// reuse beyond what the probationary segment could see.
 #ifndef ROS_SRC_OLFS_READ_CACHE_H_
 #define ROS_SRC_OLFS_READ_CACHE_H_
 
@@ -11,6 +20,7 @@
 #include <list>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -19,23 +29,42 @@ namespace ros::olfs {
 
 class ReadCache {
  public:
-  explicit ReadCache(std::uint64_t capacity_bytes)
-      : capacity_(capacity_bytes) {}
+  // `protected_fraction` of the capacity is reserved for the protected
+  // segment; <= 0 degenerates to a plain LRU with no ghost list (the
+  // pre-SLRU shape, kept as the bench baseline).
+  explicit ReadCache(std::uint64_t capacity_bytes,
+                     double protected_fraction = 0.8)
+      : capacity_(capacity_bytes),
+        protected_capacity_(
+            protected_fraction <= 0
+                ? 0
+                : static_cast<std::uint64_t>(
+                      static_cast<double>(capacity_bytes) *
+                      (protected_fraction < 1.0 ? protected_fraction : 1.0))),
+        plain_lru_(protected_fraction <= 0) {}
 
-  // Records a (cached, burned) image as most recently used.
+  // Records a (cached, burned) image as most recently used. New entries
+  // enter the probationary segment unless the ghost list remembers the id,
+  // in which case they are admitted directly to the protected segment.
   void Admit(const std::string& image_id, std::uint64_t bytes);
 
-  // Marks a hit, refreshing recency. Unknown ids are ignored.
-  void Touch(const std::string& image_id);
+  // Marks a reference. Known ids count a hit (refreshing recency and
+  // promoting probationary entries to the protected segment) and return
+  // true; unknown ids count a miss and return false. Hit and miss
+  // accounting both live here so the two counters can never drift apart.
+  bool Touch(const std::string& image_id);
 
-  // Removes an image (because it was evicted or re-opened).
+  // Removes an image (because it was evicted or re-opened); the id is
+  // remembered in the ghost list.
   void Remove(const std::string& image_id);
 
   bool Contains(const std::string& image_id) const {
     return index_.count(image_id) > 0;
   }
 
-  // Ids to evict (LRU first) until the cache fits its capacity again.
+  // Ids to evict until the cache fits its capacity again: probationary
+  // LRU first, protected LRU only if the probationary segment alone is
+  // not enough.
   std::vector<std::string> EvictionCandidates() const;
 
   std::uint64_t used_bytes() const { return used_; }
@@ -44,20 +73,50 @@ class ReadCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
-  void RecordMiss() { ++misses_; }
+  std::uint64_t ghost_hits() const { return ghost_hits_; }
+  std::uint64_t protected_bytes() const { return protected_used_; }
+  std::uint64_t probationary_bytes() const { return used_ - protected_used_; }
+
+  // Test/introspection hook: is the id currently in the protected segment?
+  bool InProtected(const std::string& image_id) const {
+    auto it = index_.find(image_id);
+    return it != index_.end() && it->second->segment == Segment::kProtected;
+  }
 
  private:
+  enum class Segment { kProbationary, kProtected };
+
   struct Entry {
     std::string id;
     std::uint64_t bytes;
+    Segment segment;
   };
+  using EntryList = std::list<Entry>;
+
+  // Demotes protected-LRU entries back to probationary MRU until the
+  // protected segment fits its share of the capacity.
+  void EnforceProtectedCapacity();
+  void GhostRemember(const std::string& image_id);
 
   std::uint64_t capacity_;
+  std::uint64_t protected_capacity_;
+  bool plain_lru_;
   std::uint64_t used_ = 0;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t protected_used_ = 0;
+  EntryList probationary_;  // front = most recent
+  EntryList protected_;     // front = most recent
+  std::unordered_map<std::string, EntryList::iterator> index_;
+
+  // Ghost list of recently evicted ids (front = most recent), bounded by
+  // entry count so its memory footprint stays negligible.
+  static constexpr std::size_t kGhostEntries = 1024;
+  std::list<std::string> ghost_;
+  std::unordered_map<std::string, std::list<std::string>::iterator>
+      ghost_index_;
+
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t ghost_hits_ = 0;
 };
 
 }  // namespace ros::olfs

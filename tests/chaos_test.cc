@@ -331,6 +331,69 @@ TEST_F(ChaosTest, SeededChaosRunLosesNoAckedWrites) {
   }
 }
 
+// The fetch scheduler under a mechanical fault storm: a failed load
+// fails its whole batch, every waiter re-enters the queue through the
+// fetch retry policy, and once the storm passes all reads complete
+// byte-identical with no bay left busy and no request stranded.
+TEST_F(ChaosTest, SchedulerFaultStormRetriesRequeueWithoutBayLeaks) {
+  OlfsParams params = ChaosParams();
+  // Give fetches enough retry budget to outlast the storm window.
+  params.mech_retry.max_attempts = 10;
+  Reset(params);
+
+  // Three files on three separate arrays: the scheduler has real
+  // dispatch decisions to make while the mechanics are failing.
+  std::vector<std::string> paths;
+  std::map<std::string, std::vector<std::uint8_t>> acked;
+  for (int i = 0; i < 3; ++i) {
+    const std::string path = "/storm/s" + std::to_string(i);
+    auto payload = RandomBytes(8 * kKiB + i * 1000, 60 + i);
+    ASSERT_TRUE(Create(path, payload).ok()) << path;
+    ASSERT_TRUE(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
+    acked[path] = std::move(payload);
+    paths.push_back(path);
+  }
+  ASSERT_NE(olfs_->fetch_scheduler(), nullptr);
+
+  sim::FaultInjector& faults = InstallInjector(/*seed=*/41);
+  faults.SetRate(FaultKind::kMechFault, 1.0);
+
+  std::vector<Status> results(paths.size(), UnavailableError("running"));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    sim_->Spawn([](Olfs* olfs, std::string path,
+                   const std::vector<std::uint8_t>* expect,
+                   Status* out) -> sim::Task<void> {
+      auto data = co_await olfs->Read(path, 0, expect->size());
+      if (!data.ok()) {
+        *out = data.status();
+      } else {
+        *out = *data == *expect ? OkStatus()
+                                : DataLossError("content mismatch");
+      }
+    }(olfs_.get(), paths[i], &acked[paths[i]], &results[i]));
+  }
+
+  // Storm: every mechanical op faults; loads fail and batches fan out to
+  // their waiters, which re-enter the queue with backoff.
+  sim_->RunFor(Seconds(100));
+  faults.SetRate(FaultKind::kMechFault, 0.0);
+  sim_->RunFor(Seconds(900));  // heal: retries drain the queue
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok())
+        << paths[i] << ": " << results[i].ToString();
+  }
+  const FetchSchedulerStats& stats = olfs_->fetch_scheduler()->stats();
+  EXPECT_GE(stats.failed_batches, 1u);
+  EXPECT_GE(olfs_->fetches().retries(), 1u);
+  // No bay leaked busy, no request stranded in the queue.
+  for (int b = 0; b < olfs_->mech().num_bays(); ++b) {
+    EXPECT_NE(olfs_->mech().bay_state(b), BayState::kBusy) << "bay " << b;
+  }
+  EXPECT_EQ(olfs_->fetch_scheduler()->queue_depth(), 0);
+  EXPECT_EQ(stats.completed, stats.requests);
+}
+
 // The maintenance report surfaces the self-healing counters and the raw
 // injector telemetry for the administrator console.
 TEST_F(ChaosTest, MaintenanceReportExposesResilienceCounters) {

@@ -66,12 +66,97 @@ TEST(ReadCache, RemoveReleasesBytes) {
 TEST(ReadCache, HitMissCounters) {
   ReadCache cache(1000);
   cache.Admit("a", 100);
-  cache.Touch("a");
-  cache.Touch("a");
-  cache.Touch("ghost");  // unknown: not a hit
-  cache.RecordMiss();
+  EXPECT_TRUE(cache.Touch("a"));
+  EXPECT_TRUE(cache.Touch("a"));
+  // Unknown id: Touch itself records the miss — both counters live in the
+  // cache, so they cannot drift apart.
+  EXPECT_FALSE(cache.Touch("unknown"));
   EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ReadCache, TouchPromotesToProtectedSegment) {
+  ReadCache cache(1000);
+  cache.Admit("a", 200);
+  EXPECT_FALSE(cache.InProtected("a"));  // admitted probationary
+  cache.Touch("a");
+  EXPECT_TRUE(cache.InProtected("a"));   // re-reference promotes
+  EXPECT_EQ(cache.protected_bytes(), 200u);
+  EXPECT_EQ(cache.probationary_bytes(), 0u);
+}
+
+// A cold sequential sweep (every image touched exactly once) must churn
+// through the probationary segment and leave the promoted hot set intact.
+TEST(ReadCache, SequentialSweepLeavesProtectedSegmentIntact) {
+  ReadCache cache(1000);
+  // Hot working set: admitted, then re-referenced -> protected.
+  cache.Admit("hot1", 300);
+  cache.Admit("hot2", 300);
+  cache.Touch("hot1");
+  cache.Touch("hot2");
+  // Sweep: many one-touch admissions, far exceeding capacity.
+  for (int i = 0; i < 20; ++i) {
+    const std::string id = "sweep" + std::to_string(i);
+    cache.Admit(id, 200);
+    auto victims = cache.EvictionCandidates();
+    for (const std::string& victim : victims) {
+      EXPECT_NE(victim.rfind("hot", 0), 0u)
+          << "sweep evicted hot-set member " << victim;
+      cache.Remove(victim);
+    }
+  }
+  EXPECT_TRUE(cache.Contains("hot1"));
+  EXPECT_TRUE(cache.Contains("hot2"));
+  EXPECT_TRUE(cache.InProtected("hot1"));
+  EXPECT_TRUE(cache.InProtected("hot2"));
+}
+
+// An id evicted and re-admitted shortly after proved it has reuse the
+// probationary segment could not see: the ghost list sends it straight to
+// the protected segment.
+TEST(ReadCache, GhostHitReAdmissionPromotes) {
+  ReadCache cache(1000);
+  cache.Admit("a", 400);
+  cache.Remove("a");  // eviction: remembered in the ghost list
+  EXPECT_FALSE(cache.Contains("a"));
+  cache.Admit("a", 400);
+  EXPECT_TRUE(cache.Contains("a"));
+  EXPECT_TRUE(cache.InProtected("a"));
+  EXPECT_EQ(cache.ghost_hits(), 1u);
+  // A second eviction + re-admit is another ghost hit.
+  cache.Remove("a");
+  cache.Admit("a", 400);
+  EXPECT_EQ(cache.ghost_hits(), 2u);
+}
+
+// Protected overflow demotes LRU protected entries back to probationary
+// rather than evicting them outright.
+TEST(ReadCache, ProtectedOverflowDemotesToProbationary) {
+  ReadCache cache(900);  // protected share = 720
+  cache.Admit("a", 500);
+  cache.Admit("b", 500);
+  cache.Touch("a");
+  cache.Touch("b");  // 1000 > 720 protected: "a" (LRU) demotes
+  EXPECT_TRUE(cache.InProtected("b"));
+  EXPECT_FALSE(cache.InProtected("a"));
+  EXPECT_TRUE(cache.Contains("a"));
+  // The demoted entry is now the eviction candidate.
+  auto victims = cache.EvictionCandidates();
+  ASSERT_FALSE(victims.empty());
+  EXPECT_EQ(victims[0], "a");
+}
+
+// protected_fraction <= 0 degenerates to the plain LRU shape: no
+// promotion, no ghost list (the pre-SLRU baseline used by benches).
+TEST(ReadCache, PlainLruModeHasNoSegmentsOrGhost) {
+  ReadCache cache(1000, /*protected_fraction=*/0.0);
+  cache.Admit("a", 400);
+  cache.Touch("a");
+  EXPECT_FALSE(cache.InProtected("a"));
+  cache.Remove("a");
+  cache.Admit("a", 400);
+  EXPECT_EQ(cache.ghost_hits(), 0u);
+  EXPECT_FALSE(cache.InProtected("a"));
 }
 
 }  // namespace

@@ -46,6 +46,17 @@ leans on but the compiler cannot fully check:
                       transient-vs-permanent is the whole point of
                       src/sim/retry.h.
 
+  acquire-bay         A direct MechController::AcquireBay call outside the
+                      two components allowed to own bay scheduling: the
+                      fetch scheduler (read path) and the burn manager
+                      (write path). Direct acquisition bypasses tray
+                      batching, the demand-aware unload victim policy and
+                      the aging bound, so concurrent readers scramble for
+                      bays FIFO-style again. Route reads through
+                      FetchScheduler::AcquireForRead; a justified direct
+                      call (bulk scans, legacy paths) carries an inline
+                      `// ros-lint: allow(acquire-bay): <why>`.
+
 Usage:
     tools/ros_lint.py [paths...]          # default: src/ of the repo root
     tools/ros_lint.py --list-status-fns   # debug: dump the Status fn set
@@ -74,6 +85,7 @@ RULES = (
     "raw-new-delete",
     "list-size-only",
     "retry-unclassified",
+    "acquire-bay",
 )
 
 ALLOW_RE = re.compile(r"ros-lint:\s*allow\(([^)]*)\)")
@@ -427,6 +439,41 @@ class FileLint:
                 "ros-lint: allow(retry-unclassified)",
             )
 
+    # --- rule: acquire-bay ----------------------------------------------
+
+    # Files that legitimately own bay scheduling: the scheduler itself, the
+    # burn manager's write path, and the controller that defines the API.
+    ACQUIRE_BAY_OWNERS = (
+        "fetch_scheduler.cc",
+        "burn_manager.cc",
+        "mech_controller.cc",
+        "mech_controller.h",
+    )
+
+    ACQUIRE_BAY_RE = re.compile(r"(?<![\w:])AcquireBay\s*\(")
+
+    def check_acquire_bay(self) -> None:
+        if os.path.basename(self.path) in self.ACQUIRE_BAY_OWNERS:
+            return
+        for m in self.ACQUIRE_BAY_RE.finditer(self.stripped):
+            # Anchor at the start of the enclosing statement so an allow
+            # annotation above a wrapped call (ROS_CO_ASSIGN_OR_RETURN
+            # split across lines) still covers it.
+            stmt = max(self.stripped.rfind(";", 0, m.start()),
+                       self.stripped.rfind("{", 0, m.start()),
+                       self.stripped.rfind("}", 0, m.start()))
+            idx = stmt + 1
+            while idx < m.start() and self.stripped[idx] in " \t\n":
+                idx += 1
+            self.report(
+                idx,
+                "acquire-bay",
+                "direct AcquireBay bypasses the fetch scheduler's tray "
+                "batching, victim policy and aging bound; route reads "
+                "through FetchScheduler::AcquireForRead or annotate with "
+                "ros-lint: allow(acquire-bay)",
+            )
+
     def run(self) -> list[Finding]:
         self.check_discarded_status()
         self.check_coro_ref_param()
@@ -434,6 +481,7 @@ class FileLint:
         self.check_raw_new_delete()
         self.check_list_size_only()
         self.check_retry_unclassified()
+        self.check_acquire_bay()
         return self.findings
 
 
