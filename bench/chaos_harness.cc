@@ -9,7 +9,9 @@
 //     as success — that is the point of the parity path);
 //   * the burn pipeline drains without a fatal error;
 //   * after the storm, RebuildNamespace recovers every file from the
-//     surviving discs.
+//     surviving discs;
+//   * speculative tray loads enqueued against the storm never evict a
+//     tray with queued demand and the scheduler queue drains.
 //
 // Prints one JSON line of telemetry per seed and exits non-zero (printing
 // the offending seed) on the first violated invariant, so a CI job can
@@ -24,6 +26,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/olfs/olfs.h"
 #include "src/sim/fault.h"
@@ -81,31 +84,68 @@ bool RunSeed(std::uint64_t seed, const Options& opt) {
   system.InstallFaultInjector(&faults);
 
   // Acked writes: only content whose Create returned OkStatus counts.
+  // Writes carry an AccessHint stream tag so the storm also exercises the
+  // affinity channel (two interleaved streams).
   std::map<std::string, std::vector<std::uint8_t>> acked;
+  std::map<std::string, std::uint64_t> stream_of;
   for (int i = 0; i < opt.files; ++i) {
     const std::string path = "/storm/f" + std::to_string(i);
+    const std::uint64_t stream = 1 + (i % 2);
     auto payload = RandomBytes(8 * kKiB + i * 4096, seed * 1000 + i);
     Status created = sim.RunUntilComplete(
-        olfs->Create(path, payload, payload.size()));
+        olfs->Create(path, payload, payload.size(), AccessHint{stream}));
     if (!created.ok()) {
       return fail("write not acked: " + created.ToString());
     }
     acked[path] = std::move(payload);
+    stream_of[path] = stream;
   }
   Status drained = sim.RunUntilComplete(olfs->FlushAndDrain());
   if (!drained.ok()) {
     return fail("burn pipeline: " + drained.ToString());
   }
 
+  // Burned tray set, used to aim speculative loads during the storm.
+  std::vector<int> spec_trays;
+  {
+    std::set<int> burned;
+    for (const std::string& id : olfs->images().BurnedImages()) {
+      auto record = olfs->images().Lookup(id);
+      if (record.ok() && (*record)->disc.has_value()) {
+        burned.insert((*record)->disc->tray.ToIndex());
+      }
+    }
+    spec_trays.assign(burned.begin(), burned.end());
+  }
+
+  // Read-back under fire, with speculative loads enqueued between demand
+  // reads: the background class must cancel or yield, never evict a
+  // demanded tray. Latencies feed the summary line.
+  std::vector<double> read_latencies;
+  std::size_t spec_cursor = 0;
   for (const auto& [path, expect] : acked) {
-    auto data =
-        sim.RunUntilComplete(olfs->Read(path, 0, expect.size()));
+    if (!spec_trays.empty()) {
+      olfs->fetch_scheduler()->EnqueueSpeculative(
+          mech::TrayAddress::FromIndex(
+              spec_trays[spec_cursor++ % spec_trays.size()]));
+    }
+    const sim::TimePoint start = sim.now();
+    auto data = sim.RunUntilComplete(
+        olfs->Read(path, 0, expect.size(), AccessHint{stream_of[path]}));
+    read_latencies.push_back(sim::ToSeconds(sim.now() - start));
     if (!data.ok()) {
       return fail(path + " lost: " + data.status().ToString());
     }
     if (*data != expect) {
       return fail(path + " read back different bytes");
     }
+  }
+  const FetchSchedulerStats spec_stats = olfs->fetch_scheduler()->stats();
+  if (spec_stats.speculative_demand_evictions != 0) {
+    return fail("speculative load evicted a demanded tray");
+  }
+  if (olfs->fetch_scheduler()->queue_depth() != 0) {
+    return fail("fetch queue did not drain after read-back");
   }
 
   // Storm over: scrub out latent damage, drain repair re-burns, then
@@ -156,12 +196,17 @@ bool RunSeed(std::uint64_t seed, const Options& opt) {
     }
   }
 
+  const SummaryStats lat = Summarize(std::move(read_latencies));
   std::printf(
       "{\"seed\": %llu, \"acked_files\": %zu, \"injected\": "
       "{\"burn\": %llu, \"latent\": %llu, \"mech\": %llu}, "
       "\"degraded_reads\": %llu, \"reconstructions\": %llu, "
       "\"images_repaired\": %llu, \"burn_retries\": %d, "
       "\"arrays_reallocated\": %d, \"fetch_retries\": %llu, "
+      "\"read_latency_s\": {\"mean\": %.6f, \"p50\": %.6f, "
+      "\"p99\": %.6f}, \"speculative\": {\"enqueued\": %llu, "
+      "\"loads\": %llu, \"canceled\": %llu, \"useful\": %llu, "
+      "\"demand_evictions\": %llu}, "
       "\"rebuild_files\": %d, \"sim_hours\": %.2f}\n",
       static_cast<unsigned long long>(seed), acked.size(),
       static_cast<unsigned long long>(
@@ -174,6 +219,13 @@ bool RunSeed(std::uint64_t seed, const Options& opt) {
       static_cast<unsigned long long>(reconstructions),
       static_cast<unsigned long long>(repaired), burn_retries,
       reallocated, static_cast<unsigned long long>(fetch_retries),
+      lat.mean, lat.p50, lat.p99,
+      static_cast<unsigned long long>(spec_stats.speculative_enqueued),
+      static_cast<unsigned long long>(spec_stats.speculative_loads),
+      static_cast<unsigned long long>(spec_stats.speculative_canceled),
+      static_cast<unsigned long long>(spec_stats.speculative_useful),
+      static_cast<unsigned long long>(
+          spec_stats.speculative_demand_evictions),
       report->files_recovered, sim::ToSeconds(sim.now()) / 3600.0);
   sim.Shutdown();
   return true;

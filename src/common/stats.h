@@ -1,0 +1,59 @@
+// Shared summary statistics for benches and harnesses.
+//
+// bench/fetch_sched and bench/chaos_harness need deterministic latency
+// summaries; keeping one percentile definition here ensures committed
+// bench JSON stays comparable across tools. Percentile uses the
+// nearest-rank method (ceil(p * n)), matching the original fetch_sched
+// definition so regenerated numbers line up with earlier baselines.
+#ifndef ROS_SRC_COMMON_STATS_H_
+#define ROS_SRC_COMMON_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace ros {
+
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Nearest-rank percentile over an ascending-sorted vector; p in (0, 1].
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(sorted.size())));
+  rank = std::max<std::size_t>(1, std::min(rank, sorted.size()));
+  return sorted[rank - 1];
+}
+
+inline SummaryStats Summarize(std::vector<double> values) {
+  SummaryStats out;
+  out.count = values.size();
+  if (values.empty()) {
+    return out;
+  }
+  std::sort(values.begin(), values.end());
+  double sum = 0.0;
+  for (double v : values) {
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(values.size());
+  out.p50 = PercentileSorted(values, 0.50);
+  out.p99 = PercentileSorted(values, 0.99);
+  out.min = values.front();
+  out.max = values.back();
+  return out;
+}
+
+}  // namespace ros
+
+#endif  // ROS_SRC_COMMON_STATS_H_

@@ -6,7 +6,8 @@ namespace ros::frontend {
 
 sim::Task<Status> NasServer::Upload(std::string path,
                                     std::vector<std::uint8_t> data,
-                                    std::uint64_t logical_size) {
+                                    std::uint64_t logical_size,
+                                    olfs::AccessHint hint) {
   ++uploads_;
   co_await sim_.Delay(config_.protocol_cost);
 
@@ -18,7 +19,8 @@ sim::Task<Status> NasServer::Upload(std::string path,
     if (olfs_->mv().Exists(path)) {
       co_return co_await olfs_->Update(path, std::move(data), logical_size);
     }
-    co_return co_await olfs_->Create(path, std::move(data), logical_size);
+    co_return co_await olfs_->Create(path, std::move(data), logical_size,
+                                     hint);
   }
 
   // Direct-writing mode: stage onto the SSD tier at wire speed.
@@ -33,14 +35,16 @@ sim::Task<Status> NasServer::Upload(std::string path,
       sim::TransferTime(logical_size, config_.wire_bytes_per_sec));
 
   ++pending_;
-  sim_.Spawn(DeliveryTask(ticket, path, std::move(data), logical_size));
+  sim_.Spawn(
+      DeliveryTask(ticket, path, std::move(data), logical_size, hint));
   co_return OkStatus();
 }
 
 sim::Task<void> NasServer::DeliveryTask(std::uint64_t ticket,
                                         std::string path,
                                         std::vector<std::uint8_t> data,
-                                        std::uint64_t logical_size) {
+                                        std::uint64_t logical_size,
+                                        olfs::AccessHint hint) {
   disk::Volume* staging = olfs_->mv().volume();
   const std::string name = StagingName(ticket);
 
@@ -50,7 +54,8 @@ sim::Task<void> NasServer::DeliveryTask(std::uint64_t ticket,
     if (olfs_->mv().Exists(path)) {
       status = co_await olfs_->Update(path, std::move(data), logical_size);
     } else {
-      status = co_await olfs_->Create(path, std::move(data), logical_size);
+      status = co_await olfs_->Create(path, std::move(data), logical_size,
+                                      hint);
     }
   }
   if (status.ok()) {
@@ -68,9 +73,10 @@ sim::Task<void> NasServer::DeliveryTask(std::uint64_t ticket,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> NasServer::Download(
-    std::string path, std::uint64_t offset, std::uint64_t length) {
+    std::string path, std::uint64_t offset, std::uint64_t length,
+    olfs::AccessHint hint) {
   co_await sim_.Delay(config_.protocol_cost);
-  auto data = co_await olfs_->Read(path, offset, length);
+  auto data = co_await olfs_->Read(path, offset, length, hint);
   if (data.ok()) {
     co_await sim_.Delay(
         sim::TransferTime(length, config_.wire_bytes_per_sec));

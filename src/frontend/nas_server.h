@@ -43,13 +43,16 @@ class NasServer {
   // Ingests one file from a client. In direct mode the call returns once
   // the bytes are on the SSD staging area; delivery into OLFS happens in
   // the background. `data` may be sparse relative to `logical_size`.
+  // A tagged hint (stream != 0) flows down to OLFS's cross-layer channel.
   sim::Task<Status> Upload(std::string path,
                            std::vector<std::uint8_t> data,
-                           std::uint64_t logical_size);
+                           std::uint64_t logical_size,
+                           olfs::AccessHint hint = {});
 
   // Serves a download through OLFS (direct mode does not change reads).
   sim::Task<StatusOr<std::vector<std::uint8_t>>> Download(
-      std::string path, std::uint64_t offset, std::uint64_t length);
+      std::string path, std::uint64_t offset, std::uint64_t length,
+      olfs::AccessHint hint = {});
 
   // Waits until every staged upload has been delivered into OLFS.
   sim::Task<Status> DrainDeliveries();
@@ -67,7 +70,8 @@ class NasServer {
  private:
   sim::Task<void> DeliveryTask(std::uint64_t ticket, std::string path,
                                std::vector<std::uint8_t> data,
-                               std::uint64_t logical_size);
+                               std::uint64_t logical_size,
+                               olfs::AccessHint hint);
 
   sim::Simulator& sim_;
   olfs::Olfs* olfs_;

@@ -80,23 +80,24 @@ sim::Task<StatusOr<std::vector<std::string>>> ObjectStore::ListBuckets() {
 
 sim::Task<Status> ObjectStore::PutObject(std::string bucket,
                                          std::string key,
-                                         std::vector<std::uint8_t> data) {
+                                         std::vector<std::uint8_t> data,
+                                         olfs::AccessHint hint) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   const std::uint64_t size = data.size();
   if (olfs_->mv().Exists(path)) {
     co_return co_await olfs_->Update(path, std::move(data), size);
   }
-  co_return co_await olfs_->Create(path, std::move(data), size);
+  co_return co_await olfs_->Create(path, std::move(data), size, hint);
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObject(
-    std::string bucket, std::string key) {
+    std::string bucket, std::string key, olfs::AccessHint hint) {
   ROS_CO_ASSIGN_OR_RETURN(std::string path, ObjectPath(bucket, key));
   auto info = co_await olfs_->Stat(path);
   if (!info.ok()) {
     co_return info.status();
   }
-  co_return co_await olfs_->Read(path, 0, info->size);
+  co_return co_await olfs_->Read(path, 0, info->size, hint);
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> ObjectStore::GetObjectVersion(

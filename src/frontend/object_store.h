@@ -33,12 +33,15 @@ class ObjectStore {
   sim::Task<StatusOr<std::vector<std::string>>> ListBuckets();
 
   // Stores an object; overwriting an existing key creates a new version.
+  // A tagged hint (stream != 0) records co-access for affinity placement;
+  // a scan hint on GetObject additionally triggers whole-tray readahead.
   sim::Task<Status> PutObject(std::string bucket,
                               std::string key,
-                              std::vector<std::uint8_t> data);
+                              std::vector<std::uint8_t> data,
+                              olfs::AccessHint hint = {});
 
   sim::Task<StatusOr<std::vector<std::uint8_t>>> GetObject(
-      std::string bucket, std::string key);
+      std::string bucket, std::string key, olfs::AccessHint hint = {});
 
   // Historic version access (data provenance through the S3-ish surface).
   sim::Task<StatusOr<std::vector<std::uint8_t>>> GetObjectVersion(

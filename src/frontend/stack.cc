@@ -45,15 +45,16 @@ sim::Duration FrontendStack::FuseRequestCost(std::uint64_t size) const {
 }
 
 sim::Task<Status> FrontendStack::BackendWrite(std::string path,
-                                              std::uint64_t io_size) {
+                                              std::uint64_t io_size,
+                                              olfs::AccessHint hint) {
   if (HasOlfs()) {
     ROS_CHECK(olfs_ != nullptr);
     // OLFS backend: real streaming append (its own internal-op cost plus
     // the bucket write on the data volume).
     if (!olfs_->mv().Exists(path)) {
-      ROS_CO_RETURN_IF_ERROR(co_await olfs_->Create(path, {}, 0));
+      ROS_CO_RETURN_IF_ERROR(co_await olfs_->Create(path, {}, 0, hint));
     }
-    co_return co_await olfs_->AppendStream(path, {}, io_size);
+    co_return co_await olfs_->AppendStream(path, {}, io_size, hint);
   }
   ROS_CHECK(volume_ != nullptr);
   if (!volume_->Exists(path)) {
@@ -64,10 +65,11 @@ sim::Task<Status> FrontendStack::BackendWrite(std::string path,
 
 sim::Task<Status> FrontendStack::BackendRead(std::string path,
                                              std::uint64_t offset,
-                                             std::uint64_t io_size) {
+                                             std::uint64_t io_size,
+                                             olfs::AccessHint hint) {
   if (HasOlfs()) {
     ROS_CHECK(olfs_ != nullptr);
-    auto data = co_await olfs_->ReadStream(path, offset, io_size);
+    auto data = co_await olfs_->ReadStream(path, offset, io_size, hint);
     co_return data.status().ok() ? OkStatus() : data.status();
   }
   ROS_CHECK(volume_ != nullptr);
@@ -75,24 +77,26 @@ sim::Task<Status> FrontendStack::BackendRead(std::string path,
 }
 
 sim::Task<Status> FrontendStack::StreamWrite(std::string path,
-                                             std::uint64_t io_size) {
+                                             std::uint64_t io_size,
+                                             olfs::AccessHint hint) {
   // Layer copies + FUSE kernel round trips + Samba protocol work, then the
   // real backend write.
   co_await sim_.Delay(static_cast<sim::Duration>(
       LayerCostPerByte(/*write=*/true) * static_cast<double>(io_size) *
       1e9));
   co_await sim_.Delay(FuseRequestCost(io_size));
-  co_return co_await BackendWrite(path, io_size);
+  co_return co_await BackendWrite(path, io_size, hint);
 }
 
 sim::Task<Status> FrontendStack::StreamRead(std::string path,
                                             std::uint64_t offset,
-                                            std::uint64_t io_size) {
+                                            std::uint64_t io_size,
+                                            olfs::AccessHint hint) {
   co_await sim_.Delay(static_cast<sim::Duration>(
       LayerCostPerByte(/*write=*/false) * static_cast<double>(io_size) *
       1e9));
   co_await sim_.Delay(FuseRequestCost(io_size));
-  co_return co_await BackendRead(path, offset, io_size);
+  co_return co_await BackendRead(path, offset, io_size, hint);
 }
 
 sim::Task<StatusOr<sim::Duration>> FrontendStack::TimedCreate(

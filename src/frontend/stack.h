@@ -90,13 +90,17 @@ class FrontendStack {
   bool big_writes = true;  // FUSE big_writes mount option (§4.8)
 
   // Streaming write of `io_size` bytes to (the end of) `path`; the file is
-  // created on first use. Models filebench singlestreamwrite.
+  // created on first use. Models filebench singlestreamwrite. A tagged
+  // hint rides down to OLFS's cross-layer channel (affinity placement,
+  // tray prediction); untagged calls behave exactly as before.
   sim::Task<Status> StreamWrite(std::string path,
-                                std::uint64_t io_size);
+                                std::uint64_t io_size,
+                                olfs::AccessHint hint = {});
 
   // Streaming read of `io_size` bytes at `offset`.
   sim::Task<Status> StreamRead(std::string path, std::uint64_t offset,
-                               std::uint64_t io_size);
+                               std::uint64_t io_size,
+                               olfs::AccessHint hint = {});
 
   // Small-file operation latency (Fig 7): creates a file of `size` bytes
   // and returns the simulated latency; ditto for reading it.
@@ -131,10 +135,11 @@ class FrontendStack {
   // FUSE request overhead for an I/O of `size` bytes.
   sim::Duration FuseRequestCost(std::uint64_t size) const;
 
-  sim::Task<Status> BackendWrite(std::string path,
-                                 std::uint64_t io_size);
+  sim::Task<Status> BackendWrite(std::string path, std::uint64_t io_size,
+                                 olfs::AccessHint hint);
   sim::Task<Status> BackendRead(std::string path, std::uint64_t offset,
-                                std::uint64_t io_size);
+                                std::uint64_t io_size,
+                                olfs::AccessHint hint);
 
   sim::Simulator& sim_;
   StackConfig config_;

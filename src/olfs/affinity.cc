@@ -1,0 +1,80 @@
+#include "src/olfs/affinity.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace ros::olfs {
+
+void AffinityTracker::Record(std::uint64_t stream,
+                             const std::string& image_id) {
+  if (stream == 0) {
+    return;
+  }
+  if (image_streams_[image_id].insert(stream).second) {
+    ++edges_;
+  }
+}
+
+void AffinityTracker::RecordWrite(std::uint64_t stream,
+                                  const std::string& image_id) {
+  Record(stream, image_id);
+}
+
+void AffinityTracker::RecordRead(std::uint64_t stream,
+                                 const std::string& image_id) {
+  Record(stream, image_id);
+}
+
+std::vector<std::string> AffinityTracker::PlanBatch(
+    const std::vector<std::string>& available, int quota) const {
+  std::vector<std::string> batch;
+  if (quota <= 0 || available.empty()) {
+    return batch;
+  }
+  const std::size_t want =
+      std::min(static_cast<std::size_t>(quota), available.size());
+  batch.reserve(want);
+
+  auto streams_of =
+      [this](const std::string& id) -> const std::set<std::uint64_t>* {
+    auto it = image_streams_.find(id);
+    return it == image_streams_.end() ? nullptr : &it->second;
+  };
+
+  std::set<std::uint64_t> selected_streams;
+  std::vector<bool> used(available.size(), false);
+  auto take = [&](std::size_t index) {
+    used[index] = true;
+    batch.push_back(available[index]);
+    if (const auto* streams = streams_of(available[index])) {
+      selected_streams.insert(streams->begin(), streams->end());
+    }
+  };
+
+  // Oldest closed image seeds the batch, preserving the FIFO guarantee
+  // that nothing waits in the buffer forever.
+  take(0);
+  while (batch.size() < want) {
+    std::size_t best = available.size();
+    std::size_t best_shared = 0;
+    for (std::size_t i = 0; i < available.size(); ++i) {
+      if (used[i]) {
+        continue;
+      }
+      std::size_t shared = 0;
+      if (const auto* streams = streams_of(available[i])) {
+        for (std::uint64_t stream : *streams) {
+          shared += selected_streams.count(stream);
+        }
+      }
+      if (best == available.size() || shared > best_shared) {
+        best = i;
+        best_shared = shared;
+      }
+    }
+    take(best);
+  }
+  return batch;
+}
+
+}  // namespace ros::olfs

@@ -1,0 +1,47 @@
+// Affinity placement: cluster images that a stream wrote or read together
+// onto the same disc array (the XMLtapes/ARC co-location principle — the
+// cheapest seek is the one a neighbouring object never needs; PAPERS.md,
+// ROADMAP item 4).
+//
+// The tracker records (stream, image) edges from the write and read paths;
+// at burn-plan time BurnManager asks it to order the batch so images
+// sharing streams land on one tray. With no recorded edges the plan is
+// exactly the close-order prefix, so untagged workloads burn identically
+// to a build without the tracker.
+#ifndef ROS_SRC_OLFS_AFFINITY_H_
+#define ROS_SRC_OLFS_AFFINITY_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ros::olfs {
+
+class AffinityTracker {
+ public:
+  void RecordWrite(std::uint64_t stream, const std::string& image_id);
+  void RecordRead(std::uint64_t stream, const std::string& image_id);
+
+  // Picks `quota` images from `available` (close order, oldest first).
+  // Greedy clustering: seed with the oldest image, then repeatedly add the
+  // candidate sharing the most streams with the already-selected set,
+  // breaking ties by close order. Deterministic, and degenerates to
+  // available[0..quota) when no edges touch the candidates.
+  std::vector<std::string> PlanBatch(const std::vector<std::string>& available,
+                                     int quota) const;
+
+  // Distinct (stream, image) edges recorded so far.
+  std::uint64_t edges() const { return edges_; }
+
+ private:
+  void Record(std::uint64_t stream, const std::string& image_id);
+
+  std::map<std::string, std::set<std::uint64_t>> image_streams_;
+  std::uint64_t edges_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_AFFINITY_H_

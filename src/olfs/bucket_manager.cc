@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/olfs/affinity.h"
 
 namespace ros::olfs {
 
@@ -76,7 +77,8 @@ sim::Task<Status> BucketManager::CloseBucket(OpenBucket* bucket) {
 
 sim::Task<StatusOr<WriteReceipt>> BucketManager::WriteFile(
     std::string path, int version, std::vector<std::uint8_t> data,
-    std::uint64_t logical_size, int first_part, std::string prev_image) {
+    std::uint64_t logical_size, int first_part, std::string prev_image,
+    std::uint64_t stream) {
   if (data.size() > logical_size) {
     co_return InvalidArgumentError("payload exceeds logical size");
   }
@@ -166,6 +168,9 @@ sim::Task<StatusOr<WriteReceipt>> BucketManager::WriteFile(
     bucket->payload_bytes += take;
 
     receipt.parts.push_back({image.id(), take});
+    if (affinity_ != nullptr && stream != 0) {
+      affinity_->RecordWrite(stream, image.id());
+    }
     previous_image = image.id();
     written += take;
     ++part_number;
@@ -186,11 +191,15 @@ sim::Task<StatusOr<WriteReceipt>> BucketManager::WriteFile(
 
 sim::Task<Status> BucketManager::AppendToOpenFile(
     std::string path, int version, std::string image_id,
-    std::vector<std::uint8_t> data, std::uint64_t logical_grow) {
+    std::vector<std::uint8_t> data, std::uint64_t logical_grow,
+    std::uint64_t stream) {
   sim::Mutex::ScopedLock lock = co_await write_mutex_.Lock();
   if (current_ == nullptr || current_->image->id() != image_id) {
     co_return FailedPreconditionError("bucket " + image_id +
                                       " is no longer open");
+  }
+  if (affinity_ != nullptr && stream != 0) {
+    affinity_->RecordWrite(stream, image_id);
   }
   const std::string internal = InternalPath(path, version);
   ROS_CO_RETURN_IF_ERROR(

@@ -30,6 +30,8 @@
 
 namespace ros::olfs {
 
+class AffinityTracker;
+
 // Internal path of a file version inside a bucket/disc image. Version 1
 // uses the global path verbatim (unique file path, §4.4); regenerating
 // updates are qualified so they can coexist and be recovered (§4.6).
@@ -52,14 +54,23 @@ class BucketManager {
   // Invoked (synchronously) whenever a bucket closes into a disc image.
   std::function<void(const std::string& image_id)> on_image_closed;
 
+  // Cross-layer hints: when set, tagged writes (stream != 0) record a
+  // (stream, image) co-access edge for each part they place, which the
+  // burn planner later clusters onto one tray.
+  void set_affinity_tracker(AffinityTracker* tracker) {
+    affinity_ = tracker;
+  }
+
   // PBW: stores one version of a file. `data` may be sparse relative to
   // `logical_size`. Returns the parts for the index entry. For streaming
   // continuations of a file whose earlier parts already closed,
   // `first_part` and `prev_image` seed the split-link chain (§4.5).
+  // A nonzero `stream` tags every placed part with the writer's identity
+  // for affinity placement.
   sim::Task<StatusOr<WriteReceipt>> WriteFile(
       std::string path, int version, std::vector<std::uint8_t> data,
       std::uint64_t logical_size, int first_part = 0,
-      std::string prev_image = "");
+      std::string prev_image = "", std::uint64_t stream = 0);
 
   // Appending update (§4.6) to a version that still lives in an open
   // bucket. Fails with kFailedPrecondition once the bucket has closed
@@ -67,7 +78,8 @@ class BucketManager {
   sim::Task<Status> AppendToOpenFile(std::string path, int version,
                                      std::string image_id,
                                      std::vector<std::uint8_t> data,
-                                     std::uint64_t logical_grow);
+                                     std::uint64_t logical_grow,
+                                     std::uint64_t stream = 0);
 
   // Reads from a bucket or buffered image (any tier with bytes in the disk
   // buffer). Charges buffer-volume read time.
@@ -117,6 +129,7 @@ class BucketManager {
   OlfsParams params_;
   std::vector<disk::Volume*> data_volumes_;
   DiscImageStore* images_;
+  AffinityTracker* affinity_ = nullptr;
   sim::Mutex write_mutex_;  // serializes the FCFS bucket-filling policy
   std::unique_ptr<OpenBucket> current_;
   int bucket_counter_ = 0;

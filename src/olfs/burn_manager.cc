@@ -35,11 +35,24 @@ void BurnManager::MaybeStartBurn() {
       available.push_back(id);
     }
   }
-  if (static_cast<int>(available.size()) < quota) {
+  // Affinity placement: cluster co-accessed images onto this array. The
+  // batch forms over a wider window of closed images so the clusterer has
+  // genuine choice of membership (forming at exactly `quota` could only
+  // reorder the same prefix). With no tracker, no recorded edges, or the
+  // feature off, this is exactly the close-order prefix — and the original
+  // fire-at-quota timing — of the pre-hint planner.
+  const bool affinity_active = affinity_ != nullptr &&
+                               params_.affinity_placement_enabled &&
+                               affinity_->edges() > 0;
+  const int form_at =
+      affinity_active ? quota + params_.affinity_window() : quota;
+  if (static_cast<int>(available.size()) < form_at) {
     return;
   }
-  std::vector<std::string> batch(available.begin(),
-                                 available.begin() + quota);
+  std::vector<std::string> batch =
+      affinity_active ? affinity_->PlanBatch(available, quota)
+                      : std::vector<std::string>(available.begin(),
+                                                 available.begin() + quota);
   claimed_.insert(claimed_.end(), batch.begin(), batch.end());
   ++active_burns_;
   sim_.Spawn(BurnArrayTask(std::move(batch), std::nullopt));
@@ -52,6 +65,27 @@ sim::Task<Status> BurnManager::FlushPartialArray() {
     if (std::find(claimed_.begin(), claimed_.end(), id) == claimed_.end()) {
       available.push_back(id);
     }
+  }
+  // A flush drains everything now: the affinity window no longer applies,
+  // but full arrays still go through the clusterer so a pool the window
+  // accumulated burns well-placed. (Without affinity the pool can never
+  // exceed the quota here — MaybeStartBurn drains it — so this loop
+  // degenerates to at most the original single partial array.)
+  const int quota = params_.data_images_per_array();
+  const bool affinity_active = affinity_ != nullptr &&
+                               params_.affinity_placement_enabled &&
+                               affinity_->edges() > 0;
+  while (static_cast<int>(available.size()) >= quota) {
+    std::vector<std::string> batch =
+        affinity_active ? affinity_->PlanBatch(available, quota)
+                        : std::vector<std::string>(available.begin(),
+                                                   available.begin() + quota);
+    for (const std::string& id : batch) {
+      available.erase(std::find(available.begin(), available.end(), id));
+    }
+    claimed_.insert(claimed_.end(), batch.begin(), batch.end());
+    ++active_burns_;
+    sim_.Spawn(BurnArrayTask(std::move(batch), std::nullopt));
   }
   if (available.empty()) {
     co_return OkStatus();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/olfs/affinity.h"
 #include "src/olfs/bucket_manager.h"
 #include "src/olfs/da_index.h"
 #include "src/olfs/disc_image_store.h"
@@ -60,6 +61,18 @@ class BurnManager {
   // Waits until every queued, active and suspended burn has completed.
   sim::Task<Status> DrainAll();
 
+  // Cross-layer hints: when set (and affinity placement is enabled), burn
+  // batches are ordered by the tracker's greedy co-access clustering so
+  // images one stream touches land on the same tray.
+  void set_affinity_tracker(const AffinityTracker* tracker) {
+    affinity_ = tracker;
+  }
+
+  // Enforces the read-cache capacity: drops kBurnedCached images the SLRU
+  // nominates until the cache fits. Also run by the whole-tray readahead
+  // path after staging siblings into the probationary segment.
+  sim::Task<Status> EvictCacheOverflow();
+
   int arrays_burned() const { return arrays_burned_; }
   int active_burns() const { return active_burns_; }
   int interrupts_taken() const { return interrupts_taken_; }
@@ -92,7 +105,6 @@ class BurnManager {
                                 sim::Duration start_delay);
   sim::Task<Status> FinishJob(BurnJob& job);
   sim::Task<Status> PersistDilIndex();
-  sim::Task<Status> EvictCacheOverflow();
 
   sim::Simulator& sim_;
   OlfsParams params_;
@@ -103,6 +115,7 @@ class BurnManager {
   DaIndex* da_;
   ReadCache* cache_;
   MetadataVolume* mv_;
+  const AffinityTracker* affinity_ = nullptr;
 
   int active_burns_ = 0;
   int arrays_burned_ = 0;

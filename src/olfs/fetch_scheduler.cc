@@ -82,6 +82,7 @@ sim::Task<StatusOr<int>> FetchScheduler::AcquireForRead(
       ++stats_.parked_hits;
       ++stats_.completed;
       ++stats_.delay_hist[0];
+      NoteDemand(tray);
       co_return bay;
     }
   }
@@ -89,6 +90,13 @@ sim::Task<StatusOr<int>> FetchScheduler::AcquireForRead(
   auto request =
       std::make_shared<Request>(sim_, next_seq_++, sim_.now());
   queues_[tray].push_back(request);
+  if (!spec_pending_.empty()) {
+    // Demand queued: cancel pending speculative work so the background
+    // class can never delay the dispatcher's next demand pass.
+    stats_.speculative_canceled +=
+        static_cast<std::uint64_t>(spec_pending_.size());
+    spec_pending_.clear();
+  }
   stats_.max_queue_depth = std::max(
       stats_.max_queue_depth, static_cast<std::uint64_t>(queue_depth()));
   // Wake the dispatcher (and any legacy AcquireBay waiters; they re-scan
@@ -134,9 +142,50 @@ sim::Task<void> FetchScheduler::DispatchLoop() {
   }
 }
 
+void FetchScheduler::EnqueueSpeculative(mech::TrayAddress tray) {
+  if (!params_.tray_prefetch_enabled) {
+    return;
+  }
+  const int index = tray.ToIndex();
+  if (loading_.count(index) > 0 || BayHolding(index) >= 0) {
+    return;
+  }
+  if (std::find(spec_pending_.begin(), spec_pending_.end(), index) !=
+      spec_pending_.end()) {
+    return;
+  }
+  ++stats_.speculative_enqueued;
+  spec_pending_.push_back(index);
+  EnsureDispatcher();
+  mech_->bay_changed().NotifyAll();
+}
+
+void FetchScheduler::NoteDemand(int tray_index) {
+  if (spec_resident_.erase(tray_index) > 0) {
+    ++stats_.speculative_useful;
+  }
+}
+
+void FetchScheduler::NoteUnload(int tray_index) {
+  if (spec_resident_.erase(tray_index) > 0) {
+    ++stats_.speculative_wasted;
+  }
+}
+
 bool FetchScheduler::TryDispatch() {
   bool progressed = false;
   const int starved = AgedTray();
+
+  // Lazily reconcile speculative residency: an array evicted behind the
+  // scheduler's back (e.g. a burn claiming its bay) was loaded for nothing.
+  for (auto it = spec_resident_.begin(); it != spec_resident_.end();) {
+    if (loading_.count(*it) == 0 && BayHolding(*it) < 0) {
+      ++stats_.speculative_wasted;
+      it = spec_resident_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 
   // Pass 1: waiters whose array already sits parked in a bay — claim it,
   // no mechanics. (A busy bay holding the tray hands off on release.)
@@ -154,6 +203,7 @@ bool FetchScheduler::TryDispatch() {
     if (bay >= 0 && mech_->bay_state(bay) == BayState::kParked &&
         mech_->TryClaimBay(bay)) {
       ++stats_.parked_hits;
+      NoteDemand(tray);
       CompleteFront(tray, bay);
       progressed = true;
     }
@@ -180,11 +230,68 @@ bool FetchScheduler::TryDispatch() {
     sim_.Spawn(LoadTask(address, bay));
     progressed = true;
   }
+
+  // Pass 3 (background class): speculative loads, only once demand needs
+  // nothing more from the bays.
+  if (TryDispatchSpeculative()) {
+    progressed = true;
+  }
+  return progressed;
+}
+
+bool FetchScheduler::TryDispatchSpeculative() {
+  bool progressed = false;
+  while (!spec_pending_.empty()) {
+    // Demand has absolute priority: dispatch speculative loads only while
+    // every queued demand request is already resident or in flight (pass
+    // 1, a release handoff, or the in-flight load serves those without a
+    // new bay).
+    bool demand_idle = true;
+    for (const auto& [tray, queue] : queues_) {
+      if (!queue.empty() && loading_.count(tray) == 0 &&
+          BayHolding(tray) < 0) {
+        demand_idle = false;
+        break;
+      }
+    }
+    if (!demand_idle) {
+      break;
+    }
+    const int tray = spec_pending_.front();
+    if (loading_.count(tray) > 0 || BayHolding(tray) >= 0) {
+      spec_pending_.pop_front();  // already resident or being loaded
+      continue;
+    }
+    const int bay = PickLoadBay(/*allow_demanded=*/false);
+    if (bay < 0) {
+      break;  // no undemanded bay free; stays pending for the next wakeup
+    }
+    auto victim = mech_->bay_tray(bay);
+    if (victim.has_value() && HasDemand(*victim)) {
+      // PickLoadBay(false) never returns a demanded victim; this counter
+      // is a run-time self-check asserted zero by tests and chaos runs.
+      ++stats_.speculative_demand_evictions;
+      break;
+    }
+    if (!mech_->TryClaimBay(bay)) {
+      break;
+    }
+    spec_pending_.pop_front();
+    loading_.insert(tray);
+    ++stats_.speculative_loads;
+    const mech::TrayAddress address = mech::TrayAddress::FromIndex(tray);
+    stats_.est_positioning += PositioningCost(address);
+    dispatch_log_.emplace_back(tray, bay);
+    sim_.Spawn(LoadTask(address, bay, /*speculative=*/true));
+    progressed = true;
+  }
   return progressed;
 }
 
 int FetchScheduler::AgedTray() const {
-  if (params_.fetch_aging_bound <= 0) {
+  // Negative disables aging entirely; a bound of zero means every queued
+  // request is immediately "aged", i.e. strict-FIFO dispatch.
+  if (params_.fetch_aging_bound < 0) {
     return -1;
   }
   // Sequence numbers are assigned in arrival order, so the smallest front
@@ -283,9 +390,12 @@ int FetchScheduler::PickLoadBay(bool allow_demanded) const {
   return victim;
 }
 
-sim::Task<void> FetchScheduler::LoadTask(mech::TrayAddress tray, int bay) {
+sim::Task<void> FetchScheduler::LoadTask(mech::TrayAddress tray, int bay,
+                                         bool speculative) {
   Status status = OkStatus();
-  if (mech_->bay_tray(bay).has_value()) {
+  auto victim = mech_->bay_tray(bay);
+  if (victim.has_value()) {
+    NoteUnload(victim->ToIndex());
     ++stats_.unloads;
     status = co_await mech_->UnloadArray(bay);
   }
@@ -314,8 +424,16 @@ sim::Task<void> FetchScheduler::LoadTask(mech::TrayAddress tray, int bay) {
   }
   auto it = queues_.find(index);
   if (it == queues_.end() || it->second.empty()) {
+    if (speculative) {
+      spec_resident_.insert(index);  // parked until demand (or eviction)
+    }
     mech_->ReleaseBay(bay);  // waiters raced away; park the array
     co_return;
+  }
+  if (speculative) {
+    // Demand arrived mid-cycle: the speculative load absorbs it exactly
+    // like a demand load would have, one whole cycle earlier.
+    ++stats_.speculative_useful;
   }
   stats_.max_batch = std::max(stats_.max_batch,
                               static_cast<std::uint64_t>(it->second.size()));

@@ -57,6 +57,15 @@ struct FetchSchedulerStats {
   std::uint64_t handoffs = 0;         // bay passed to the next same-tray waiter
   std::uint64_t aged_dispatches = 0;  // strict-FIFO promotions (aging bound)
   std::uint64_t failed_batches = 0;   // load failures fanned out to waiters
+  // Background (speculative) class — predictive tray prefetch.
+  std::uint64_t speculative_enqueued = 0;  // accepted into the pending queue
+  std::uint64_t speculative_loads = 0;     // speculative load cycles started
+  std::uint64_t speculative_canceled = 0;  // pending entries dropped by demand
+  std::uint64_t speculative_useful = 0;    // demand hit a speculative load
+  std::uint64_t speculative_wasted = 0;    // evicted before any demand came
+  // Self-check: a speculative dispatch picked a victim bay whose tray has
+  // queued demand. Tests and the chaos harness assert this stays zero.
+  std::uint64_t speculative_demand_evictions = 0;
   std::uint64_t max_queue_depth = 0;
   std::uint64_t max_batch = 0;        // most waiters drained by one load
   sim::Duration total_queue_delay = 0;
@@ -90,6 +99,15 @@ class FetchScheduler {
   // queued for the tray it holds, ownership passes directly to the next
   // waiter (the bay never leaves kBusy); otherwise the bay is parked.
   void ReleaseBay(int bay);
+
+  // Background priority class: asks for `tray` to be made resident while
+  // the mechanics would otherwise idle (predictive prefetch, whole-tray
+  // readahead). Speculative loads dispatch only when every queued demand
+  // request is already resident or in flight, never evict a tray with
+  // queued demand, and pending entries are canceled the moment new demand
+  // queues. Dropped when the tray is already resident, loading, queued,
+  // or OlfsParams::tray_prefetch_enabled is off.
+  void EnqueueSpeculative(mech::TrayAddress tray);
 
   // True if any queued or in-dispatch request wants `tray` (the demand
   // oracle behind MechController's victim pass).
@@ -134,9 +152,17 @@ class FetchScheduler {
   int PickLoadBay(bool allow_demanded) const;
   int BayHolding(int tray_index) const;
   sim::Duration PositioningCost(mech::TrayAddress tray);
-  sim::Task<void> LoadTask(mech::TrayAddress tray, int bay);
+  sim::Task<void> LoadTask(mech::TrayAddress tray, int bay,
+                           bool speculative = false);
   void Complete(std::shared_ptr<Request> request, StatusOr<int> result);
   void CompleteFront(int tray_index, int bay);
+  // Speculative dispatch pass (after the demand passes found nothing more
+  // to do); true if a background load was started.
+  bool TryDispatchSpeculative();
+  // Demand claimed a parked tray / a resident tray left its bay: settle
+  // the useful-vs-wasted ledger for speculatively loaded arrays.
+  void NoteDemand(int tray_index);
+  void NoteUnload(int tray_index);
 
   sim::Simulator& sim_;
   OlfsParams params_;
@@ -145,6 +171,10 @@ class FetchScheduler {
   // tray index -> FIFO of waiting requests (std::map: deterministic scan).
   std::map<int, std::deque<std::shared_ptr<Request>>> queues_;
   std::set<int> loading_;  // trays with a load cycle in flight
+  // Background class: speculative trays pending dispatch (FIFO), and
+  // speculatively loaded trays still parked without having seen demand.
+  std::deque<int> spec_pending_;
+  std::set<int> spec_resident_;
   std::uint64_t next_seq_ = 0;
   // Per-bay logical-clock stamp of the last scheduler release (LRU victim
   // ordering that does not depend on wall or sim time).

@@ -1,0 +1,26 @@
+// Cross-layer access hints (ROADMAP item 4).
+//
+// Frontends tag requests with a stream/job id so the storage layers can
+// learn co-access: the bucket layer records write/read affinity edges
+// (clustered onto one tray at burn-plan time), the TrayPredictor learns
+// tray successions per stream, and a scan hint triggers whole-tray
+// readahead. A default-constructed hint (stream == 0) is inert: untagged
+// traffic takes byte- and cycle-identical paths to a build without hints.
+#ifndef ROS_SRC_OLFS_HINTS_H_
+#define ROS_SRC_OLFS_HINTS_H_
+
+#include <cstdint>
+
+namespace ros::olfs {
+
+struct AccessHint {
+  // Stream/job identity; 0 means "untagged" and disables all hint logic.
+  std::uint64_t stream = 0;
+  // The caller announces a batch scan: sibling images on a fetched tray
+  // are staged ahead into the read cache's probationary segment.
+  bool scan = false;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_HINTS_H_

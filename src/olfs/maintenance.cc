@@ -70,6 +70,21 @@ json::Value Maintenance::StatusReport() const {
         json::Value(sim::ToSeconds(stats.max_queue_delay));
     sched["est_positioning_s"] =
         json::Value(sim::ToSeconds(stats.est_positioning));
+    // Background (speculative) prefetch class: queued, dispatched, and how
+    // predictions paid off. speculative_demand_evictions is a runtime
+    // self-check and must stay 0.
+    sched["speculative_enqueued"] =
+        json::Value(static_cast<std::int64_t>(stats.speculative_enqueued));
+    sched["speculative_loads"] =
+        json::Value(static_cast<std::int64_t>(stats.speculative_loads));
+    sched["speculative_canceled"] =
+        json::Value(static_cast<std::int64_t>(stats.speculative_canceled));
+    sched["speculative_useful"] =
+        json::Value(static_cast<std::int64_t>(stats.speculative_useful));
+    sched["speculative_wasted"] =
+        json::Value(static_cast<std::int64_t>(stats.speculative_wasted));
+    sched["speculative_demand_evictions"] = json::Value(
+        static_cast<std::int64_t>(stats.speculative_demand_evictions));
     json::Array hist;
     for (int i = 0; i < FetchSchedulerStats::kDelayBuckets; ++i) {
       json::Object bucket;
@@ -92,10 +107,18 @@ json::Value Maintenance::StatusReport() const {
       json::Value(static_cast<std::int64_t>(olfs_->cache().misses()));
   cache["image_ghost_hits"] =
       json::Value(static_cast<std::int64_t>(olfs_->cache().ghost_hits()));
+  cache["image_ghost_entries"] = json::Value(
+      static_cast<std::int64_t>(olfs_->cache().ghost_entries()));
   cache["image_protected_bytes"] = json::Value(
       static_cast<std::int64_t>(olfs_->cache().protected_bytes()));
+  cache["image_probationary_bytes"] = json::Value(
+      static_cast<std::int64_t>(olfs_->cache().probationary_bytes()));
   cache["shared_image_reads"] = json::Value(
       static_cast<std::int64_t>(olfs_->shared_image_reads()));
+  cache["readahead_images"] = json::Value(
+      static_cast<std::int64_t>(olfs_->readahead_images()));
+  cache["readahead_bytes"] = json::Value(
+      static_cast<std::int64_t>(olfs_->readahead_bytes()));
   cache["file_cache_bytes"] = json::Value(
       static_cast<std::int64_t>(olfs_->file_cache().used_bytes()));
   const auto& index_stats = olfs_->mv().cache_stats();

@@ -40,9 +40,12 @@ Olfs::Olfs(sim::Simulator& sim, RosSystem* system, OlfsParams params)
   ROS_CHECK(system != nullptr);
   mv_ = std::make_unique<MetadataVolume>(system->mv_volume());
   images_ = std::make_unique<DiscImageStore>();
+  affinity_ = std::make_unique<AffinityTracker>();
+  predictor_ = std::make_unique<TrayPredictor>();
   buckets_ = std::make_unique<BucketManager>(sim_, params_,
                                              system->data_volumes(),
                                              images_.get());
+  buckets_->set_affinity_tracker(affinity_.get());
   parity_ = std::make_unique<ParityBuilder>(sim_, params_, images_.get());
   da_ = std::make_unique<DaIndex>(system->config().rollers);
   cache_ = std::make_unique<ReadCache>(params_.read_cache_bytes,
@@ -65,6 +68,7 @@ Olfs::Olfs(sim::Simulator& sim, RosSystem* system, OlfsParams params)
                                          images_.get(), parity_.get(),
                                          mech_.get(), da_.get(), cache_.get(),
                                          mv_.get());
+  burns_->set_affinity_tracker(affinity_.get());
   fetcher_ = std::make_unique<FetchManager>(sim_, params_, images_.get(),
                                             mech_.get(), burns_.get(),
                                             scheduler_.get());
@@ -114,7 +118,7 @@ sim::Task<Status> Olfs::EnsureAncestors(std::string path) {
 
 sim::Task<Status> Olfs::Create(std::string path,
                                std::vector<std::uint8_t> data,
-                               std::uint64_t logical_size) {
+                               std::uint64_t logical_size, AccessHint hint) {
   co_await ChargeOp("stat", /*first=*/true);
   sim::Mutex::ScopedLock lock = co_await LockPath(path);
   if (mv_->Exists(path)) {
@@ -135,7 +139,7 @@ sim::Task<Status> Olfs::Create(std::string path,
   co_await ChargeOp("write");
   ROS_CO_RETURN_IF_ERROR(
       co_await WriteVersion(path, std::move(data), logical_size,
-                            /*create=*/true));
+                            /*create=*/true, hint));
   co_await ChargeOp("close");
   co_return OkStatus();
 }
@@ -165,7 +169,7 @@ sim::Task<Status> Olfs::Update(std::string path,
 sim::Task<Status> Olfs::WriteVersion(std::string path,
                                      std::vector<std::uint8_t> data,
                                      std::uint64_t logical_size,
-                                     bool create) {
+                                     bool create, AccessHint hint) {
   ROS_CO_ASSIGN_OR_RETURN(IndexFile index, co_await mv_->Get(path));
   if (index.type() != EntryType::kFile) {
     co_return InvalidArgumentError(path + " is a directory");
@@ -184,7 +188,8 @@ sim::Task<Status> Olfs::WriteVersion(std::string path,
   ROS_CO_ASSIGN_OR_RETURN(
       WriteReceipt receipt,
       co_await buckets_->WriteFile(path, version, std::move(data),
-                                   logical_size));
+                                   logical_size, /*first_part=*/0,
+                                   /*prev_image=*/"", hint.stream));
   VersionEntry entry;
   entry.location = LocationKind::kBucket;
   entry.total_size = receipt.total_size;
@@ -248,7 +253,8 @@ sim::Task<Status> Olfs::Append(std::string path,
 
 sim::Task<Status> Olfs::AppendStream(std::string path,
                                      std::vector<std::uint8_t> data,
-                                     std::uint64_t logical_grow) {
+                                     std::uint64_t logical_grow,
+                                     AccessHint hint) {
   auto handle = stream_handles_.find(path);
   if (handle == stream_handles_.end()) {
     // Implicit open(): load the index once.
@@ -269,7 +275,8 @@ sim::Task<Status> Olfs::AppendStream(std::string path,
     ROS_CO_ASSIGN_OR_RETURN(
         WriteReceipt receipt,
         co_await buckets_->WriteFile(path, entry.version, std::move(data),
-                                     logical_grow));
+                                     logical_grow, /*first_part=*/0,
+                                     /*prev_image=*/"", hint.stream));
     entry.parts = receipt.parts;
     entry.total_size = receipt.total_size;
     co_return index.UpdateLatest(entry);
@@ -277,7 +284,7 @@ sim::Task<Status> Olfs::AppendStream(std::string path,
 
   const std::string last_image = entry.parts.back().image_id;
   Status appended = co_await buckets_->AppendToOpenFile(
-      path, entry.version, last_image, data, logical_grow);
+      path, entry.version, last_image, data, logical_grow, hint.stream);
   if (appended.ok()) {
     entry.parts.back().size += logical_grow;
     entry.total_size += logical_grow;
@@ -294,7 +301,7 @@ sim::Task<Status> Olfs::AppendStream(std::string path,
       co_await buckets_->WriteFile(path, entry.version, std::move(data),
                                    logical_grow,
                                    static_cast<int>(entry.parts.size()),
-                                   last_image));
+                                   last_image, hint.stream));
   for (const FilePart& part : receipt.parts) {
     entry.parts.push_back(part);
   }
@@ -303,7 +310,8 @@ sim::Task<Status> Olfs::AppendStream(std::string path,
 }
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadStream(
-    std::string path, std::uint64_t offset, std::uint64_t length) {
+    std::string path, std::uint64_t offset, std::uint64_t length,
+    AccessHint hint) {
   auto handle = stream_handles_.find(path);
   if (handle == stream_handles_.end()) {
     co_await ChargeOp("open", /*first=*/true);
@@ -322,7 +330,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadStream(
   if (!latest.ok()) {
     co_return latest.status();
   }
-  co_return co_await ReadEntry(path, **latest, offset, length);
+  co_return co_await ReadEntry(path, **latest, offset, length, hint);
 }
 
 sim::Task<Status> Olfs::CloseStream(std::string path) {
@@ -340,7 +348,8 @@ sim::Task<Status> Olfs::CloseStream(std::string path) {
 // Reads
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::Read(
-    std::string path, std::uint64_t offset, std::uint64_t length) {
+    std::string path, std::uint64_t offset, std::uint64_t length,
+    AccessHint hint) {
   co_await ChargeOp("stat", /*first=*/true);
   auto index = co_await mv_->GetRef(path);
   if (!index.ok()) {
@@ -351,7 +360,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::Read(
     co_return latest.status();
   }
   co_await ChargeOp("read");
-  auto result = co_await ReadEntry(path, **latest, offset, length);
+  auto result = co_await ReadEntry(path, **latest, offset, length, hint);
   co_await ChargeOp("close");
   co_return result;
 }
@@ -390,7 +399,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadForepart(
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
     std::string path, VersionEntry entry, std::uint64_t offset,
-    std::uint64_t length) {
+    std::uint64_t length, AccessHint hint) {
   if (entry.tombstone) {
     co_return NotFoundError(path + " is deleted");
   }
@@ -432,7 +441,8 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
     if (from < to) {
       ROS_CO_ASSIGN_OR_RETURN(
           std::vector<std::uint8_t> piece,
-          co_await ReadPart(internal, part, from - part_start, to - from));
+          co_await ReadPart(internal, part, from - part_start, to - from,
+                            hint));
       out.insert(out.end(), piece.begin(), piece.end());
     }
     part_start = part_end;
@@ -445,9 +455,15 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadEntry(
 
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
     std::string internal_path, FilePart part,
-    std::uint64_t offset, std::uint64_t length) {
+    std::uint64_t offset, std::uint64_t length, AccessHint hint) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(part.image_id));
+  // Cross-layer hint channel: tagged reads feed the co-access map (read
+  // affinity influences placement of images not yet burned) regardless of
+  // the image's current tier. Untagged requests (stream == 0) are inert.
+  if (hint.stream != 0) {
+    affinity_->RecordRead(hint.stream, part.image_id);
+  }
   switch (record->tier) {
     case ImageTier::kOpenBucket:
     case ImageTier::kBuffered:
@@ -457,6 +473,17 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
                                                 offset, length);
     }
     case ImageTier::kBurnedOnly: {
+      // Predictive tray prefetch: the stream's tray transition updates the
+      // predictor; a confident successor is queued as a background
+      // (speculative) load that demand traffic always preempts.
+      if (hint.stream != 0 && record->disc.has_value()) {
+        const int tray = record->disc->tray.ToIndex();
+        const int predicted = predictor_->Observe(hint.stream, tray);
+        if (scheduler_ != nullptr && params_.tray_prefetch_enabled &&
+            predicted >= 0 && predicted != tray) {
+          scheduler_->EnqueueSpeculative(mech::TrayAddress::FromIndex(predicted));
+        }
+      }
       // File-granular cache (future-work refinement of §4.1).
       if (file_cache_->enabled()) {
         const std::string key = FileCache::Key(part.image_id, internal_path);
@@ -504,6 +531,16 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadPart(
       }
       if (data.ok() && file_cache_->enabled()) {
         sim_.Spawn(PrefetchTask(part.image_id, internal_path));
+      }
+      // Whole-tray readahead: an announced scan stages the tray's sibling
+      // images into the read cache while the tray is still loaded, so the
+      // rest of the scan avoids re-fetching it after an eviction.
+      if (data.ok() && hint.scan && hint.stream != 0 &&
+          params_.readahead_max_images > 0 && record->disc.has_value()) {
+        const int tray = record->disc->tray.ToIndex();
+        if (readahead_trays_.insert(tray).second) {
+          sim_.Spawn(TrayReadaheadTask(part.image_id, tray));
+        }
       }
       co_return data;
     }
@@ -666,6 +703,152 @@ sim::Task<void> Olfs::PrefetchTask(std::string image_id,
     }
   }
   lease->Release();
+}
+
+sim::Task<void> Olfs::TrayReadaheadTask(std::string image_id,
+                                        int tray_index) {
+  auto record = images_->Lookup(image_id);
+  if (!record.ok()) {
+    readahead_trays_.erase(tray_index);
+    co_return;
+  }
+  // Sibling data images burned in the same disc array that still live only
+  // on their discs. Parity members carry no user files; skip them.
+  std::vector<std::string> siblings;
+  for (const std::string& member : (*record)->array_members) {
+    if (member == image_id) {
+      continue;
+    }
+    if (member.ends_with("-P") || member.ends_with("-Q")) {
+      continue;
+    }
+    auto sibling = images_->Lookup(member);
+    if (!sibling.ok() || (*sibling)->tier != ImageTier::kBurnedOnly ||
+        (*sibling)->parity || !(*sibling)->disc.has_value() ||
+        (*sibling)->disc->tray.ToIndex() != tray_index) {
+      continue;
+    }
+    siblings.push_back(member);
+    if (static_cast<int>(siblings.size()) >= params_.readahead_max_images) {
+      break;
+    }
+  }
+  for (const std::string& sibling : siblings) {
+    Status staged = co_await StageSiblingImage(sibling);
+    if (!staged.ok()) {
+      ROS_LOG(kDebug) << "tray readahead stopped at " << sibling << ": "
+                      << staged.ToString();
+      break;
+    }
+  }
+  readahead_trays_.erase(tray_index);
+}
+
+sim::Task<Status> Olfs::StageSiblingImage(std::string image_id) {
+  // Single-flight with concurrent demand readers of the same image: wait
+  // out any in-flight drive read and reuse the parsed view it produced.
+  while (true) {
+    auto inflight = image_reads_.find(image_id);
+    if (inflight == image_reads_.end()) {
+      break;
+    }
+    std::shared_ptr<sim::Event> done = inflight->second;
+    co_await done->Wait();
+  }
+  {
+    ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
+                            images_->Lookup(image_id));
+    if (record->tier != ImageTier::kBurnedOnly) {
+      co_return OkStatus();  // already buffered; nothing to stage
+    }
+  }
+
+  std::shared_ptr<udf::Image> image;
+  auto mounted = disc_mounts_.find(image_id);
+  if (mounted != disc_mounts_.end()) {
+    image = mounted->second;
+  } else {
+    auto done = std::make_shared<sim::Event>(sim_);
+    image_reads_.emplace(image_id, done);
+    auto result = co_await ReadSiblingStream(image_id);
+    image_reads_.erase(image_id);
+    done->Set();
+    if (!result.ok()) {
+      co_return result.status();
+    }
+    image = std::move(*result);
+  }
+
+  // The fetch yields to demand traffic; the image may have been repaired
+  // or re-staged by a degraded read in the meantime.
+  ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
+                          images_->Lookup(image_id));
+  if (record->tier != ImageTier::kBurnedOnly) {
+    co_return OkStatus();
+  }
+  // Stage into the disk buffer (sparse: the parsed image carries the
+  // bytes) without eating the burn pipeline's headroom.
+  const int vol = 0;
+  disk::Volume* volume = buckets_->volume(vol);
+  if (volume->free_bytes() <
+      image->used_bytes() + params_.buffer_reserve_bytes()) {
+    co_return ResourceExhaustedError(
+        "no buffer headroom for tray readahead");
+  }
+  const std::string file =
+      BucketManager::VolumeFileName(image_id) + "#ra" +
+      std::to_string(readahead_generation_++);
+  ROS_CO_RETURN_IF_ERROR(co_await volume->Create(file));
+  ROS_CO_RETURN_IF_ERROR(
+      co_await volume->AppendSparse(file, {}, image->used_bytes()));
+  ROS_CO_RETURN_IF_ERROR(
+      images_->RestoreToBuffer(image_id, std::move(image), vol, file));
+  // Probationary admission (the SLRU's scan resistance keeps readahead
+  // from churning the protected working set); capacity is enforced by the
+  // same eviction pass burns use.
+  cache_->Admit(image_id, record->logical_bytes);
+  ++readahead_images_;
+  readahead_bytes_ += record->logical_bytes;
+  co_return co_await burns_->EvictCacheOverflow();
+}
+
+sim::Task<StatusOr<std::shared_ptr<udf::Image>>> Olfs::ReadSiblingStream(
+    std::string image_id) {
+  ROS_CO_ASSIGN_OR_RETURN(FetchLease lease,
+                          co_await fetcher_->FetchDisc(image_id));
+  drive::OpticalDrive* drive = lease.drive();
+  Status mounted = co_await drive->MountVfs();
+  if (!mounted.ok()) {
+    lease.Release();
+    co_return mounted;
+  }
+  auto session = drive->disc()->FindSession(image_id);
+  if (!session.ok()) {
+    lease.Release();
+    co_return session.status();
+  }
+  auto stream = drive->disc()->ReadSession(image_id, 0,
+                                           (*session)->data.size());
+  if (!stream.ok()) {
+    lease.Release();
+    co_return stream.status();
+  }
+  auto image = udf::Serializer::Parse(*stream);
+  if (!image.ok()) {
+    lease.Release();
+    co_return image.status();
+  }
+  // Charge the full-stream optical transfer.
+  auto timed = co_await drive->Read(
+      image_id, 0, std::max<std::uint64_t>(1, (*session)->data.size()));
+  if (!timed.ok()) {
+    lease.Release();
+    co_return timed.status();
+  }
+  auto view = std::make_shared<udf::Image>(std::move(*image));
+  disc_mounts_.emplace(image_id, view);
+  lease.Release();
+  co_return view;
 }
 
 // ---------------------------------------------------------------------------

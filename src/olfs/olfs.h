@@ -13,10 +13,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/olfs/affinity.h"
 #include "src/olfs/bucket_manager.h"
 #include "src/olfs/burn_manager.h"
 #include "src/olfs/da_index.h"
@@ -24,12 +26,14 @@
 #include "src/olfs/fetch_manager.h"
 #include "src/olfs/fetch_scheduler.h"
 #include "src/olfs/file_cache.h"
+#include "src/olfs/hints.h"
 #include "src/olfs/mech_controller.h"
 #include "src/olfs/metadata_volume.h"
 #include "src/olfs/params.h"
 #include "src/olfs/parity.h"
 #include "src/olfs/read_cache.h"
 #include "src/olfs/system.h"
+#include "src/olfs/tray_predictor.h"
 #include "src/sim/simulator.h"
 #include "src/sim/task.h"
 
@@ -59,9 +63,12 @@ class Olfs {
 
   // Creates a new file (fails if it exists). `data` may be sparse
   // relative to `logical_size` (pass data.size() for fully-real files).
+  // A tagged hint (AccessHint::stream != 0) records co-access edges so
+  // the burn planner co-locates the stream's files on one tray.
   sim::Task<Status> Create(std::string path,
                            std::vector<std::uint8_t> data,
-                           std::uint64_t logical_size);
+                           std::uint64_t logical_size,
+                           AccessHint hint = {});
   sim::Task<Status> Create(std::string path,
                            std::vector<std::uint8_t> data);
 
@@ -76,10 +83,13 @@ class Olfs {
   sim::Task<Status> Append(std::string path,
                            std::vector<std::uint8_t> data);
 
-  // Reads the latest version.
+  // Reads the latest version. A tagged hint feeds the tray predictor
+  // (speculative prefetch of the stream's likely next tray); a scan hint
+  // additionally triggers whole-tray readahead of sibling images.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> Read(std::string path,
                                                       std::uint64_t offset,
-                                                      std::uint64_t length);
+                                                      std::uint64_t length,
+                                                      AccessHint hint = {});
 
   // Reads a historic version still in the index ring (data provenance).
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadVersion(
@@ -99,9 +109,11 @@ class Olfs {
   // ------------------------------------------------------------------
   sim::Task<Status> AppendStream(std::string path,
                                  std::vector<std::uint8_t> data,
-                                 std::uint64_t logical_grow);
+                                 std::uint64_t logical_grow,
+                                 AccessHint hint = {});
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadStream(
-      std::string path, std::uint64_t offset, std::uint64_t length);
+      std::string path, std::uint64_t offset, std::uint64_t length,
+      AccessHint hint = {});
   sim::Task<Status> CloseStream(std::string path);
 
   sim::Task<StatusOr<FileInfo>> Stat(std::string path);
@@ -167,6 +179,11 @@ class Olfs {
   // drive read (image-level single-flight) instead of re-reading media.
   std::uint64_t shared_image_reads() const { return shared_image_reads_; }
 
+  // Whole-tray readahead telemetry: sibling images staged into the read
+  // cache behind scan-hinted reads, and their logical bytes.
+  std::uint64_t readahead_images() const { return readahead_images_; }
+  std::uint64_t readahead_bytes() const { return readahead_bytes_; }
+
   RosSystem& system() { return *system_; }
   MetadataVolume& mv() { return *mv_; }
   DiscImageStore& images() { return *images_; }
@@ -179,6 +196,8 @@ class Olfs {
   FileCache& file_cache() { return *file_cache_; }
   MechController& mech() { return *mech_; }
   DaIndex& da_index() { return *da_; }
+  AffinityTracker& affinity() { return *affinity_; }
+  TrayPredictor& predictor() { return *predictor_; }
   const OlfsParams& params() const { return params_; }
 
  private:
@@ -196,17 +215,18 @@ class Olfs {
   // Writes one version of `path` and updates its index file.
   sim::Task<Status> WriteVersion(std::string path,
                                  std::vector<std::uint8_t> data,
-                                 std::uint64_t logical_size, bool create);
+                                 std::uint64_t logical_size, bool create,
+                                 AccessHint hint = {});
 
   // Reads `length` bytes at `offset` of a resolved version entry.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadEntry(
       std::string path, VersionEntry entry,
-      std::uint64_t offset, std::uint64_t length);
+      std::uint64_t offset, std::uint64_t length, AccessHint hint = {});
 
   // Reads a byte range of one part, resolving its current tier.
   sim::Task<StatusOr<std::vector<std::uint8_t>>> ReadPart(
       std::string internal_path, FilePart part,
-      std::uint64_t offset, std::uint64_t length);
+      std::uint64_t offset, std::uint64_t length, AccessHint hint = {});
 
   // Reads a file from a disc, sharing one drive read among concurrent
   // readers of the same image (image-level single-flight): followers wait
@@ -225,6 +245,19 @@ class Olfs {
   sim::Task<void> PrefetchTask(std::string image_id,
                                std::string internal_path);
 
+  // Whole-tray readahead (scan hint): stages burned sibling images of the
+  // tray just fetched into the read cache's probationary segment, so the
+  // rest of the scan reads from the disk buffer instead of re-fetching
+  // the tray after an eviction.
+  sim::Task<void> TrayReadaheadTask(std::string image_id, int tray_index);
+  // Reads one sibling's full stream (single-flight with concurrent
+  // readers) and re-admits it as kBurnedCached.
+  sim::Task<Status> StageSiblingImage(std::string image_id);
+  // Fetches + parses one sibling image off its disc (leader side of the
+  // single-flight), caching the parsed view in disc_mounts_.
+  sim::Task<StatusOr<std::shared_ptr<udf::Image>>> ReadSiblingStream(
+      std::string image_id);
+
   // Rebuilds the full serialized stream of a damaged or unreachable image
   // from its array's surviving members + parity (§4.7). Charges the
   // optical reads of every surviving member.
@@ -242,6 +275,8 @@ class Olfs {
 
   std::unique_ptr<MetadataVolume> mv_;
   std::unique_ptr<DiscImageStore> images_;
+  std::unique_ptr<AffinityTracker> affinity_;
+  std::unique_ptr<TrayPredictor> predictor_;
   std::unique_ptr<BucketManager> buckets_;
   std::unique_ptr<ParityBuilder> parity_;
   std::unique_ptr<DaIndex> da_;
@@ -274,6 +309,12 @@ class Olfs {
   std::uint64_t reconstructions_ = 0;
   std::uint64_t images_repaired_ = 0;
   std::uint64_t shared_image_reads_ = 0;
+  // Whole-tray readahead: in-flight trays (dedup), staged counters, and a
+  // generation suffix keeping staged buffer files unique.
+  std::set<int> readahead_trays_;
+  std::uint64_t readahead_images_ = 0;
+  std::uint64_t readahead_bytes_ = 0;
+  int readahead_generation_ = 0;
   std::uint64_t namespace_writes_ = 0;      // dirtiness since last snapshot
   std::uint64_t last_snapshot_writes_ = 0;
   sim::TimePoint last_write_time_ = 0;

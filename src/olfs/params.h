@@ -56,8 +56,37 @@ struct OlfsParams {
   bool fetch_scheduler_enabled = true;
   // A queued fetch older than this is dispatched strict-FIFO regardless of
   // positioning cost, so tail latency under hostile locality is bounded by
-  // (aging bound + one unload/load cycle). 0 disables aging.
+  // (aging bound + one unload/load cycle). Negative disables aging; zero
+  // makes every queued request immediately aged, i.e. strict FIFO.
   sim::Duration fetch_aging_bound = sim::Seconds(300);
+
+  // Cross-layer hints (ROADMAP item 4). All three optimizations key off
+  // AccessHint::stream, so untagged traffic is unaffected regardless of
+  // these switches.
+  //   - Affinity placement: burn batches cluster images co-accessed by one
+  //     stream onto the same array (tray) instead of pure close order.
+  //   - Tray prefetch: the per-stream successor model enqueues speculative
+  //     loads through the FetchScheduler's background class.
+  //   - Whole-tray readahead: a scan-hinted read stages up to
+  //     `readahead_max_images` burned siblings of the fetched tray into
+  //     the read cache's probationary segment (0 disables).
+  bool affinity_placement_enabled = true;
+  bool tray_prefetch_enabled = true;
+  int readahead_max_images = 16;
+  // How many closed images beyond the array quota to accumulate before
+  // forming an affinity-clustered burn batch. A batch formed the moment
+  // the quota is reached (the close-order timing) leaves the clusterer no
+  // choice of membership; the window trades burn latency for placement
+  // quality. Only consulted once tagged traffic has recorded co-access
+  // edges — untagged workloads keep the original fire-at-quota timing.
+  // Negative selects the default (one extra array's worth).
+  int affinity_batch_window = -1;
+
+  // Resolved affinity window (see affinity_batch_window).
+  int affinity_window() const {
+    return affinity_batch_window >= 0 ? affinity_batch_window
+                                      : data_images_per_array();
+  }
 
   // File-granular cache + prefetch (§4.1's future-work refinement):
   // files read from discs are retained individually (0 disables), and up

@@ -73,7 +73,11 @@ class ReadCache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  // Re-admissions: entries whose eviction the ghost list remembered and
+  // that came back, earning direct admission to the protected segment.
   std::uint64_t ghost_hits() const { return ghost_hits_; }
+  // Current ghost-list occupancy (bounded by kGhostEntries).
+  std::size_t ghost_entries() const { return ghost_.size(); }
   std::uint64_t protected_bytes() const { return protected_used_; }
   std::uint64_t probationary_bytes() const { return used_ - protected_used_; }
 

@@ -1,0 +1,32 @@
+#include "src/olfs/tray_predictor.h"
+
+namespace ros::olfs {
+
+int TrayPredictor::Observe(std::uint64_t stream, int tray) {
+  if (stream == 0 || tray < 0) {
+    return -1;
+  }
+  auto last = last_tray_.find(stream);
+  if (last != last_tray_.end() && last->second != tray) {
+    ++successors_[last->second][tray];
+    ++transitions_;
+  }
+  last_tray_[stream] = tray;
+
+  auto successors = successors_.find(tray);
+  if (successors == successors_.end()) {
+    return -1;
+  }
+  int best = -1;
+  std::uint64_t best_count = 0;
+  // Strict > keeps the smallest tray index on ties (map iteration order).
+  for (const auto& [to, count] : successors->second) {
+    if (count > best_count) {
+      best = to;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace ros::olfs

@@ -1,0 +1,33 @@
+// Predictive tray prefetch: a per-stream last-successor (first-order
+// Markov) model over tray indices. Each tagged read that touches a burned
+// tray feeds the model; when the model has seen the stream's current tray
+// lead somewhere before, olfs enqueues a low-priority speculative load of
+// the predicted tray through the FetchScheduler's background class.
+#ifndef ROS_SRC_OLFS_TRAY_PREDICTOR_H_
+#define ROS_SRC_OLFS_TRAY_PREDICTOR_H_
+
+#include <cstdint>
+#include <map>
+
+namespace ros::olfs {
+
+class TrayPredictor {
+ public:
+  // Records that `stream` touched `tray` and returns the predicted next
+  // tray (>= 0), or -1 when the model has nothing to say. The transition
+  // table is shared across streams (trays burned together are read
+  // together regardless of who asks); the last-tray state is per stream.
+  int Observe(std::uint64_t stream, int tray);
+
+  std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  std::map<std::uint64_t, int> last_tray_;
+  // from-tray -> (to-tray -> observation count).
+  std::map<int, std::map<int, std::uint64_t>> successors_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace ros::olfs
+
+#endif  // ROS_SRC_OLFS_TRAY_PREDICTOR_H_

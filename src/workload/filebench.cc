@@ -9,13 +9,13 @@ namespace ros::workload {
 sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
     sim::Simulator& sim, frontend::FrontendStack& stack,
     std::string path, std::uint64_t total_bytes,
-    std::uint64_t io_size) {
+    std::uint64_t io_size, olfs::AccessHint hint) {
   StreamResult result;
   const sim::TimePoint start = sim.now();
   for (std::uint64_t written = 0; written < total_bytes;
        written += io_size) {
     const std::uint64_t n = std::min(io_size, total_bytes - written);
-    ROS_CO_RETURN_IF_ERROR(co_await stack.StreamWrite(path, n));
+    ROS_CO_RETURN_IF_ERROR(co_await stack.StreamWrite(path, n, hint));
     result.bytes += n;
   }
   result.elapsed = sim.now() - start;
@@ -27,13 +27,33 @@ sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
 sim::Task<StatusOr<StreamResult>> SinglestreamRead(
     sim::Simulator& sim, frontend::FrontendStack& stack,
     std::string path, std::uint64_t total_bytes,
-    std::uint64_t io_size) {
+    std::uint64_t io_size, olfs::AccessHint hint) {
   StreamResult result;
   const sim::TimePoint start = sim.now();
   for (std::uint64_t done = 0; done < total_bytes; done += io_size) {
     const std::uint64_t n = std::min(io_size, total_bytes - done);
-    ROS_CO_RETURN_IF_ERROR(co_await stack.StreamRead(path, done, n));
+    ROS_CO_RETURN_IF_ERROR(co_await stack.StreamRead(path, done, n, hint));
     result.bytes += n;
+  }
+  result.elapsed = sim.now() - start;
+  co_return result;
+}
+
+// ros-lint: allow(coro-ref-param): same long-lived bench fixtures as the
+// singlestream personalities; `files` is owned by the calling bench.
+sim::Task<StatusOr<StreamResult>> ScanRead(
+    sim::Simulator& sim, frontend::FrontendStack& stack,
+    const std::vector<ArchivalFile>& files, std::uint64_t stream,
+    std::uint64_t io_size) {
+  const olfs::AccessHint hint{stream, /*scan=*/true};
+  StreamResult result;
+  const sim::TimePoint start = sim.now();
+  for (const ArchivalFile& file : files) {
+    ROS_CO_ASSIGN_OR_RETURN(
+        StreamResult one,
+        co_await SinglestreamRead(sim, stack, file.path, file.size, io_size,
+                                  hint));
+    result.bytes += one.bytes;
   }
   result.elapsed = sim.now() - start;
   co_return result;

@@ -29,17 +29,19 @@ struct StreamResult {
 
 // Sequentially writes `total_bytes` in `io_size` chunks to one file
 // through the given stack (filebench singlestreamwrite, default 1 MB I/O).
+// A tagged hint (stream != 0) marks the writes as one job's output so
+// OLFS co-locates the job's files at burn-plan time.
 sim::Task<StatusOr<StreamResult>> SinglestreamWrite(
     sim::Simulator& sim, frontend::FrontendStack& stack,
     std::string path, std::uint64_t total_bytes,
-    std::uint64_t io_size = 1 * kMB);
+    std::uint64_t io_size = 1 * kMB, olfs::AccessHint hint = {});
 
 // Sequentially reads `total_bytes` in `io_size` chunks (the file must
 // exist; filebench singlestreamread).
 sim::Task<StatusOr<StreamResult>> SinglestreamRead(
     sim::Simulator& sim, frontend::FrontendStack& stack,
     std::string path, std::uint64_t total_bytes,
-    std::uint64_t io_size = 1 * kMB);
+    std::uint64_t io_size = 1 * kMB, olfs::AccessHint hint = {});
 
 // A synthetic archival ingest description: file sizes follow a mixed
 // small/large distribution typical of archives (metadata-heavy records
@@ -53,6 +55,14 @@ std::vector<ArchivalFile> GenerateArchivalFiles(Rng& rng, int count,
                                                 const std::string& root,
                                                 std::uint64_t min_size,
                                                 std::uint64_t max_size);
+
+// Batch-scan helper: reads a job's files sequentially with a scan-tagged
+// hint, announcing the sweep to OLFS so each fetched tray is read ahead
+// wholesale. `stream` must be non-zero to have any effect.
+sim::Task<StatusOr<StreamResult>> ScanRead(
+    sim::Simulator& sim, frontend::FrontendStack& stack,
+    const std::vector<ArchivalFile>& files, std::uint64_t stream,
+    std::uint64_t io_size = 1 * kMB);
 
 }  // namespace ros::workload
 

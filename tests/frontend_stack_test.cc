@@ -159,5 +159,36 @@ TEST_F(FrontendStackTest, OpLatenciesMatchFigure7) {
   EXPECT_NEAR(sim::ToMillis(*samba_read), 15.0, 3.0);
 }
 
+// A tagged batch-scan workload threads its AccessHint through the whole
+// frontend stack into OLFS: the writes record co-access edges for the
+// burn planner and the reads return every byte (the hint channel may
+// re-order mechanical work but never changes data).
+TEST_F(FrontendStackTest, ScanReadThreadsHintsThroughStack) {
+  FrontendStack stack(sim_, StackConfig::kExt4Olfs,
+                      system_->data_volumes()[0], olfs_.get());
+  std::vector<workload::ArchivalFile> files;
+  constexpr std::uint64_t kStreamId = 42;
+  for (int i = 0; i < 3; ++i) {
+    workload::ArchivalFile file;
+    file.path = "/scan/item" + std::to_string(i);
+    file.size = 2 * kMB;
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    workload::SinglestreamWrite(
+                        sim_, stack, file.path, file.size, 1 * kMB,
+                        olfs::AccessHint{kStreamId}))
+                    .ok());
+    files.push_back(std::move(file));
+  }
+  // All three small files share the one open bucket image, so the
+  // tagged writes collapse to a single (stream, image) edge.
+  EXPECT_GE(olfs_->affinity().edges(), 1u);
+
+  auto result = sim_.RunUntilComplete(
+      workload::ScanRead(sim_, stack, files, kStreamId));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->bytes, 3u * 2 * kMB);
+  EXPECT_GE(olfs_->affinity().edges(), 1u);
+}
+
 }  // namespace
 }  // namespace ros::frontend

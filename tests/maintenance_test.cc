@@ -71,6 +71,33 @@ TEST_F(MaintenanceTest, StatusReportReflectsSystemState) {
   ASSERT_TRUE(reparsed.ok());
 }
 
+// The report exposes the background prefetch class, the read cache's
+// ghost list, and the whole-tray readahead counters — all zero on an
+// untagged workload, and speculative_demand_evictions (the scheduler's
+// self-check) must be zero always.
+TEST_F(MaintenanceTest, StatusReportExposesHintTelemetry) {
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  olfs_->Create("/m/t", RandomBytes(5000, 2), 5000)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(olfs_->FlushAndDrain()).ok());
+
+  json::Value report = mi_->StatusReport();
+  EXPECT_EQ(report["fetch_scheduler"]["speculative_enqueued"].as_int(), 0);
+  EXPECT_EQ(report["fetch_scheduler"]["speculative_loads"].as_int(), 0);
+  EXPECT_EQ(
+      report["fetch_scheduler"]["speculative_demand_evictions"].as_int(),
+      0);
+  EXPECT_GE(report["caches"]["image_ghost_entries"].as_int(), 0);
+  EXPECT_GE(report["caches"]["image_probationary_bytes"].as_int(), 0);
+  EXPECT_EQ(report["caches"]["readahead_images"].as_int(), 0);
+  EXPECT_EQ(report["caches"]["readahead_bytes"].as_int(), 0);
+
+  // A burned image evicted from the read cache lands in the ghost list,
+  // and the occupancy shows up in the next report.
+  olfs_->cache().Remove(report["images"].as_array()[0]["id"].as_string());
+  json::Value after = mi_->StatusReport();
+  EXPECT_GE(after["caches"]["image_ghost_entries"].as_int(), 1);
+}
+
 TEST_F(MaintenanceTest, TriggerScrubRepairs) {
   auto payload = RandomBytes(20 * kKiB, 3);
   ASSERT_TRUE(sim_.RunUntilComplete(

@@ -129,6 +129,46 @@ TEST(ReadCache, GhostHitReAdmissionPromotes) {
   EXPECT_EQ(cache.ghost_hits(), 2u);
 }
 
+// Ghost-list occupancy tracks evictions, and a re-admission consumes its
+// ghost entry (the occupancy and re-admission counts surfaced in the
+// maintenance report).
+TEST(ReadCache, GhostOccupancyGrowsOnEvictionShrinksOnReAdmission) {
+  ReadCache cache(1000);
+  EXPECT_EQ(cache.ghost_entries(), 0u);
+  cache.Admit("a", 100);
+  cache.Admit("b", 100);
+  cache.Remove("a");
+  cache.Remove("b");
+  EXPECT_EQ(cache.ghost_entries(), 2u);
+  EXPECT_EQ(cache.ghost_hits(), 0u);
+  // Re-admitting "a" consumes its ghost entry; "b" stays remembered.
+  cache.Admit("a", 100);
+  EXPECT_EQ(cache.ghost_entries(), 1u);
+  EXPECT_EQ(cache.ghost_hits(), 1u);
+  // An id the ghost list never saw changes nothing.
+  cache.Admit("c", 100);
+  EXPECT_EQ(cache.ghost_entries(), 1u);
+  EXPECT_EQ(cache.ghost_hits(), 1u);
+}
+
+// The ghost list is bounded: old evictions fall off the tail and no
+// longer earn protected re-admission.
+TEST(ReadCache, GhostListBoundedEviction) {
+  ReadCache cache(1 << 20);
+  cache.Admit("first", 1);
+  cache.Remove("first");
+  // Push 1024 younger evictions through: "first" must age out.
+  for (int i = 0; i < 1024; ++i) {
+    const std::string id = "g" + std::to_string(i);
+    cache.Admit(id, 1);
+    cache.Remove(id);
+  }
+  EXPECT_EQ(cache.ghost_entries(), 1024u);
+  cache.Admit("first", 1);
+  EXPECT_EQ(cache.ghost_hits(), 0u);
+  EXPECT_FALSE(cache.InProtected("first"));
+}
+
 // Protected overflow demotes LRU protected entries back to probationary
 // rather than evicting them outright.
 TEST(ReadCache, ProtectedOverflowDemotesToProbationary) {

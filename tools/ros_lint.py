@@ -57,6 +57,17 @@ leans on but the compiler cannot fully check:
                       call (bulk scans, legacy paths) carries an inline
                       `// ros-lint: allow(acquire-bay): <why>`.
 
+  speculative-fetch   A direct FetchScheduler::AcquireForRead call outside
+                      the demand path's owners (the fetch manager's lease
+                      broker and the scheduler itself). Background work —
+                      predictive prefetch, whole-tray readahead, scrubs —
+                      that enqueues through the demand path competes with
+                      real readers for bays and can evict demanded trays;
+                      it must use FetchScheduler::EnqueueSpeculative,
+                      which yields to demand and cancels cleanly. A
+                      justified demand-priority call carries an inline
+                      `// ros-lint: allow(speculative-fetch): <why>`.
+
 Usage:
     tools/ros_lint.py [paths...]          # default: src/ of the repo root
     tools/ros_lint.py --list-status-fns   # debug: dump the Status fn set
@@ -86,6 +97,7 @@ RULES = (
     "list-size-only",
     "retry-unclassified",
     "acquire-bay",
+    "speculative-fetch",
 )
 
 ALLOW_RE = re.compile(r"ros-lint:\s*allow\(([^)]*)\)")
@@ -474,6 +486,40 @@ class FileLint:
                 "ros-lint: allow(acquire-bay)",
             )
 
+    # --- rule: speculative-fetch ----------------------------------------
+
+    # Files that own the demand enqueue path: the fetch manager (the read
+    # path's lease broker) and the scheduler itself. Anything else calling
+    # AcquireForRead is almost always background work (prefetch, readahead,
+    # scrubbing) jumping the demand queue.
+    ACQUIRE_FOR_READ_OWNERS = (
+        "fetch_manager.cc",
+        "fetch_scheduler.cc",
+        "fetch_scheduler.h",
+    )
+
+    ACQUIRE_FOR_READ_RE = re.compile(r"(?<![\w:])AcquireForRead\s*\(")
+
+    def check_speculative_fetch(self) -> None:
+        if os.path.basename(self.path) in self.ACQUIRE_FOR_READ_OWNERS:
+            return
+        for m in self.ACQUIRE_FOR_READ_RE.finditer(self.stripped):
+            stmt = max(self.stripped.rfind(";", 0, m.start()),
+                       self.stripped.rfind("{", 0, m.start()),
+                       self.stripped.rfind("}", 0, m.start()))
+            idx = stmt + 1
+            while idx < m.start() and self.stripped[idx] in " \t\n":
+                idx += 1
+            self.report(
+                idx,
+                "speculative-fetch",
+                "direct AcquireForRead competes with demand readers for "
+                "bays; background/speculative loads must go through "
+                "FetchScheduler::EnqueueSpeculative (yields to demand, "
+                "never evicts demanded trays, cancels cleanly) or "
+                "annotate with ros-lint: allow(speculative-fetch)",
+            )
+
     def run(self) -> list[Finding]:
         self.check_discarded_status()
         self.check_coro_ref_param()
@@ -482,6 +528,7 @@ class FileLint:
         self.check_list_size_only()
         self.check_retry_unclassified()
         self.check_acquire_bay()
+        self.check_speculative_fetch()
         return self.findings
 
 

@@ -394,6 +394,54 @@ class AcquireBayTest(unittest.TestCase):
         self.assertNotIn("acquire-bay", rules)
 
 
+class SpeculativeFetchTest(unittest.TestCase):
+    CALL = ("sim::Task<void> Prefetch() {\n"
+            "  auto bay = co_await scheduler_->AcquireForRead(address);\n"
+            "  (void)bay;\n"
+            "}\n")
+
+    def test_flags_direct_call(self):
+        self.assertIn(("speculative-fetch", 2), lint_source(self.CALL))
+
+    def test_owner_files_exempt(self):
+        # The fetch manager brokers demand leases; the scheduler defines
+        # the API. Both enqueue demand legitimately.
+        for name in ("src/olfs/fetch_manager.cc",
+                     "src/olfs/fetch_scheduler.cc",
+                     "src/olfs/fetch_scheduler.h"):
+            lint = ros_lint.FileLint(name, self.CALL, set())
+            rules = [f.rule for f in lint.run()]
+            self.assertNotIn("speculative-fetch", rules, name)
+
+    def test_inline_allow_suppresses(self):
+        src = ("sim::Task<void> Prefetch() {\n"
+               "  // ros-lint: allow(speculative-fetch): demand-priority "
+               "restore\n"
+               "  auto bay = co_await scheduler_->AcquireForRead(address);\n"
+               "  (void)bay;\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("speculative-fetch", rules)
+
+    def test_allow_above_wrapped_macro_call_suppresses(self):
+        src = ("sim::Task<void> Prefetch() {\n"
+               "  // ros-lint: allow(speculative-fetch): repair path\n"
+               "  ROS_CO_ASSIGN_OR_RETURN(\n"
+               "      bay, co_await scheduler_->AcquireForRead(address));\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("speculative-fetch", rules)
+
+    def test_background_class_and_comments_clean(self):
+        src = ("sim::Task<void> Prefetch() {\n"
+               "  // readers go through AcquireForRead(...) eventually\n"
+               "  scheduler_->EnqueueSpeculative(tray);\n"
+               "  co_return;\n"
+               "}\n")
+        rules = [r for r, _ in lint_source(src)]
+        self.assertNotIn("speculative-fetch", rules)
+
+
 class AllowlistTest(unittest.TestCase):
     def test_allowlist_file_filters_by_suffix_and_rule(self):
         with tempfile.TemporaryDirectory() as tmp:
