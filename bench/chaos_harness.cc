@@ -16,6 +16,13 @@
 // Prints one JSON line of telemetry per seed and exits non-zero (printing
 // the offending seed) on the first violated invariant, so a CI job can
 // sweep seeds cheaply:  chaos_harness --seeds=1,2,3,4,5
+//
+// --replay-check additionally runs every seed TWICE with a
+// sim::EventHasher installed: the first run records the event-stream
+// digest trail, the second verifies against it fold by fold. Any
+// divergence — a wall-clock read, unordered-container iteration, or
+// pointer-order dependence sneaking into the model — fails the seed and
+// names the first divergent event.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +36,7 @@
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/olfs/olfs.h"
+#include "src/sim/event_hasher.h"
 #include "src/sim/fault.h"
 #include "src/sim/time.h"
 
@@ -43,6 +51,7 @@ struct Options {
   int files = 6;
   double latent_rate = 0.002;
   double mech_rate = 0.002;
+  bool replay_check = false;
 };
 
 std::vector<std::uint8_t> RandomBytes(std::size_t n, std::uint64_t seed) {
@@ -62,8 +71,12 @@ OlfsParams ChaosParams() {
   return params;
 }
 
-// Returns true when the seed's run upholds every invariant.
-bool RunSeed(std::uint64_t seed, const Options& opt) {
+// Returns true when the seed's run upholds every invariant. With a
+// non-null `hasher` the run folds its event stream into it; `quiet`
+// suppresses the per-seed JSON line (used for replay-check second runs,
+// which would otherwise print the same telemetry twice).
+bool RunSeed(std::uint64_t seed, const Options& opt,
+             sim::EventHasher* hasher = nullptr, bool quiet = false) {
   auto fail = [seed](const std::string& what) {
     std::fprintf(stderr, "CHAOS VIOLATION (seed %llu): %s\n",
                  static_cast<unsigned long long>(seed), what.c_str());
@@ -71,11 +84,13 @@ bool RunSeed(std::uint64_t seed, const Options& opt) {
   };
 
   sim::Simulator sim;
+  sim.set_event_hasher(hasher);
   RosSystem system(sim, TestSystemConfig());
   auto olfs = std::make_unique<Olfs>(sim, &system, ChaosParams());
   olfs->burns().burn_start_interval = Seconds(1);
 
   sim::FaultInjector faults(seed);
+  faults.set_event_hasher(hasher);
   faults.FailNth(FaultKind::kBurnFailure, "", 2);
   faults.FailNth(FaultKind::kMechFault, "", 10);
   faults.FailNth(FaultKind::kLatentSectorError, "", 3);
@@ -196,6 +211,10 @@ bool RunSeed(std::uint64_t seed, const Options& opt) {
     }
   }
 
+  if (quiet) {
+    sim.Shutdown();
+    return true;
+  }
   const SummaryStats lat = Summarize(std::move(read_latencies));
   std::printf(
       "{\"seed\": %llu, \"acked_files\": %zu, \"injected\": "
@@ -231,6 +250,37 @@ bool RunSeed(std::uint64_t seed, const Options& opt) {
   return true;
 }
 
+// Double-runs one seed with the divergence oracle installed. Returns true
+// when both runs uphold the invariants and their event streams hash
+// identically.
+bool ReplayCheckSeed(std::uint64_t seed, const Options& opt) {
+  sim::EventHasher record;
+  if (!RunSeed(seed, opt, &record)) {
+    return false;
+  }
+  sim::EventHasher check(record.trail());
+  const bool replay_ok = RunSeed(seed, opt, &check, /*quiet=*/true);
+  check.Finish();
+  if (check.diverged()) {
+    const sim::EventHasher::Divergence& div = *check.divergence();
+    std::fprintf(stderr,
+                 "REPLAY DIVERGENCE (seed %llu): event #%llu: %s\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(div.index),
+                 div.description.c_str());
+    return false;
+  }
+  if (!replay_ok) {
+    return false;
+  }
+  std::printf("{\"seed\": %llu, \"replay_events\": %llu, "
+              "\"replay_digest\": \"%016llx\"}\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(check.event_count()),
+              static_cast<unsigned long long>(check.digest()));
+  return true;
+}
+
 std::vector<std::uint64_t> ParseSeeds(const char* list) {
   std::vector<std::uint64_t> seeds;
   for (const char* p = list; *p != '\0';) {
@@ -258,17 +308,21 @@ int Main(int argc, char** argv) {
       opt.latent_rate = std::atof(arg.c_str() + 14);
     } else if (arg.rfind("--mech-rate=", 0) == 0) {
       opt.mech_rate = std::atof(arg.c_str() + 12);
+    } else if (arg == "--replay-check") {
+      opt.replay_check = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seed=N | --seeds=A,B,C] [--files=N] "
-                   "[--latent-rate=R] [--mech-rate=R]\n",
+                   "[--latent-rate=R] [--mech-rate=R] [--replay-check]\n",
                    argv[0]);
       return 2;
     }
   }
   int failures = 0;
   for (std::uint64_t seed : opt.seeds) {
-    if (!RunSeed(seed, opt)) {
+    const bool ok = opt.replay_check ? ReplayCheckSeed(seed, opt)
+                                     : RunSeed(seed, opt);
+    if (!ok) {
       ++failures;
     }
   }

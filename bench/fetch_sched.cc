@@ -34,7 +34,10 @@
 //     every reader count
 //
 // Flags: --smoke (one 8-reader sweep, CI-sized), --trace-only (skip the
-// legacy scheduler and scan-resistance sections).
+// legacy scheduler and scan-resistance sections), --replay-check (double-
+// run the smoke scheduler cell with the sim::EventHasher divergence
+// oracle installed and fail on any event-stream divergence, naming the
+// first divergent event).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -51,6 +54,7 @@
 #include "src/common/units.h"
 #include "src/olfs/olfs.h"
 #include "src/olfs/read_cache.h"
+#include "src/sim/event_hasher.h"
 #include "src/sim/join.h"
 #include "src/sim/time.h"
 
@@ -137,8 +141,9 @@ sim::Task<Status> Reader(olfs::Olfs* olfs,
 
 bool RunMode(bool scheduler_enabled,
              const std::vector<std::vector<ReadSpec>>& sequences,
-             ModeResult* out) {
+             ModeResult* out, sim::EventHasher* hasher = nullptr) {
   sim::Simulator sim;
+  sim.set_event_hasher(hasher);
   olfs::SystemConfig config = olfs::TestSystemConfig();
   config.drive_sets = 2;
   olfs::RosSystem system(sim, config);
@@ -498,6 +503,45 @@ json::Value TraceModeJson(const TraceResult& r) {
   return json::Value(std::move(o));
 }
 
+// Double-runs the CI-sized scheduler cell with the divergence oracle
+// installed. The second run must replay the first's event stream exactly
+// AND return byte-identical reads; any divergence names the first
+// divergent event.
+int ReplayCheck() {
+  const auto sequences =
+      MakeSequences(/*readers=*/8, /*reads_each=*/6, /*hot_locality=*/true);
+  sim::EventHasher record;
+  ModeResult first;
+  if (!RunMode(/*scheduler_enabled=*/true, sequences, &first, &record)) {
+    return 1;
+  }
+  sim::EventHasher check(record.trail());
+  ModeResult second;
+  if (!RunMode(/*scheduler_enabled=*/true, sequences, &second, &check)) {
+    return 1;
+  }
+  check.Finish();
+  if (check.diverged()) {
+    const sim::EventHasher::Divergence& div = *check.divergence();
+    std::fprintf(stderr, "REPLAY DIVERGENCE: event #%llu: %s\n",
+                 static_cast<unsigned long long>(div.index),
+                 div.description.c_str());
+    return 1;
+  }
+  if (first.hashes != second.hashes) {
+    std::fprintf(stderr,
+                 "REPLAY DIVERGENCE: identical event stream but "
+                 "different read bytes\n");
+    return 1;
+  }
+  std::printf("{\"bench\": \"fetch_sched\", \"mode\": \"replay_check\", "
+              "\"replay_events\": %llu, \"replay_digest\": \"%016llx\", "
+              "\"pass\": true}\n",
+              static_cast<unsigned long long>(check.event_count()),
+              static_cast<unsigned long long>(check.digest()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -509,6 +553,9 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--trace-only") == 0) {
       trace_only = true;
+    }
+    if (std::strcmp(argv[i], "--replay-check") == 0) {
+      return ReplayCheck();
     }
   }
 

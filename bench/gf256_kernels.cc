@@ -40,6 +40,8 @@ Buffer RandomBuffer(std::size_t n, std::uint64_t seed) {
 // swept (bytes_per_call per invocation).
 double MeasureMbPerSec(std::size_t bytes_per_call,
                        const std::function<void()>& op) {
+  // ros_analyze: allow(wallclock): host-side kernel-throughput timing;
+  // never feeds simulator state.
   using Clock = std::chrono::steady_clock;
   op();  // warm the tables and the cache
   std::uint64_t calls = 0;

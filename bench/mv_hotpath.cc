@@ -39,6 +39,8 @@
 namespace {
 
 using namespace ros;
+// ros_analyze: allow(wallclock): host-side hot-path throughput timing;
+// never feeds simulator state.
 using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {

@@ -161,6 +161,8 @@ class StorageDevice : public BlockDevice {
   sim::Mutex queue_;  // FIFO request serialization
   bool failed_ = false;
   sim::FaultInjector* faults_ = nullptr;
+  // ros_analyze: allow(unordered-member): point lookups by chunk id
+  // only; never iterated.
   std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> chunks_;
   std::uint64_t bytes_written_ = 0;
   std::uint64_t bytes_read_ = 0;

@@ -231,6 +231,8 @@ class Volume {
   // each node's key (a stable string_view into the map node) to its meta
   // for O(1) point lookups. Both are maintained on Create/Delete/Format.
   std::map<std::string, FileMeta> files_;
+  // ros_analyze: allow(unordered-member): point lookups by name only;
+  // enumeration always walks the ordered files_ map.
   std::unordered_map<std::string_view, FileMeta*> by_name_;
   std::map<std::uint64_t, std::uint64_t> free_extents_;  // start -> length
   MutationObserver observer_;

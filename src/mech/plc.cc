@@ -1,6 +1,7 @@
 #include "src/mech/plc.h"
 
 #include "src/common/logging.h"
+#include "src/sim/event_hasher.h"
 
 namespace ros::mech {
 
@@ -45,6 +46,14 @@ sim::Task<Status> Plc::Actuate(sim::Duration motion, bool recovery) {
 sim::Task<Status> Plc::Execute(PlcInstruction instruction, bool recovery) {
   if (instruction.roller < 0 || instruction.roller >= num_rollers()) {
     co_return InvalidArgumentError("bad roller id");
+  }
+  if (sim::EventHasher* hasher = sim_.event_hasher(); hasher != nullptr) {
+    // Pack the geometry operands; layer and slot are small non-negatives.
+    hasher->Fold("plc", PlcOpName(instruction.op),
+                 (static_cast<std::uint64_t>(instruction.roller) << 32) |
+                     (static_cast<std::uint64_t>(instruction.layer) << 16) |
+                     static_cast<std::uint64_t>(instruction.slot),
+                 static_cast<std::uint64_t>(sim_.now()));
   }
   // Injected pick/place fault: the feedback loop detects an out-of-
   // tolerance seat it cannot correct, charges its full retry budget and

@@ -260,8 +260,17 @@ sim::Task<Status> BurnManager::BurnOneDisc(BurnJob& job, int bay,
                                            int disc_index,
                                            std::string image_id,
                                            sim::Duration start_delay) {
-  // Skip images that finished before an interrupt.
-  auto it = job.burned_bytes.find(image_id);
+  // Skip images that finished before an interrupt. The map value is
+  // copied out here: interrupt bookkeeping mutates job.burned_bytes from
+  // sibling disc burns, so no iterator may live across the suspensions
+  // below.
+  std::uint64_t already_burned = 0;
+  bool resuming = false;
+  if (auto it = job.burned_bytes.find(image_id);
+      it != job.burned_bytes.end()) {
+    already_burned = it->second;
+    resuming = true;
+  }
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(image_id));
   std::uint64_t logical = record->logical_bytes;
@@ -276,14 +285,13 @@ sim::Task<Status> BurnManager::BurnOneDisc(BurnJob& job, int bay,
     payload = udf::Serializer::Serialize(*record->image);
   }
   logical = std::max<std::uint64_t>(logical, payload.size());
-  if (it != job.burned_bytes.end() && it->second >= logical) {
+  if (resuming && already_burned >= logical) {
     co_return OkStatus();  // already fully burned before the interrupt
   }
 
   co_await sim_.Delay(start_delay);
   if (interrupt_requested_[static_cast<std::size_t>(bay)]) {
-    job.burned_bytes[image_id] =
-        it == job.burned_bytes.end() ? 0 : it->second;
+    job.burned_bytes[image_id] = already_burned;
     co_return OkStatus();
   }
 

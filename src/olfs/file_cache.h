@@ -84,6 +84,8 @@ class FileCache {
   std::uint64_t capacity_;
   std::uint64_t used_ = 0;
   std::list<Entry> lru_;
+  // ros_analyze: allow(unordered-member): point lookups by path only;
+  // eviction order comes from lru_, never from this index.
   std::unordered_map<std::string, std::list<Entry>::iterator> index_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;

@@ -170,6 +170,8 @@ class MetadataVolume {
   // keyed on each entry's own path string (list nodes are stable), so
   // lookups and invalidations never build a key.
   mutable LruList lru_;  // front = most recently used
+  // ros_analyze: allow(unordered-member): point lookups by path only;
+  // eviction order comes from lru_, never from this map.
   mutable std::unordered_map<std::string_view, LruList::iterator> cache_map_;
   mutable CacheStats cache_stats_;
 };

@@ -264,6 +264,13 @@ sim::Task<Status> Olfs::AppendStream(std::string path,
   }
   op_trace_.assign({"write"});
   co_await sim_.Delay(params_.stream_op_cost);
+  // Re-acquire after the suspension: a concurrent CloseStream may have
+  // erased the handle while this coroutine was parked.
+  handle = stream_handles_.find(path);
+  if (handle == stream_handles_.end()) {
+    co_return FailedPreconditionError("stream closed during append: " +
+                                      path);
+  }
   IndexFile& index = handle->second;
   auto latest = index.Latest();
   if (!latest.ok()) {
@@ -326,6 +333,12 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadStream(
   // returned data (the read-side marginal in Fig 6).
   co_await sim_.Delay(params_.stream_op_cost +
                       sim::TransferTime(length, 2.5e9));
+  // Re-acquire after the suspension: a concurrent CloseStream may have
+  // erased the handle while this coroutine was parked.
+  handle = stream_handles_.find(path);
+  if (handle == stream_handles_.end()) {
+    co_return FailedPreconditionError("stream closed during read: " + path);
+  }
   auto latest = handle->second.Latest();
   if (!latest.ok()) {
     co_return latest.status();
@@ -339,9 +352,16 @@ sim::Task<Status> Olfs::CloseStream(std::string path) {
     co_return OkStatus();
   }
   co_await ChargeOp("close", /*first=*/true);
-  Status status = co_await mv_->Put(handle->second);
+  // Re-acquire after the suspension, then detach the index from the map
+  // BEFORE the MV write suspends: nothing may hold a handle iterator (or
+  // a reference into the map) across mv_->Put.
+  handle = stream_handles_.find(path);
+  if (handle == stream_handles_.end()) {
+    co_return OkStatus();  // closed concurrently
+  }
+  IndexFile index = std::move(handle->second);
   stream_handles_.erase(handle);
-  co_return status;
+  co_return co_await mv_->Put(std::move(index));
 }
 
 // ---------------------------------------------------------------------------
@@ -564,9 +584,12 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadFromDisc(
     auto mounted = disc_mounts_.find(image_id);
     if (mounted != disc_mounts_.end()) {
       ++shared_image_reads_;
+      // Pin the parsed image before suspending: the mount entry can be
+      // dropped (drive unloaded) while the buffer copy is in flight.
+      std::shared_ptr<udf::Image> image = mounted->second;
       // Buffer copy out of controller memory, not an optical transfer.
       co_await sim_.Delay(sim::Millis(0.5) + sim::TransferTime(length, 1.2e9));
-      co_return mounted->second->ReadFile(internal_path, offset, length);
+      co_return image->ReadFile(internal_path, offset, length);
     }
     // The leader failed; loop and contend for leadership ourselves.
   }
@@ -618,6 +641,9 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadFromDiscLeader(
                           std::make_shared<udf::Image>(std::move(*image)))
                  .first;
   }
+  // Pin the parsed image before the optical transfer suspends: the mount
+  // entry can be dropped if the drive is recycled while this read waits.
+  std::shared_ptr<udf::Image> parsed = cached->second;
 
   // Charge the optical transfer (seek + media read) for the file bytes.
   auto session = drive->disc()->FindSession(image_id);
@@ -632,7 +658,7 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReadFromDiscLeader(
       }
     }
   }
-  auto data = cached->second->ReadFile(internal_path, offset, length);
+  auto data = parsed->ReadFile(internal_path, offset, length);
   lease.Release();
   co_return data;
 }

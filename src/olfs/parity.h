@@ -96,6 +96,8 @@ class ParityBuilder {
   std::vector<ParityImage> built_;
   // id -> position in built_ (entries are never erased, so indices are
   // stable even as the vector reallocates).
+  // ros_analyze: allow(unordered-member): point lookups by image id
+  // only; enumeration walks built_ in insertion order.
   std::unordered_map<std::string, std::size_t> built_index_;
 };
 

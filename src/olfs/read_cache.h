@@ -109,12 +109,16 @@ class ReadCache {
   std::uint64_t protected_used_ = 0;
   EntryList probationary_;  // front = most recent
   EntryList protected_;     // front = most recent
+  // ros_analyze: allow(unordered-member): point lookups by id only;
+  // segment order comes from the two entry lists.
   std::unordered_map<std::string, EntryList::iterator> index_;
 
   // Ghost list of recently evicted ids (front = most recent), bounded by
   // entry count so its memory footprint stays negligible.
   static constexpr std::size_t kGhostEntries = 1024;
   std::list<std::string> ghost_;
+  // ros_analyze: allow(unordered-member): point lookups by id only;
+  // ghost recency order comes from ghost_.
   std::unordered_map<std::string, std::list<std::string>::iterator>
       ghost_index_;
 

@@ -1,0 +1,57 @@
+#include "src/sim/event_hasher.h"
+
+namespace ros::sim {
+
+void EventHasher::FoldBytes(std::string_view bytes) {
+  for (unsigned char byte : bytes) {
+    digest_ ^= byte;
+    digest_ *= 0x100000001B3ull;
+  }
+  // Length separator: "ab"+"c" must not collide with "a"+"bc".
+  FoldWord(bytes.size());
+}
+
+void EventHasher::FoldWord(std::uint64_t word) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    digest_ ^= (word >> shift) & 0xFF;
+    digest_ *= 0x100000001B3ull;
+  }
+}
+
+void EventHasher::Fold(std::string_view category, std::string_view detail,
+                       std::uint64_t a, std::uint64_t b) {
+  FoldBytes(category);
+  FoldBytes(detail);
+  FoldWord(a);
+  FoldWord(b);
+  const std::uint64_t index = count_++;
+  if (!checking_) {
+    trail_.push_back(digest_);
+    return;
+  }
+  if (divergence_.has_value()) {
+    return;  // only the first divergence is interesting
+  }
+  if (index >= reference_.size() || reference_[index] != digest_) {
+    std::string desc;
+    desc.reserve(category.size() + detail.size() + 48);
+    desc.append(category).append("(").append(detail).append(", a=")
+        .append(std::to_string(a)).append(", b=")
+        .append(std::to_string(b)).append(")");
+    if (index >= reference_.size()) {
+      desc.append(" [past the reference run's end]");
+    }
+    divergence_ = Divergence{index, std::move(desc)};
+  }
+}
+
+void EventHasher::Finish() {
+  if (!checking_ || divergence_.has_value() || count_ >= reference_.size()) {
+    return;
+  }
+  divergence_ = Divergence{
+      count_, "run ended after " + std::to_string(count_) + " events; the "
+              "reference run had " + std::to_string(reference_.size())};
+}
+
+}  // namespace ros::sim

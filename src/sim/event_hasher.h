@@ -1,0 +1,92 @@
+// Runtime divergence oracle for simulator determinism.
+//
+// An EventHasher folds the simulation's observable event stream — every
+// scheduler dispatch, fault-injection decision and PLC actuation — into a
+// running 64-bit FNV-1a digest. Two runs of the same seeded workload must
+// produce the same digest; any divergence is a determinism bug (wall-clock
+// leak, unordered-container iteration, pointer-order dependence, ...).
+//
+// The oracle runs in one of two modes:
+//
+//   record  (default ctor)  Every Fold() extends the digest and appends
+//                           the post-fold value to a trail, one entry per
+//                           event. The trail is the reference for a check
+//                           run.
+//
+//   check   (trail ctor)    Every Fold() extends the digest and compares
+//                           it against the reference trail at the same
+//                           index. The FIRST mismatching event is captured
+//                           with a human-readable description built from
+//                           the fold arguments; later folds keep hashing
+//                           but record nothing more. Finish() additionally
+//                           flags a check run that ended with fewer events
+//                           than the reference.
+//
+// Hashing per event is O(length of the two strings); the description
+// string is only materialized for the single divergent event, so the
+// happy path allocates nothing. The static analyzer counterpart of this
+// oracle is tools/ros_analyze.py — see DESIGN.md §5h for the contract.
+#ifndef ROS_SRC_SIM_EVENT_HASHER_H_
+#define ROS_SRC_SIM_EVENT_HASHER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ros::sim {
+
+class EventHasher {
+ public:
+  // First event of the check run whose chained digest differs from the
+  // reference trail (or an event past the reference's end).
+  struct Divergence {
+    std::uint64_t index = 0;     // 0-based event index
+    std::string description;     // the check run's event at that index
+  };
+
+  // Record mode.
+  EventHasher() = default;
+
+  // Check mode, verifying against a record-mode run's trail().
+  explicit EventHasher(std::vector<std::uint64_t> reference)
+      : checking_(true), reference_(std::move(reference)) {}
+
+  // Folds one event into the digest. `category` names the hook ("dispatch",
+  // "fault", "plc"), `detail` the per-event payload (site, opcode, ...);
+  // `a` and `b` carry numeric payload (timestamps, sequence numbers).
+  void Fold(std::string_view category, std::string_view detail,
+            std::uint64_t a = 0, std::uint64_t b = 0);
+
+  // In check mode: records a divergence if the run folded fewer events
+  // than the reference (a truncated run would otherwise pass). No-op in
+  // record mode and on an already-diverged run.
+  void Finish();
+
+  std::uint64_t digest() const { return digest_; }
+  std::uint64_t event_count() const { return count_; }
+  bool checking() const { return checking_; }
+
+  // Record mode: one chained digest per folded event.
+  const std::vector<std::uint64_t>& trail() const { return trail_; }
+
+  // Check mode: the first divergent event, if any.
+  const std::optional<Divergence>& divergence() const { return divergence_; }
+  bool diverged() const { return divergence_.has_value(); }
+
+ private:
+  void FoldBytes(std::string_view bytes);
+  void FoldWord(std::uint64_t word);
+
+  std::uint64_t digest_ = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  std::uint64_t count_ = 0;
+  bool checking_ = false;
+  std::vector<std::uint64_t> trail_;      // record mode
+  std::vector<std::uint64_t> reference_;  // check mode
+  std::optional<Divergence> divergence_;
+};
+
+}  // namespace ros::sim
+
+#endif  // ROS_SRC_SIM_EVENT_HASHER_H_

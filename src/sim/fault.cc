@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/status.h"
+#include "src/sim/event_hasher.h"
 
 namespace ros::sim {
 
@@ -66,6 +67,11 @@ bool FaultInjector::ShouldInject(FaultKind kind, std::string_view site) {
     ++injected_[k];
     ROS_LOG(kDebug) << "injected " << FaultKindName(kind) << " at "
                     << site;
+  }
+  if (hasher_ != nullptr) {
+    hasher_->Fold("fault", site,
+                  (static_cast<std::uint64_t>(k) << 1) | (hit ? 1 : 0),
+                  global);
   }
   return hit;
 }

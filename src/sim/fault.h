@@ -26,6 +26,8 @@
 
 namespace ros::sim {
 
+class EventHasher;
+
 enum class FaultKind {
   kBurnFailure = 0,    // an optical burn aborts; the media is suspect
   kLatentSectorError,  // a sector under the read head has rotted
@@ -57,6 +59,12 @@ class FaultInjector {
   // Scripted triggers are checked first (no RNG), then the kind's rate.
   bool ShouldInject(FaultKind kind, std::string_view site);
 
+  // Divergence oracle hook: when installed, every ShouldInject decision
+  // (kind, site, operation count, outcome) is folded into the hasher so
+  // replay-check runs catch fault-plan divergence at the injection point
+  // rather than downstream. Not owned; nullptr disables folding.
+  void set_event_hasher(EventHasher* hasher) { hasher_ = hasher; }
+
   // Telemetry for maintenance reports and chaos assertions.
   std::uint64_t ops_seen(FaultKind kind) const;
   std::uint64_t injected(FaultKind kind) const;
@@ -70,6 +78,7 @@ class FaultInjector {
   };
 
   Rng rng_;
+  EventHasher* hasher_ = nullptr;
   double rates_[kNumFaultKinds] = {};
   std::uint64_t seen_[kNumFaultKinds] = {};
   std::uint64_t injected_[kNumFaultKinds] = {};

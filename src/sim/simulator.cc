@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/sim/event_hasher.h"
+
 namespace ros::sim {
 
 Simulator::~Simulator() = default;
@@ -49,6 +51,10 @@ bool Simulator::Step() {
   ROS_CHECK(event.when >= now_);
   now_ = event.when;
   ++events_processed_;
+  if (hasher_ != nullptr) {
+    hasher_->Fold("dispatch", event.handle ? "coro" : "fn",
+                  static_cast<std::uint64_t>(event.when), event.seq);
+  }
   if (event.handle) {
     event.handle.resume();
   } else {

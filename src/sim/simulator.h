@@ -23,6 +23,8 @@
 
 namespace ros::sim {
 
+class EventHasher;
+
 class Simulator {
  public:
   Simulator() = default;
@@ -34,6 +36,13 @@ class Simulator {
 
   // Total events processed; useful for run statistics and loop guards.
   std::uint64_t events_processed() const { return events_processed_; }
+
+  // Divergence oracle hook (see src/sim/event_hasher.h). When installed,
+  // every dispatched event is folded into the hasher; components with
+  // their own hook points (FaultInjector, Plc) reach it through
+  // event_hasher(). Not owned; nullptr disables folding at zero cost.
+  void set_event_hasher(EventHasher* hasher) { hasher_ = hasher; }
+  EventHasher* event_hasher() const { return hasher_; }
 
   // Awaitable that resumes the awaiting coroutine `d` later. A zero delay
   // still yields through the event queue (it never runs inline).
@@ -134,6 +143,7 @@ class Simulator {
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  EventHasher* hasher_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::vector<Task<void>> spawned_;
 };

@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""cpptok: shared C++ lexing and scope machinery for the repo's checkers.
+
+The repo carries two source-level checkers — tools/ros_lint.py (Status and
+coroutine discipline) and tools/ros_analyze.py (determinism and
+coroutine-lifetime flow analysis). Both need the same "clang-AST-lite"
+substrate: comment/string stripping that preserves offsets, bracket
+matching, and a structural view of the file (which braces open a
+namespace, a class, a function, a lambda, a control block). That substrate
+lives here so the two tools cannot drift apart.
+
+Nothing in this module knows about any specific rule; it only answers
+structural questions:
+
+  strip_comments_and_strings(text)   offset-preserving blanking
+  find_matching(text, i, "(", ")")   bracket matching on stripped text
+  line_of(text, i)                   1-based line number of an offset
+  split_top_level(params)            parameter-list splitting
+  ScopeTree(stripped)                classified brace-block tree
+
+ScopeTree classifies every `{...}` block by looking at the tokens before
+the opening brace: `namespace N {` -> NAMESPACE, `class C : Base {` ->
+CLASS, `Task<Status> F(...) {` / `[](...) {` -> FUNCTION / LAMBDA,
+`if (...) {` / `else {` -> BLOCK, `= {...}` / `Foo{...}` -> INIT (brace
+initializers, not scopes). Queries:
+
+  innermost(pos)            the smallest scope containing `pos`
+  enclosing_function(pos)   nearest FUNCTION or LAMBDA ancestor (None at
+                            namespace/class scope)
+  at_class_scope(pos)       True when the innermost non-INIT scope is a
+                            class body (i.e. `pos` is a member decl site)
+  functions()               every FUNCTION/LAMBDA scope, with coroutine
+                            bodies marked (the body co_awaits at its own
+                            nesting level, not inside a nested lambda)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+# --- lexing ---------------------------------------------------------------
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literal *contents*, preserving
+    offsets and newlines so line numbers keep working. Checker `allow`
+    annotations are read from the original text, not the stripped one."""
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(a: int, b: int) -> None:
+        for k in range(a, b):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j < 0 else j
+            blank(i, j + 2)
+            i = j + 2
+        elif c == "R" and text[i : i + 2] == 'R"':
+            m = re.match(r'R"([^()\\ ]*)\(', text[i:])
+            if not m:
+                i += 1
+                continue
+            delim = m.group(1)
+            close = ")" + delim + '"'
+            j = text.find(close, i + m.end())
+            j = n - len(close) if j < 0 else j
+            blank(i + m.end(), j)
+            i = j + len(close)
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j = j + 2 if text[j] == "\\" else j + 1
+            blank(i + 1, j)
+            i = j + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def find_matching(text: str, start: int, open_ch: str, close_ch: str) -> int:
+    """Index just past the bracket matching text[start] (which must be
+    open_ch), or -1. Call on stripped text only."""
+    assert text[start] == open_ch
+    depth = 0
+    for i in range(start, len(text)):
+        if text[i] == open_ch:
+            depth += 1
+        elif text[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return -1
+
+
+def find_matching_back(text: str, end: int, open_ch: str,
+                       close_ch: str) -> int:
+    """Index of the bracket matching text[end] (which must be close_ch),
+    scanning backwards, or -1. Call on stripped text only."""
+    assert text[end] == close_ch
+    depth = 0
+    for i in range(end, -1, -1):
+        if text[i] == close_ch:
+            depth += 1
+        elif text[i] == open_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def line_of(text: str, index: int) -> int:
+    return text.count("\n", 0, index) + 1
+
+
+def split_top_level(params: str) -> list[str]:
+    """Splits a parameter list at commas not nested in <>, (), {} or []."""
+    parts, depth, cur = [], 0, []
+    for ch in params:
+        if ch in "<({[":
+            depth += 1
+        elif ch in ">)}]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(ch)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append("".join(cur))
+    return parts
+
+
+# --- scope tree -----------------------------------------------------------
+
+NAMESPACE = "namespace"
+CLASS = "class"
+FUNCTION = "function"
+LAMBDA = "lambda"
+BLOCK = "block"
+INIT = "init"
+
+_CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch"}
+_CLASS_RE = re.compile(r"\b(class|struct|union)\b")
+_ENUM_RE = re.compile(r"\benum\b")
+
+
+@dataclass
+class Scope:
+    kind: str
+    open: int       # index of '{' in the stripped text
+    close: int      # index of the matching '}' (== len(text) if unclosed)
+    parent: "Scope | None" = None
+    children: list = field(default_factory=list)
+
+    def contains(self, pos: int) -> bool:
+        return self.open < pos < self.close
+
+    def body(self, text: str) -> str:
+        return text[self.open : self.close + 1]
+
+
+class ScopeTree:
+    """Classified brace-block tree over *stripped* text. The root is a
+    synthetic namespace-kind scope spanning the whole file."""
+
+    def __init__(self, stripped: str):
+        self.text = stripped
+        self.root = Scope(NAMESPACE, -1, len(stripped))
+        self._build()
+
+    def _build(self) -> None:
+        stack = [self.root]
+        for i, ch in enumerate(self.text):
+            if ch == "{":
+                scope = Scope(self._classify(i, stack[-1]), i,
+                              len(self.text), parent=stack[-1])
+                stack[-1].children.append(scope)
+                stack.append(scope)
+            elif ch == "}" and len(stack) > 1:
+                stack[-1].close = i
+                stack.pop()
+
+    def _classify(self, brace: int, parent: Scope) -> str:
+        """Decides what kind of scope the brace at `brace` opens from the
+        tokens between the previous statement boundary and the brace."""
+        text = self.text
+        # The statement the brace belongs to starts after the last ; { }.
+        stmt = max(text.rfind(";", 0, brace), text.rfind("{", 0, brace),
+                   text.rfind("}", 0, brace)) + 1
+        head = text[stmt:brace].strip()
+
+        if not head:
+            return BLOCK  # bare scoping block
+        last = head[-1]
+        if last in "=,(" or head.endswith("return") or last == "{":
+            return INIT
+        if re.search(r"\bnamespace\b", head):
+            return NAMESPACE
+        # `enum class E : int {` is a value list, not a member scope.
+        if _ENUM_RE.search(head):
+            return INIT
+        if _CLASS_RE.search(head) and "(" not in head.split("=")[-1]:
+            return CLASS
+        if re.search(r"\b(else|do|try)\s*$", head):
+            return BLOCK
+        if last in ")&:" or re.search(
+                r"(\bconst|\bnoexcept|\bmutable|\boverride|\bfinal"
+                r"|->\s*[\w:<>,&*\s]+)\s*$", head):
+            # A parenthesized header: control block, function definition,
+            # or lambda. Find the '(' matching the last ')'.
+            rp = text.rfind(")", stmt, brace)
+            if rp < 0:
+                # `: init_list {` without parens in view (rare) — treat a
+                # constructor-ish header as a function.
+                return FUNCTION
+            lp = find_matching_back(text, rp, "(", ")")
+            if lp < 0:
+                return BLOCK
+            if lp < stmt:
+                # The last ';' sat inside this paren pair (a classic
+                # for-header); the real statement head starts before it.
+                stmt = max(text.rfind(";", 0, lp), text.rfind("{", 0, lp),
+                           text.rfind("}", 0, lp)) + 1
+            before = text[stmt:lp].rstrip()
+            word = re.search(r"([A-Za-z_]\w*)\s*$", before)
+            if word and word.group(1) in _CONTROL_KEYWORDS:
+                return BLOCK
+            if before.endswith("]"):
+                return LAMBDA
+            # Function-shaped. At function scope that would be a call
+            # followed by an INIT brace, but `foo(...) {` as a statement
+            # is not valid C++ at block scope, so FUNCTION is safe.
+            return FUNCTION
+        if head.endswith("]"):
+            return LAMBDA  # capture-only lambda: `[x] {`
+        return INIT
+
+    # --- queries ---------------------------------------------------------
+
+    def innermost(self, pos: int) -> Scope:
+        scope = self.root
+        descended = True
+        while descended:
+            descended = False
+            for child in scope.children:
+                if child.contains(pos):
+                    scope = child
+                    descended = True
+                    break
+        return scope
+
+    def enclosing_function(self, pos: int) -> Scope | None:
+        scope = self.innermost(pos)
+        while scope is not None:
+            if scope.kind in (FUNCTION, LAMBDA):
+                return scope
+            scope = scope.parent
+        return None
+
+    def at_class_scope(self, pos: int) -> bool:
+        scope = self.innermost(pos)
+        while scope is not None and scope.kind == INIT:
+            scope = scope.parent
+        return scope is not None and scope.kind == CLASS
+
+    def functions(self) -> list[Scope]:
+        out: list[Scope] = []
+
+        def walk(scope: Scope) -> None:
+            if scope.kind in (FUNCTION, LAMBDA):
+                out.append(scope)
+            for child in scope.children:
+                walk(child)
+
+        walk(self.root)
+        return out
+
+    def is_coroutine(self, fn: Scope) -> bool:
+        """True when `fn`'s body uses co_await/co_return/co_yield at its
+        own level (keywords inside nested lambdas belong to them)."""
+        for m in re.finditer(r"\bco_(await|return|yield)\b",
+                             self.text[fn.open : fn.close]):
+            if self.enclosing_function(fn.open + 1 + m.start()) is fn:
+                return True
+        return False
+
+
+# --- allow annotations ----------------------------------------------------
+
+
+def make_allow_checker(tag: str):
+    """Returns `allowed(lines, line, rule)` matching inline suppressions of
+    the form `// <tag>: allow(<rule>[, <rule>...]): justification`, on the
+    finding's own line or anywhere in the contiguous `//` comment block
+    immediately above it. `lines` is the ORIGINAL text split into lines.
+
+    The returned callable also records which (line, rule) annotations were
+    consulted and which actually suppressed a finding, so callers can
+    report stale markers (see `stale_allows`)."""
+    allow_re = re.compile(re.escape(tag) + r":\s*allow\(([^)]*)\)")
+
+    class Checker:
+        def __init__(self):
+            self.used: set[tuple[int, str]] = set()  # (line, rule) hits
+
+        def annotations(self, lines: list[str]) -> list[tuple[int, str]]:
+            """Every (1-based line, rule) allow marker in the file."""
+            out = []
+            for i, text in enumerate(lines, start=1):
+                m = allow_re.search(text)
+                if m:
+                    for rule in m.group(1).split(","):
+                        out.append((i, rule.strip()))
+            return out
+
+        def __call__(self, lines: list[str], line: int, rule: str) -> bool:
+            candidates = [line]
+            lineno = line - 1
+            while lineno >= 1 and \
+                    lines[lineno - 1].lstrip().startswith("//"):
+                candidates.append(lineno)
+                lineno -= 1
+            for lineno in candidates:
+                if 1 <= lineno <= len(lines):
+                    m = allow_re.search(lines[lineno - 1])
+                    if m and rule in [r.strip()
+                                      for r in m.group(1).split(",")]:
+                        self.used.add((lineno, rule))
+                        return True
+            return False
+
+    return Checker()
+
+
+if __name__ == "__main__":
+    import sys
+
+    for path in sys.argv[1:]:
+        with open(path, encoding="utf-8") as fh:
+            tree = ScopeTree(strip_comments_and_strings(fh.read()))
+        for fn in tree.functions():
+            print(f"{path}:{line_of(tree.text, fn.open)}: {fn.kind}"
+                  f"{' coroutine' if tree.is_coroutine(fn) else ''}")

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/cpptok.py (run via ctest or directly)."""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpptok
+from cpptok import (BLOCK, CLASS, FUNCTION, INIT, LAMBDA, NAMESPACE,
+                    ScopeTree, strip_comments_and_strings)
+
+
+def tree_of(src):
+    return ScopeTree(strip_comments_and_strings(src))
+
+
+def kinds_of(src):
+    """Kinds of every scope in source order (depth-first)."""
+    out = []
+
+    def walk(scope):
+        for child in scope.children:
+            out.append(child.kind)
+            walk(child)
+
+    walk(tree_of(src).root)
+    return out
+
+
+class StripTest(unittest.TestCase):
+    def test_preserves_offsets_and_newlines(self):
+        src = 'int x; // {{{\nconst char* s = "}{";\n/* } */ int y;\n'
+        out = strip_comments_and_strings(src)
+        self.assertEqual(len(out), len(src))
+        self.assertEqual(out.count("\n"), src.count("\n"))
+        self.assertEqual(out.count("{"), 0)
+        self.assertEqual(out.count("}"), 0)
+
+    def test_char_literal_with_escape(self):
+        out = strip_comments_and_strings("char c = '\\'';\nint z;")
+        self.assertIn("int z;", out)
+
+    def test_raw_string(self):
+        src = 'auto j = R"({ "k": [1, 2] })";\nint z;\n'
+        out = strip_comments_and_strings(src)
+        self.assertNotIn('"k"', out)
+        self.assertIn("int z;", out)
+
+
+class MatchingTest(unittest.TestCase):
+    def test_find_matching_forward_and_back(self):
+        text = "f(a(b), c)"
+        end = cpptok.find_matching(text, 1, "(", ")")
+        self.assertEqual(end, len(text))
+        self.assertEqual(cpptok.find_matching_back(text, len(text) - 1,
+                                                   "(", ")"), 1)
+
+    def test_split_top_level(self):
+        parts = cpptok.split_top_level("std::map<int, int> m, int x")
+        self.assertEqual(len(parts), 2)
+        self.assertIn("x", parts[1])
+
+
+class ScopeTreeTest(unittest.TestCase):
+    def test_namespace_class_function_block(self):
+        src = (
+            "namespace ros {\n"
+            "class Foo {\n"
+            " public:\n"
+            "  int Bar(int x) {\n"
+            "    if (x > 0) {\n"
+            "      return x;\n"
+            "    }\n"
+            "    return 0;\n"
+            "  }\n"
+            "};\n"
+            "}  // namespace ros\n"
+        )
+        self.assertEqual(kinds_of(src), [NAMESPACE, CLASS, FUNCTION, BLOCK])
+
+    def test_lambda_and_init_braces(self):
+        src = (
+            "void F() {\n"
+            "  auto f = [&](int x) { return x; };\n"
+            "  std::vector<int> v = {1, 2, 3};\n"
+            "  Foo foo{4};\n"
+            "}\n"
+        )
+        self.assertEqual(kinds_of(src), [FUNCTION, LAMBDA, INIT, INIT])
+
+    def test_control_blocks_not_functions(self):
+        src = (
+            "void F() {\n"
+            "  while (true) {\n"
+            "    break;\n"
+            "  }\n"
+            "  for (int i = 0; i < 3; ++i) {\n"
+            "  }\n"
+            "  switch (1) {\n"
+            "  }\n"
+            "  try {\n"
+            "  } catch (...) {\n"
+            "  }\n"
+            "}\n"
+        )
+        self.assertEqual(kinds_of(src),
+                         [FUNCTION, BLOCK, BLOCK, BLOCK, BLOCK, BLOCK])
+
+    def test_enum_is_not_a_class_scope(self):
+        src = "enum class E : int { kA, kB };\nstruct S { int x; };\n"
+        self.assertEqual(kinds_of(src), [INIT, CLASS])
+
+    def test_enclosing_function_and_class_scope(self):
+        src = (
+            "class C {\n"
+            "  std::unordered_map<int, int> member_;\n"
+            "  void F() {\n"
+            "    int local;\n"
+            "  }\n"
+            "};\n"
+        )
+        tree = tree_of(src)
+        member = tree.text.index("member_")
+        local = tree.text.index("local")
+        self.assertTrue(tree.at_class_scope(member))
+        self.assertFalse(tree.at_class_scope(local))
+        self.assertIsNone(tree.enclosing_function(member))
+        fn = tree.enclosing_function(local)
+        self.assertIsNotNone(fn)
+        self.assertEqual(fn.kind, FUNCTION)
+
+    def test_coroutine_detection_excludes_nested_lambdas(self):
+        src = (
+            "sim::Task<int> Coro() {\n"
+            "  co_return 1;\n"
+            "}\n"
+            "void Plain() {\n"
+            "  auto inner = []() -> sim::Task<int> { co_return 2; };\n"
+            "}\n"
+        )
+        tree = tree_of(src)
+        fns = tree.functions()
+        self.assertEqual(len(fns), 3)  # Coro, Plain, inner
+        flags = [tree.is_coroutine(fn) for fn in fns]
+        self.assertEqual(flags, [True, False, True])
+
+    def test_trailing_return_type_function(self):
+        src = "auto F(int x) -> std::vector<int> {\n  return {};\n}\n"
+        self.assertEqual(kinds_of(src)[0], FUNCTION)
+
+    def test_constructor_with_init_list(self):
+        src = (
+            "class C {\n"
+            "  explicit C(int x) : x_(x) {\n"
+            "    Use(x_);\n"
+            "  }\n"
+            "  int x_;\n"
+            "};\n"
+        )
+        self.assertEqual(kinds_of(src), [CLASS, FUNCTION])
+
+
+class AllowCheckerTest(unittest.TestCase):
+    SRC = (
+        "int a;\n"
+        "// ros_analyze: allow(wallclock): host-side timing\n"
+        "auto t = Clock::now();\n"
+        "// a plain comment\n"
+        "// ros_analyze: allow(unordered-iter): order-insensitive sum\n"
+        "for (const auto& kv : m) {}\n"
+    )
+
+    def test_allows_on_line_and_comment_block_above(self):
+        allow = cpptok.make_allow_checker("ros_analyze")
+        lines = self.SRC.splitlines()
+        self.assertTrue(allow(lines, 3, "wallclock"))
+        self.assertTrue(allow(lines, 6, "unordered-iter"))
+        self.assertFalse(allow(lines, 3, "unordered-iter"))
+        self.assertFalse(allow(lines, 1, "wallclock"))
+
+    def test_usage_tracking_for_stale_detection(self):
+        allow = cpptok.make_allow_checker("ros_analyze")
+        lines = self.SRC.splitlines()
+        allow(lines, 3, "wallclock")
+        self.assertIn((2, "wallclock"), allow.used)
+        annotations = allow.annotations(lines)
+        self.assertIn((2, "wallclock"), annotations)
+        self.assertIn((5, "unordered-iter"), annotations)
+        stale = [a for a in annotations if a not in allow.used]
+        self.assertEqual(stale, [(5, "unordered-iter")])
+
+    def test_tag_isolation(self):
+        lint_allow = cpptok.make_allow_checker("ros-lint")
+        self.assertFalse(lint_allow(self.SRC.splitlines(), 3, "wallclock"))
+
+
+if __name__ == "__main__":
+    unittest.main()

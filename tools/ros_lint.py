@@ -77,8 +77,14 @@ Suppressions:
     applies to its own line and the statement that starts on the next line.
   - file: tools/ros_lint_allow.txt, lines of `<path-suffix>:<rule>`; use
     sparingly — inline annotations keep the justification next to the code.
+  - `--check-allows` inverts the relationship: it reports inline allow
+    markers that no longer suppress anything (the code they excused was
+    fixed or deleted), so justifications cannot rot in place.
 
 Exit status: 0 when clean, 1 when findings were printed, 2 on usage error.
+
+The lexing substrate (comment/string stripping, bracket matching) lives in
+tools/cpptok.py, shared with tools/ros_analyze.py.
 """
 
 from __future__ import annotations
@@ -88,6 +94,16 @@ import os
 import re
 import sys
 from dataclasses import dataclass
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import cpptok
+from cpptok import (  # noqa: F401  (re-exported for tests and callers)
+    find_matching,
+    line_of,
+    split_top_level,
+    strip_comments_and_strings,
+)
 
 RULES = (
     "discarded-status",
@@ -100,9 +116,6 @@ RULES = (
     "speculative-fetch",
 )
 
-ALLOW_RE = re.compile(r"ros-lint:\s*allow\(([^)]*)\)")
-
-
 @dataclass
 class Finding:
     path: str
@@ -114,92 +127,6 @@ class Finding:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments and string/char literal *contents*, preserving
-    offsets and newlines so line numbers keep working. `ros-lint:` allow
-    annotations are read from the original text, not the stripped one."""
-    out = list(text)
-    i, n = 0, len(text)
-
-    def blank(a: int, b: int) -> None:
-        for k in range(a, b):
-            if out[k] != "\n":
-                out[k] = " "
-
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "/" and nxt == "/":
-            j = text.find("\n", i)
-            j = n if j < 0 else j
-            blank(i, j)
-            i = j
-        elif c == "/" and nxt == "*":
-            j = text.find("*/", i + 2)
-            j = n - 2 if j < 0 else j
-            blank(i, j + 2)
-            i = j + 2
-        elif c == "R" and text[i : i + 2] == 'R"':
-            m = re.match(r'R"([^()\\ ]*)\(', text[i:])
-            if not m:
-                i += 1
-                continue
-            delim = m.group(1)
-            close = ")" + delim + '"'
-            j = text.find(close, i + m.end())
-            j = n - len(close) if j < 0 else j
-            blank(i + m.end(), j)
-            i = j + len(close)
-        elif c in "\"'":
-            quote = c
-            j = i + 1
-            while j < n and text[j] != quote:
-                j = j + 2 if text[j] == "\\" else j + 1
-            blank(i + 1, j)
-            i = j + 1
-        else:
-            i += 1
-    return "".join(out)
-
-
-def find_matching(text: str, start: int, open_ch: str, close_ch: str) -> int:
-    """Index just past the bracket matching text[start] (which must be
-    open_ch), or -1. Call on stripped text only."""
-    assert text[start] == open_ch
-    depth = 0
-    for i in range(start, len(text)):
-        if text[i] == open_ch:
-            depth += 1
-        elif text[i] == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-    return -1
-
-
-def line_of(text: str, index: int) -> int:
-    return text.count("\n", 0, index) + 1
-
-
-def split_top_level(params: str) -> list[str]:
-    """Splits a parameter list at commas not nested in <>, (), {} or []."""
-    parts, depth, cur = [], 0, []
-    for ch in params:
-        if ch in "<({[":
-            depth += 1
-        elif ch in ">)}]":
-            depth -= 1
-        if ch == "," and depth == 0:
-            parts.append("".join(cur))
-            cur = []
-        else:
-            cur.append(ch)
-    tail = "".join(cur).strip()
-    if tail:
-        parts.append("".join(cur))
-    return parts
-
-
 class FileLint:
     def __init__(self, path: str, text: str, status_fns: set[str]):
         self.path = path
@@ -208,24 +135,25 @@ class FileLint:
         self.lines = text.splitlines()
         self.status_fns = status_fns
         self.findings: list[Finding] = []
+        self.allow = cpptok.make_allow_checker("ros-lint")
 
     # --- suppression -----------------------------------------------------
 
     def allowed(self, line: int, rule: str) -> bool:
         """True when an allow annotation covers `rule` (1-based line): on
         the line itself, or anywhere in the contiguous `//` comment block
-        immediately above it (justifications often wrap to several lines)."""
-        candidates = [line]
-        lineno = line - 1
-        while lineno >= 1 and self.lines[lineno - 1].lstrip().startswith("//"):
-            candidates.append(lineno)
-            lineno -= 1
-        for lineno in candidates:
-            if 1 <= lineno <= len(self.lines):
-                m = ALLOW_RE.search(self.lines[lineno - 1])
-                if m and rule in [r.strip() for r in m.group(1).split(",")]:
-                    return True
-        return False
+        immediately above it (justifications often wrap to several lines).
+        Consulted annotations are recorded on `self.allow.used` so
+        `--check-allows` can report markers that stopped earning their
+        keep."""
+        return self.allow(self.lines, line, rule)
+
+    def stale_allows(self) -> list[tuple[int, str]]:
+        """(line, rule) for every inline allow marker that suppressed
+        nothing during `run()`. Call after `run()`."""
+        return [(line, rule)
+                for line, rule in self.allow.annotations(self.lines)
+                if rule in RULES and (line, rule) not in self.allow.used]
 
     def report(self, index: int, rule: str, message: str) -> None:
         line = line_of(self.stripped, index)
@@ -630,6 +558,9 @@ def main(argv: list[str]) -> int:
                         default=os.path.join(repo_root, "tools",
                                              "ros_lint_allow.txt"))
     parser.add_argument("--list-status-fns", action="store_true")
+    parser.add_argument("--check-allows", action="store_true",
+                        help="report inline allow() markers that no longer "
+                             "suppress any finding")
     args = parser.parse_args(argv)
 
     files = gather_files(args.paths)
@@ -641,19 +572,28 @@ def main(argv: list[str]) -> int:
 
     allow = load_allowlist(args.allowlist)
     findings: list[Finding] = []
+    stale: list[tuple[str, int, str]] = []
     for path, text in sorted(files.items()):
-        for finding in FileLint(path, text, status_fns).run():
-            rel = os.path.relpath(finding.path, repo_root)
+        lint = FileLint(path, text, status_fns)
+        rel = os.path.relpath(path, repo_root)
+        for finding in lint.run():
             if any(rel.endswith(suffix) and rule == finding.rule
                    for suffix, rule in allow):
                 continue
             finding.path = rel
             findings.append(finding)
+        if args.check_allows:
+            stale.extend((rel, line, rule)
+                         for line, rule in lint.stale_allows())
 
     for finding in findings:
         print(finding.render())
-    if findings:
-        print(f"ros-lint: {len(findings)} finding(s)", file=sys.stderr)
+    for rel, line, rule in stale:
+        print(f"{rel}:{line}: [stale-allow] 'ros-lint: allow({rule})' no "
+              "longer suppresses any finding; delete the marker")
+    if findings or stale:
+        print(f"ros-lint: {len(findings)} finding(s), {len(stale)} stale "
+              "allow(s)", file=sys.stderr)
         return 1
     return 0
 
