@@ -1,23 +1,28 @@
-// Metadata fast-path benchmark (DESIGN.md §5d): decoded-index cache,
-// range-bounded namespace scans and the allocation-lean index JSON,
-// measured against in-bench emulations of the pre-change code paths:
+// Metadata store benchmark (DESIGN.md §5d + §5i): the log-structured MV
+// backend measured against the legacy one-JSON-file-per-entry backend,
+// API-to-API — both sides run the same MetadataVolume drivers, only
+// `Options::log_structured` differs:
 //
-//   stat      before: ReadAll + byte->string copy + tree-parse decode
-//             after:  MetadataVolume::Get (decoded-index cache hit)
-//   create    before: build json::Value tree + Dump + string->byte copy
-//             after:  MetadataVolume::Put (hand-rolled single-buffer writer)
-//   readdir   before: full file-table sweep + per-name filter + sort
-//             after:  MetadataVolume::ListChildren (range scan, subtree skip)
-//   count     before: materialize every index name, then .size()
-//             after:  MetadataVolume::index_count (CountPrefix)
+//   create    64 concurrent writers; legacy pays Create+WriteAll per
+//             entry, log-structured group-commits them into batched WAL
+//             appends (the tentpole win)
+//   stat      GetRef over a hot sample (decoded-index cache on both)
+//   readdir   ListChildren (volume range scan vs keydir range scan)
+//   count     index_count (CountPrefix walk vs O(1) keydir counter)
 //
-// Prints one JSON document (host wall-clock ops/s; simulated time is
-// identical for both stat variants by construction). Also runs a
-// differential mode: a randomized Put/Get/Remove/corrupt/wipe/restore
-// sequence against a cached MV and a cache-disabled MV must agree on every
-// status code and every decoded byte; any divergence fails the run.
+// Each op reports host wall-clock ops/s AND simulated seconds (the
+// deterministic number CI can gate on), plus simulated p50/p99 latency for
+// create and stat. Differential modes: (a) cached-vs-plain MV per backend,
+// (b) legacy-vs-LS — the same randomized Put/Get/Remove/snapshot/wipe/
+// restore sequence against both backends must agree on every status code
+// and every decoded byte, and a crash-replayed (re-attached) LS store must
+// match too; any divergence fails the run.
 //
-// Flags: --smoke (tiny sizes, CI), --large (adds 1M entries).
+// Flags: --smoke (tiny sizes, CI), --large (adds 1M entries to the
+// comparison), --scale (LS-only 1M + 10M with RSS gate and recovery
+// timing), --scale-smoke (LS-only 1M, for the mv-scale-smoke CI job).
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,11 +34,13 @@
 
 #include "src/common/json.h"
 #include "src/common/rng.h"
+#include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/disk/block_device.h"
 #include "src/disk/volume.h"
 #include "src/olfs/index_file.h"
 #include "src/olfs/metadata_volume.h"
+#include "src/sim/join.h"
 #include "src/sim/simulator.h"
 
 namespace {
@@ -43,22 +50,69 @@ using namespace ros;
 // never feeds simulator state.
 using Clock = std::chrono::steady_clock;
 
+constexpr std::size_t kCreateWriters = 64;
+
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// One MV stack, mirroring the paper's SSD metadata volume.
+// Resident set from /proc/self/statm, for the scale-mode memory gate.
+std::uint64_t CurrentRssBytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  unsigned long pages = 0;
+  unsigned long resident = 0;
+  const int got = std::fscanf(f, "%lu %lu", &pages, &resident);
+  std::fclose(f);
+  if (got != 2) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+// One MV stack, mirroring the paper's SSD metadata volume. The store can
+// be re-attached (destroyed and rebuilt over the same volume) to measure
+// crash recovery.
 struct Fixture {
   Fixture(std::uint64_t capacity, std::size_t cache_capacity)
       : device(sim, "ssd", capacity, disk::SsdPerf()),
         volume(sim, &device, disk::MetadataVolumeParams()),
-        mv(&volume, cache_capacity) {}
+        mv(std::make_unique<olfs::MetadataVolume>(&volume, cache_capacity)) {
+  }
+  Fixture(std::uint64_t capacity, olfs::MetadataVolume::Options options)
+      : device(sim, "ssd", capacity, disk::SsdPerf()),
+        volume(sim, &device, disk::MetadataVolumeParams()),
+        mv(std::make_unique<olfs::MetadataVolume>(sim, &volume, options)) {}
+
+  // Destroys the store object and attaches a fresh one over the same
+  // volume contents — the crash model (host dies, SSD pair survives).
+  void Reattach(olfs::MetadataVolume::Options options) {
+    mv.reset();  // old observer must unregister before the new one lands
+    mv = std::make_unique<olfs::MetadataVolume>(sim, &volume, options);
+  }
 
   sim::Simulator sim;
   disk::StorageDevice device;
   disk::Volume volume;
-  olfs::MetadataVolume mv;
+  std::unique_ptr<olfs::MetadataVolume> mv;
 };
+
+olfs::MetadataVolume::Options LsOptions(std::size_t cache_capacity) {
+  olfs::MetadataVolume::Options options;
+  options.log_structured = true;
+  options.cache_capacity = cache_capacity;
+  return options;
+}
+
+olfs::MetadataVolume::Options LegacyOptions(std::size_t cache_capacity) {
+  olfs::MetadataVolume::Options options;
+  options.log_structured = false;
+  options.cache_capacity = cache_capacity;
+  return options;
+}
 
 olfs::IndexFile MakeIndex(const std::string& path, std::uint64_t size) {
   olfs::IndexFile index(path, olfs::EntryType::kFile);
@@ -69,133 +123,56 @@ olfs::IndexFile MakeIndex(const std::string& path, std::uint64_t size) {
   return index;
 }
 
-// The pre-change serializer: build a json::Value tree, Dump it, copy the
-// string into a byte vector. Mirrors the old IndexFile::ToJson (bench
-// indexes carry no forepart).
-std::vector<std::uint8_t> LegacyEncode(const olfs::IndexFile& index) {
-  json::Object root;
-  json::Array entries;
-  for (const olfs::VersionEntry& e : index.entries()) {
-    json::Object obj;
-    obj["ver"] = json::Value(e.version);
-    obj["loc"] =
-        json::Value(std::string(1, olfs::LocationCode(e.location)));
-    obj["size"] = json::Value(static_cast<std::int64_t>(e.total_size));
-    obj["del"] = json::Value(e.tombstone);
-    json::Array parts;
-    for (const olfs::FilePart& p : e.parts) {
-      json::Object po;
-      po["img"] = json::Value(p.image_id);
-      po["size"] = json::Value(static_cast<std::int64_t>(p.size));
-      parts.push_back(json::Value(std::move(po)));
-    }
-    obj["parts"] = json::Value(std::move(parts));
-    entries.push_back(json::Value(std::move(obj)));
-  }
-  root["entries"] = json::Value(std::move(entries));
-  root["next_ver"] = json::Value(index.latest_version() + 1);
-  root["path"] = json::Value(index.path());
-  root["type"] = json::Value(
-      index.type() == olfs::EntryType::kFile ? "file" : "dir");
-  const std::string doc = json::Value(std::move(root)).Dump();
-  return {doc.begin(), doc.end()};
-}
-
 // --- coroutine drivers (one RunUntilComplete per measured loop) ---
 
-sim::Task<Status> LegacyCreateMany(disk::Volume* volume,
-                                   const std::vector<std::string>* names) {
-  for (const std::string& name : *names) {
-    const std::string path = name.substr(4);  // strip "/idx"
-    const std::vector<std::uint8_t> bytes = LegacyEncode(MakeIndex(path, 64));
-    if (!volume->Exists(name)) {
-      ROS_CO_RETURN_IF_ERROR(co_await volume->Create(name));
-    }
-    ROS_CO_RETURN_IF_ERROR(co_await volume->WriteAll(name, bytes));
+// One of kCreateWriters concurrent writers: strided slice of the paths,
+// per-Put simulated latency recorded (this is where the log-structured
+// backend's group commit coalesces appends across writers).
+sim::Task<Status> CreateShard(sim::Simulator* sim, olfs::MetadataVolume* mv,
+                              const std::vector<std::string>* paths,
+                              std::size_t first, std::size_t stride,
+                              std::vector<double>* latencies_us) {
+  for (std::size_t i = first; i < paths->size(); i += stride) {
+    const sim::TimePoint start = sim->now();
+    ROS_CO_RETURN_IF_ERROR(co_await mv->Put(MakeIndex((*paths)[i], 64)));
+    latencies_us->push_back(sim::ToSeconds(sim->now() - start) * 1e6);
   }
   co_return OkStatus();
 }
 
-sim::Task<Status> FastCreateMany(olfs::MetadataVolume* mv,
-                                 const std::vector<std::string>* paths) {
+sim::Task<Status> CreateConcurrent(sim::Simulator* sim,
+                                   olfs::MetadataVolume* mv,
+                                   const std::vector<std::string>* paths,
+                                   std::vector<double>* latencies_us) {
+  std::vector<sim::Task<Status>> writers;
+  const std::size_t stride =
+      std::min(kCreateWriters, std::max<std::size_t>(1, paths->size()));
+  writers.reserve(stride);
+  for (std::size_t w = 0; w < stride; ++w) {
+    writers.push_back(
+        CreateShard(sim, mv, paths, w, stride, latencies_us));
+  }
+  co_return co_await sim::AllOk(*sim, std::move(writers));
+}
+
+sim::Task<Status> StatMany(sim::Simulator* sim,
+                           const olfs::MetadataVolume* mv,
+                           const std::vector<std::string>* paths,
+                           std::vector<double>* latencies_us) {
   for (const std::string& path : *paths) {
-    ROS_CO_RETURN_IF_ERROR(co_await mv->Put(MakeIndex(path, 64)));
-  }
-  co_return OkStatus();
-}
-
-// Pre-change Get: name mapping, whole-file read, byte->string copy, tree
-// decode — exactly what MetadataVolume::Get used to do.
-sim::Task<Status> LegacyStatMany(disk::Volume* volume,
-                                 const std::vector<std::string>* paths,
-                                 int rounds) {
-  for (int r = 0; r < rounds; ++r) {
-    for (const std::string& path : *paths) {
-      auto data = co_await volume->ReadAll("/idx" + path);
-      if (!data.ok()) {
-        co_return data.status();
-      }
-      const std::string text(data->begin(), data->end());
-      auto decoded = olfs::IndexFile::FromJsonTree(text);
-      if (!decoded.ok()) {
-        co_return decoded.status();
-      }
+    const sim::TimePoint start = sim->now();
+    auto index = co_await mv->GetRef(path);
+    if (!index.ok()) {
+      co_return index.status();
+    }
+    if (latencies_us != nullptr) {
+      latencies_us->push_back(sim::ToSeconds(sim->now() - start) * 1e6);
     }
   }
   co_return OkStatus();
 }
 
-sim::Task<Status> FastStatMany(const olfs::MetadataVolume* mv,
-                               const std::vector<std::string>* paths,
-                               int rounds) {
-  for (int r = 0; r < rounds; ++r) {
-    for (const std::string& path : *paths) {
-      auto index = co_await mv->GetRef(path);
-      if (!index.ok()) {
-        co_return index.status();
-      }
-    }
-  }
-  co_return OkStatus();
-}
-
-// --- pre-change namespace scans ---
-
-// The old Volume::List walked the whole file table for every call; the old
-// MetadataVolume::ListChildren then filtered and sorted. ForEachPrefix("")
-// reproduces the full sweep (without even charging the old per-name vector
-// copies, so the reported speedup is an underestimate).
-std::vector<std::string> LegacyListChildren(const disk::Volume& volume,
-                                            const std::string& path) {
-  const std::string prefix =
-      path == "/" ? std::string("/idx/") : "/idx" + path + "/";
-  std::vector<std::string> children;
-  volume.ForEachPrefix("", [&](const std::string& name, std::uint64_t) {
-    if (name.compare(0, prefix.size(), prefix) != 0) {
-      return;
-    }
-    const std::string_view rest =
-        std::string_view(name).substr(prefix.size());
-    if (rest.empty() || rest.find('/') != std::string_view::npos) {
-      return;
-    }
-    children.emplace_back(rest);
-  });
-  std::sort(children.begin(), children.end());
-  return children;
-}
-
-std::uint64_t LegacyIndexCount(const disk::Volume& volume) {
-  std::vector<std::string> names;
-  volume.ForEachPrefix("", [&](const std::string& name, std::uint64_t) {
-    if (name.compare(0, 5, "/idx/") == 0) {
-      names.push_back(name);
-    }
-  });
-  return names.size();
-}
-
-// --- differential mode ---
+// --- differential modes ---
 
 olfs::IndexFile RandomIndex(Rng& rng, const std::string& path) {
   olfs::IndexFile index(path, rng.Chance(0.2)
@@ -272,14 +249,38 @@ sim::Task<std::string> ApplyOp(olfs::MetadataVolume* mv, int op,
   co_return outcome;
 }
 
+// Compares two MVs' namespace views; appends human-readable mismatches.
+void CompareViews(olfs::MetadataVolume& a, olfs::MetadataVolume& b,
+                  const std::string& tag,
+                  std::vector<std::string>* mismatches) {
+  if (a.index_count() != b.index_count()) {
+    mismatches->push_back(tag + ": index_count diverged");
+  }
+  if (a.AllPaths() != b.AllPaths()) {
+    mismatches->push_back(tag + ": AllPaths diverged");
+  }
+  for (const char* dir : {"/", "/diff", "/diff/d0", "/diff/d5"}) {
+    if (a.ListChildren(dir) != b.ListChildren(dir)) {
+      mismatches->push_back(tag + ": ListChildren diverged for " + dir);
+    }
+    if (a.HasChildren(dir) != b.HasChildren(dir)) {
+      mismatches->push_back(tag + ": HasChildren diverged for " + dir);
+    }
+  }
+}
+
 // Runs the same randomized operation sequence against a small cached MV and
-// a cache-disabled MV; every op outcome and every namespace view must
-// match. Returns a list of human-readable mismatches (empty = identical).
-std::vector<std::string> RunDifferential(std::uint64_t seed, int ops) {
+// a cache-disabled MV of the SAME backend; every op outcome and every
+// namespace view must match. Returns mismatches (empty = identical).
+std::vector<std::string> RunDifferential(std::uint64_t seed, int ops,
+                                         bool log_structured) {
   constexpr std::size_t kPaths = 64;
   constexpr std::size_t kSmallCache = 32;  // < kPaths, to force evictions
-  Fixture cached(256 * kMiB, kSmallCache);
-  Fixture plain(256 * kMiB, 0);
+  const std::string tag = log_structured ? "ls" : "legacy";
+  Fixture cached(256 * kMiB, log_structured ? LsOptions(kSmallCache)
+                                            : LegacyOptions(kSmallCache));
+  Fixture plain(256 * kMiB,
+                log_structured ? LsOptions(0) : LegacyOptions(0));
   std::vector<std::string> mismatches;
 
   Rng rng(seed);
@@ -315,15 +316,15 @@ std::vector<std::string> RunDifferential(std::uint64_t seed, int ops) {
       }
     }
     const std::string a = cached.sim.RunUntilComplete(
-        ApplyOp(&cached.mv, kind, path, index, raw));
+        ApplyOp(cached.mv.get(), kind, path, index, raw));
     const std::string b = plain.sim.RunUntilComplete(
-        ApplyOp(&plain.mv, kind, path, index, raw));
+        ApplyOp(plain.mv.get(), kind, path, index, raw));
     if (a != b) {
-      mismatches.push_back("op " + std::to_string(i) + " on " + path +
-                           ": cached=" + a + " plain=" + b);
+      mismatches.push_back(tag + ": op " + std::to_string(i) + " on " +
+                           path + ": cached=" + a + " plain=" + b);
     }
-    if (cached.mv.cache_size() > kSmallCache) {
-      mismatches.push_back("cache exceeded its bound at op " +
+    if (cached.mv->cache_size() > kSmallCache) {
+      mismatches.push_back(tag + ": cache exceeded its bound at op " +
                            std::to_string(i));
     }
 
@@ -332,57 +333,144 @@ std::vector<std::string> RunDifferential(std::uint64_t seed, int ops) {
       // same transform and must come back identical.
       for (Fixture* f : {&cached, &plain}) {
         auto snapshot = f->sim.RunUntilComplete(
-            f->mv.BuildSnapshotImage("mv-snap", 256 * kMiB));
+            f->mv->BuildSnapshotImage("mv-snap", 256 * kMiB));
         if (!snapshot.ok()) {
-          mismatches.push_back("snapshot failed: " +
+          mismatches.push_back(tag + ": snapshot failed: " +
                                snapshot.status().ToString());
           continue;
         }
-        f->mv.WipeAll();
+        f->mv->WipeAll();
         Status restored =
-            f->sim.RunUntilComplete(f->mv.RestoreFromSnapshot(*snapshot));
+            f->sim.RunUntilComplete(f->mv->RestoreFromSnapshot(*snapshot));
         if (!restored.ok()) {
-          mismatches.push_back("restore failed: " + restored.ToString());
+          mismatches.push_back(tag + ": restore failed: " +
+                               restored.ToString());
         }
       }
     }
   }
 
   // Final sweep: namespace views and every decoded index must agree.
-  if (cached.mv.index_count() != plain.mv.index_count()) {
-    mismatches.push_back("index_count diverged");
-  }
-  if (cached.mv.AllPaths() != plain.mv.AllPaths()) {
-    mismatches.push_back("AllPaths diverged");
-  }
-  for (const char* dir : {"/", "/diff", "/diff/d0", "/diff/d5"}) {
-    if (cached.mv.ListChildren(dir) != plain.mv.ListChildren(dir)) {
-      mismatches.push_back(std::string("ListChildren diverged for ") + dir);
-    }
-    if (cached.mv.HasChildren(dir) != plain.mv.HasChildren(dir)) {
-      mismatches.push_back(std::string("HasChildren diverged for ") + dir);
-    }
-  }
+  CompareViews(*cached.mv, *plain.mv, tag, &mismatches);
   for (const std::string& path : paths) {
     const std::string a = cached.sim.RunUntilComplete(
-        ApplyOp(&cached.mv, 1, path, olfs::IndexFile(), {}));
+        ApplyOp(cached.mv.get(), 1, path, olfs::IndexFile(), {}));
     const std::string b = plain.sim.RunUntilComplete(
-        ApplyOp(&plain.mv, 1, path, olfs::IndexFile(), {}));
+        ApplyOp(plain.mv.get(), 1, path, olfs::IndexFile(), {}));
     if (a != b) {
-      mismatches.push_back("final read of " + path + " diverged");
+      mismatches.push_back(tag + ": final read of " + path + " diverged");
     }
   }
-  if (cached.mv.cache_stats().evictions == 0) {
-    mismatches.push_back("expected LRU evictions with 64 paths in a "
+  if (cached.mv->cache_stats().evictions == 0) {
+    mismatches.push_back(tag +
+                         ": expected LRU evictions with 64 paths in a "
                          "32-entry cache");
   }
   return mismatches;
 }
 
+// Legacy-vs-log-structured: the same Put/Get/Remove sequence against both
+// backends must agree on every status code and every decoded byte, through
+// a mid-sequence snapshot/wipe/restore AND a crash-replay (the LS store is
+// re-attached from its volume and must still match the legacy views).
+std::vector<std::string> RunBackendDifferential(std::uint64_t seed,
+                                                int ops) {
+  Fixture legacy(256 * kMiB, LegacyOptions(32));
+  Fixture ls(256 * kMiB, LsOptions(32));
+  std::vector<std::string> mismatches;
+
+  Rng rng(seed);
+  constexpr std::size_t kPaths = 64;
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < kPaths; ++i) {
+    paths.push_back("/diff/d" + std::to_string(i % 8) + "/f" +
+                    std::to_string(i));
+  }
+
+  for (int i = 0; i < ops; ++i) {
+    const std::string& path = paths[rng.Below(paths.size())];
+    const int op = static_cast<int>(rng.Below(8));
+    // op 0-3: Put, 4-6: Get, 7: Remove. (No raw volume pokes here: the
+    // backends' on-volume layouts are intentionally different.)
+    int kind = 0;
+    if (op >= 4 && op <= 6) {
+      kind = 1;
+    } else if (op == 7) {
+      kind = 2;
+    }
+    olfs::IndexFile index = RandomIndex(rng, path);
+    const std::string a = legacy.sim.RunUntilComplete(
+        ApplyOp(legacy.mv.get(), kind, path, index, {}));
+    const std::string b = ls.sim.RunUntilComplete(
+        ApplyOp(ls.mv.get(), kind, path, index, {}));
+    if (a != b) {
+      mismatches.push_back("backend: op " + std::to_string(i) + " on " +
+                           path + ": legacy=" + a + " ls=" + b);
+    }
+
+    if (i == ops / 2) {
+      // Snapshots are backend-independent: build on each, restore on each.
+      for (Fixture* f : {&legacy, &ls}) {
+        auto snapshot = f->sim.RunUntilComplete(
+            f->mv->BuildSnapshotImage("mv-snap", 256 * kMiB));
+        if (!snapshot.ok()) {
+          mismatches.push_back("backend: snapshot failed: " +
+                               snapshot.status().ToString());
+          continue;
+        }
+        f->mv->WipeAll();
+        Status restored =
+            f->sim.RunUntilComplete(f->mv->RestoreFromSnapshot(*snapshot));
+        if (!restored.ok()) {
+          mismatches.push_back("backend: restore failed: " +
+                               restored.ToString());
+        }
+      }
+    }
+  }
+
+  CompareViews(*legacy.mv, *ls.mv, "backend", &mismatches);
+  for (const std::string& path : paths) {
+    const std::string a = legacy.sim.RunUntilComplete(
+        ApplyOp(legacy.mv.get(), 1, path, olfs::IndexFile(), {}));
+    const std::string b = ls.sim.RunUntilComplete(
+        ApplyOp(ls.mv.get(), 1, path, olfs::IndexFile(), {}));
+    if (a != b) {
+      mismatches.push_back("backend: final read of " + path + " diverged");
+    }
+  }
+
+  // Crash-replay: drop the LS store object mid-life (acked mutations only
+  // — RunUntilComplete returned for each), re-attach from the volume, and
+  // replay. The recovered store must still match the legacy one.
+  ls.Reattach(LsOptions(32));
+  Status opened = ls.sim.RunUntilComplete(ls.mv->Open());
+  if (!opened.ok()) {
+    mismatches.push_back("backend: recovery open failed: " +
+                         opened.ToString());
+  }
+  CompareViews(*legacy.mv, *ls.mv, "backend-replayed", &mismatches);
+  for (const std::string& path : paths) {
+    const std::string a = legacy.sim.RunUntilComplete(
+        ApplyOp(legacy.mv.get(), 1, path, olfs::IndexFile(), {}));
+    const std::string b = ls.sim.RunUntilComplete(
+        ApplyOp(ls.mv.get(), 1, path, olfs::IndexFile(), {}));
+    if (a != b) {
+      mismatches.push_back("backend-replayed: read of " + path +
+                           " diverged");
+    }
+  }
+  return mismatches;
+}
+
+// --- measured sections ---
+
 struct OpResult {
   std::string op;
   double baseline_ops_s = 0;
   double fast_ops_s = 0;
+  double baseline_sim_s = 0;
+  double fast_sim_s = 0;
 };
 
 json::Value ToJson(const OpResult& r) {
@@ -391,7 +479,285 @@ json::Value ToJson(const OpResult& r) {
   o["baseline_ops_s"] = r.baseline_ops_s;
   o["fast_ops_s"] = r.fast_ops_s;
   o["speedup"] = r.baseline_ops_s > 0 ? r.fast_ops_s / r.baseline_ops_s : 0.0;
+  o["baseline_sim_s"] = r.baseline_sim_s;
+  o["fast_sim_s"] = r.fast_sim_s;
+  o["sim_speedup"] =
+      r.fast_sim_s > 0 ? r.baseline_sim_s / r.fast_sim_s : 0.0;
   return o;
+}
+
+json::Value ToJson(const SummaryStats& s) {
+  json::Object o;
+  o["p50_us"] = s.p50;
+  o["p99_us"] = s.p99;
+  o["mean_us"] = s.mean;
+  o["max_us"] = s.max;
+  return o;
+}
+
+std::vector<std::string> MakePaths(std::size_t n) {
+  const std::size_t dirs = std::max<std::size_t>(1, n / 256);
+  std::vector<std::string> paths;
+  paths.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    paths.push_back("/bench/d" + std::to_string(i % dirs) + "/f" +
+                    std::to_string(i / dirs));
+  }
+  return paths;
+}
+
+// Everything measured for one backend at one size.
+struct BackendRun {
+  double create_ops_s = 0;
+  double create_sim_s = 0;
+  SummaryStats create_lat;
+  double stat_ops_s = 0;
+  double stat_sim_s = 0;
+  SummaryStats stat_lat;
+  double readdir_ops_s = 0;
+  double count_ops_s = 0;
+  double snapshot_entries_s = 0;
+  olfs::MetadataVolume::CacheStats cache;
+  olfs::MetadataVolume::StoreStats store;
+  bool ok = false;
+};
+
+BackendRun MeasureBackend(bool log_structured, std::size_t n,
+                          std::size_t stat_sample, int stat_rounds,
+                          int readdir_calls, int count_calls) {
+  BackendRun out;
+  const std::size_t dirs = std::max<std::size_t>(1, n / 256);
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(n) * 4 * kKiB + 64 * kMiB;
+  Fixture fx(capacity,
+             log_structured
+                 ? LsOptions(olfs::MetadataVolume::kDefaultCacheCapacity)
+                 : LegacyOptions(olfs::MetadataVolume::kDefaultCacheCapacity));
+  const std::vector<std::string> paths = MakePaths(n);
+
+  {
+    std::vector<double> latencies_us;
+    latencies_us.reserve(n);
+    const sim::TimePoint sim_start = fx.sim.now();
+    auto start = Clock::now();
+    Status status = fx.sim.RunUntilComplete(
+        CreateConcurrent(&fx.sim, fx.mv.get(), &paths, &latencies_us));
+    if (!status.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", status.ToString().c_str());
+      return out;
+    }
+    out.create_ops_s = static_cast<double>(n) / SecondsSince(start);
+    out.create_sim_s = sim::ToSeconds(fx.sim.now() - sim_start);
+    out.create_lat = Summarize(std::move(latencies_us));
+  }
+
+  // Hot stat set: a uniform sample of paths, revisited every round;
+  // best-of-rounds host timing so a scheduler hiccup doesn't skew ratios.
+  std::vector<std::string> sample_paths;
+  const std::size_t stride = std::max<std::size_t>(1, n / stat_sample);
+  for (std::size_t i = 0; i < n; i += stride) {
+    sample_paths.push_back(paths[i]);
+  }
+  const double stat_ops = static_cast<double>(sample_paths.size());
+  {
+    Status warm = fx.sim.RunUntilComplete(
+        StatMany(&fx.sim, fx.mv.get(), &sample_paths, nullptr));
+    if (!warm.ok()) {
+      std::fprintf(stderr, "stat warmup failed: %s\n",
+                   warm.ToString().c_str());
+      return out;
+    }
+  }
+  std::vector<double> stat_lat_us;
+  for (int r = 0; r < stat_rounds; ++r) {
+    stat_lat_us.clear();
+    stat_lat_us.reserve(sample_paths.size());
+    const sim::TimePoint sim_start = fx.sim.now();
+    auto start = Clock::now();
+    Status status = fx.sim.RunUntilComplete(
+        StatMany(&fx.sim, fx.mv.get(), &sample_paths, &stat_lat_us));
+    if (!status.ok()) {
+      std::fprintf(stderr, "stat failed: %s\n", status.ToString().c_str());
+      return out;
+    }
+    out.stat_ops_s = std::max(out.stat_ops_s, stat_ops / SecondsSince(start));
+    out.stat_sim_s = sim::ToSeconds(fx.sim.now() - sim_start);
+  }
+  out.stat_lat = Summarize(std::move(stat_lat_us));
+
+  {
+    std::size_t entries_seen = 0;
+    auto start = Clock::now();
+    for (int i = 0; i < readdir_calls; ++i) {
+      entries_seen +=
+          fx.mv->ListChildren("/bench/d" + std::to_string(i % dirs)).size();
+    }
+    out.readdir_ops_s = readdir_calls / SecondsSince(start);
+    if (entries_seen == 0) {
+      std::fprintf(stderr, "readdir saw no entries\n");
+      return out;
+    }
+  }
+
+  {
+    auto start = Clock::now();
+    std::uint64_t total = 0;
+    for (int i = 0; i < count_calls; ++i) {
+      total += fx.mv->index_count();
+    }
+    out.count_ops_s = count_calls / SecondsSince(start);
+    if (total != static_cast<std::uint64_t>(n) * count_calls) {
+      std::fprintf(stderr, "index_count mismatch\n");
+      return out;
+    }
+  }
+
+  {
+    auto start = Clock::now();
+    auto snapshot = fx.sim.RunUntilComplete(
+        fx.mv->BuildSnapshotImage("mv-bench-snap", capacity));
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "snapshot build failed: %s\n",
+                   snapshot.status().ToString().c_str());
+      return out;
+    }
+    out.snapshot_entries_s = static_cast<double>(n) / SecondsSince(start);
+  }
+
+  out.cache = fx.mv->cache_stats();
+  out.store = fx.mv->store_stats();
+  out.ok = true;
+  return out;
+}
+
+// LS-only scale run: create at scale, stat a sample, then crash-replay the
+// whole store and time recovery. Gates (deterministic or stable only):
+// RSS per entry bounded, memtable bounded, recovered count exact.
+json::Value RunScale(std::size_t n, std::vector<std::string>* failures) {
+  json::Object row;
+  row["entries"] = json::Value(static_cast<std::int64_t>(n));
+  const std::uint64_t capacity =
+      static_cast<std::uint64_t>(n) * 1 * kKiB + 512 * kMiB;
+  Fixture fx(capacity,
+             LsOptions(olfs::MetadataVolume::kDefaultCacheCapacity));
+  const std::vector<std::string> paths = MakePaths(n);
+  const std::uint64_t rss_before = CurrentRssBytes();
+
+  {
+    std::vector<double> latencies_us;
+    latencies_us.reserve(n);
+    const sim::TimePoint sim_start = fx.sim.now();
+    auto start = Clock::now();
+    Status status = fx.sim.RunUntilComplete(
+        CreateConcurrent(&fx.sim, fx.mv.get(), &paths, &latencies_us));
+    if (!status.ok()) {
+      failures->push_back("scale create failed: " + status.ToString());
+      return json::Value(std::move(row));
+    }
+    row["create_ops_s"] =
+        json::Value(static_cast<double>(n) / SecondsSince(start));
+    row["create_sim_s"] =
+        json::Value(sim::ToSeconds(fx.sim.now() - sim_start));
+    row["create_latency"] = ToJson(Summarize(std::move(latencies_us)));
+  }
+
+  {
+    std::vector<std::string> sample;
+    const std::size_t stride = std::max<std::size_t>(1, n / 2048);
+    for (std::size_t i = 0; i < n; i += stride) {
+      sample.push_back(paths[i]);
+    }
+    std::vector<double> lat_us;
+    lat_us.reserve(sample.size());
+    auto start = Clock::now();
+    Status status = fx.sim.RunUntilComplete(
+        StatMany(&fx.sim, fx.mv.get(), &sample, &lat_us));
+    if (!status.ok()) {
+      failures->push_back("scale stat failed: " + status.ToString());
+      return json::Value(std::move(row));
+    }
+    row["stat_ops_s"] = json::Value(static_cast<double>(sample.size()) /
+                                    SecondsSince(start));
+    row["stat_latency"] = ToJson(Summarize(std::move(lat_us)));
+  }
+
+  // O(1) count: microseconds regardless of n (the legacy walk is O(n)).
+  {
+    auto start = Clock::now();
+    std::uint64_t total = 0;
+    for (int i = 0; i < 1024; ++i) {
+      total += fx.mv->index_count();
+    }
+    row["count_ops_s"] = json::Value(1024.0 / SecondsSince(start));
+    if (total != static_cast<std::uint64_t>(n) * 1024) {
+      failures->push_back("scale index_count mismatch");
+    }
+  }
+
+  const auto store = fx.mv->store_stats();
+  row["segment_count"] =
+      json::Value(static_cast<std::int64_t>(store.segment_count));
+  row["segment_bytes"] =
+      json::Value(static_cast<std::int64_t>(store.segment_bytes));
+  row["memtable_bytes"] =
+      json::Value(static_cast<std::int64_t>(store.memtable_bytes));
+  row["memtable_flushes"] =
+      json::Value(static_cast<std::int64_t>(store.memtable_flushes));
+  row["compactions"] =
+      json::Value(static_cast<std::int64_t>(store.compactions));
+  row["wal_batches"] =
+      json::Value(static_cast<std::int64_t>(store.wal.batches_committed));
+  row["wal_records"] =
+      json::Value(static_cast<std::int64_t>(store.wal.records_appended));
+
+  const std::uint64_t rss_after = CurrentRssBytes();
+  const double rss_per_entry =
+      n > 0 ? static_cast<double>(rss_after - rss_before) /
+                  static_cast<double>(n)
+            : 0.0;
+  row["rss_mb"] = json::Value(static_cast<double>(rss_after) / (1 << 20));
+  row["rss_bytes_per_entry"] = json::Value(rss_per_entry);
+  // Keydir + keys + simulated device bytes + transient memtable. 4 KiB per
+  // entry would mean something is retaining whole generations; the real
+  // footprint is a few hundred bytes.
+  if (rss_before > 0 && rss_per_entry > 4096.0) {
+    failures->push_back("scale RSS gate: " + std::to_string(rss_per_entry) +
+                        " bytes/entry at n=" + std::to_string(n));
+  }
+  // The active memtable must stay bounded by the flush threshold plus one
+  // frozen generation regardless of n.
+  if (store.memtable_bytes > 2 * 8 * kMiB) {
+    failures->push_back("scale memtable unbounded: " +
+                        std::to_string(store.memtable_bytes) + " bytes");
+  }
+
+  // Crash-replay the whole store: everything above was acked, so the
+  // re-attached store must recover every entry. Replay is near-linear in
+  // the store's byte size (segments stream + WAL tail).
+  {
+    fx.Reattach(LsOptions(olfs::MetadataVolume::kDefaultCacheCapacity));
+    const sim::TimePoint sim_start = fx.sim.now();
+    auto start = Clock::now();
+    Status opened = fx.sim.RunUntilComplete(fx.mv->Open());
+    if (!opened.ok()) {
+      failures->push_back("scale recovery failed: " + opened.ToString());
+      return json::Value(std::move(row));
+    }
+    row["recovery_host_s"] = json::Value(SecondsSince(start));
+    row["recovery_sim_s"] =
+        json::Value(sim::ToSeconds(fx.sim.now() - sim_start));
+    const auto recovered = fx.mv->store_stats();
+    row["recovered_segments"] =
+        json::Value(static_cast<std::int64_t>(recovered.recovered_segments));
+    row["replayed_wal_records"] = json::Value(
+        static_cast<std::int64_t>(recovered.replayed_wal_records));
+    if (fx.mv->index_count() != n) {
+      failures->push_back(
+          "scale recovery lost entries: " +
+          std::to_string(fx.mv->index_count()) + " of " + std::to_string(n));
+    }
+  }
+  return json::Value(std::move(row));
 }
 
 }  // namespace
@@ -399,216 +765,145 @@ json::Value ToJson(const OpResult& r) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool large = false;
+  bool scale = false;
+  bool scale_smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--large") == 0) {
       large = true;
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      scale = true;
+    } else if (std::strcmp(argv[i], "--scale-smoke") == 0) {
+      scale_smoke = true;
     }
   }
 
-  std::vector<std::size_t> sizes;
-  if (smoke) {
-    sizes = {1000};
-  } else {
-    sizes = {10'000, 100'000};
-    if (large) {
-      sizes.push_back(1'000'000);
-    }
-  }
-  const std::size_t stat_sample = smoke ? 256 : 2048;
-  const int stat_rounds = smoke ? 4 : 8;
-  const int readdir_calls = smoke ? 16 : 64;
-  const int count_calls = smoke ? 4 : 16;
-
-  json::Array size_results;
-  for (const std::size_t n : sizes) {
-    // ~256 files per directory, one block per index file.
-    const std::size_t dirs = std::max<std::size_t>(1, n / 256);
-    const std::uint64_t capacity =
-        static_cast<std::uint64_t>(n) * 4 * kKiB + 64 * kMiB;
-    Fixture fx(capacity, olfs::MetadataVolume::kDefaultCacheCapacity);
-
-    std::vector<std::string> paths;
-    std::vector<std::string> names;  // "/idx" + path
-    paths.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      paths.push_back("/bench/d" + std::to_string(i % dirs) + "/f" +
-                      std::to_string(i / dirs));
-      names.push_back(olfs::MetadataVolume::IndexName(paths.back()));
-    }
-
-    OpResult create{.op = "create"};
-    {
-      auto start = Clock::now();
-      Status status =
-          fx.sim.RunUntilComplete(LegacyCreateMany(&fx.volume, &names));
-      create.baseline_ops_s =
-          status.ok() ? static_cast<double>(n) / SecondsSince(start) : 0;
-      if (!status.ok()) {
-        std::fprintf(stderr, "legacy create failed: %s\n",
-                     status.ToString().c_str());
-        return 1;
-      }
-    }
-    fx.mv.WipeAll();
-    {
-      auto start = Clock::now();
-      Status status =
-          fx.sim.RunUntilComplete(FastCreateMany(&fx.mv, &paths));
-      create.fast_ops_s =
-          status.ok() ? static_cast<double>(n) / SecondsSince(start) : 0;
-      if (!status.ok()) {
-        std::fprintf(stderr, "create failed: %s\n",
-                     status.ToString().c_str());
-        return 1;
-      }
-    }
-
-    // Hot stat set: a uniform sample of paths, revisited every round.
-    std::vector<std::string> sample_paths;
-    const std::size_t stride = std::max<std::size_t>(1, n / stat_sample);
-    for (std::size_t i = 0; i < n; i += stride) {
-      sample_paths.push_back(paths[i]);
-    }
-    const double stat_ops = static_cast<double>(sample_paths.size());
-
-    // Best-of-rounds for both sides: each round is timed on its own and the
-    // fastest kept, so a scheduler hiccup during one round doesn't skew the
-    // ratio (both paths get the identical treatment).
-    OpResult stat{.op = "stat"};
-    for (int r = 0; r < stat_rounds; ++r) {
-      auto start = Clock::now();
-      Status status = fx.sim.RunUntilComplete(
-          LegacyStatMany(&fx.volume, &sample_paths, 1));
-      if (!status.ok()) {
-        std::fprintf(stderr, "legacy stat failed: %s\n",
-                     status.ToString().c_str());
-        return 1;
-      }
-      stat.baseline_ops_s =
-          std::max(stat.baseline_ops_s, stat_ops / SecondsSince(start));
-    }
-    {
-      // One warm pass (the Puts above already populated the cache; this
-      // covers entries evicted since), then the measured rounds.
-      Status warm = fx.sim.RunUntilComplete(
-          FastStatMany(&fx.mv, &sample_paths, 1));
-      if (!warm.ok()) {
-        std::fprintf(stderr, "stat warmup failed: %s\n",
-                     warm.ToString().c_str());
-        return 1;
-      }
-    }
-    for (int r = 0; r < stat_rounds; ++r) {
-      auto start = Clock::now();
-      Status status = fx.sim.RunUntilComplete(
-          FastStatMany(&fx.mv, &sample_paths, 1));
-      if (!status.ok()) {
-        std::fprintf(stderr, "stat failed: %s\n", status.ToString().c_str());
-        return 1;
-      }
-      stat.fast_ops_s =
-          std::max(stat.fast_ops_s, stat_ops / SecondsSince(start));
-    }
-
-    // readdir over a rotating set of directories.
-    OpResult readdir{.op = "readdir"};
-    {
-      std::size_t entries_seen = 0;
-      auto start = Clock::now();
-      for (int i = 0; i < readdir_calls; ++i) {
-        entries_seen += LegacyListChildren(
-            fx.volume, "/bench/d" + std::to_string(i % dirs)).size();
-      }
-      readdir.baseline_ops_s = readdir_calls / SecondsSince(start);
-      if (entries_seen == 0) {
-        std::fprintf(stderr, "legacy readdir saw no entries\n");
-        return 1;
-      }
-    }
-    {
-      std::size_t entries_seen = 0;
-      auto start = Clock::now();
-      for (int i = 0; i < readdir_calls; ++i) {
-        entries_seen +=
-            fx.mv.ListChildren("/bench/d" + std::to_string(i % dirs)).size();
-      }
-      readdir.fast_ops_s = readdir_calls / SecondsSince(start);
-      if (entries_seen == 0) {
-        std::fprintf(stderr, "readdir saw no entries\n");
-        return 1;
-      }
-    }
-
-    OpResult count{.op = "index_count"};
-    {
-      auto start = Clock::now();
-      std::uint64_t total = 0;
-      for (int i = 0; i < count_calls; ++i) {
-        total += LegacyIndexCount(fx.volume);
-      }
-      count.baseline_ops_s = count_calls / SecondsSince(start);
-      if (total != static_cast<std::uint64_t>(n) * count_calls) {
-        std::fprintf(stderr, "legacy index_count mismatch\n");
-        return 1;
-      }
-    }
-    {
-      auto start = Clock::now();
-      std::uint64_t total = 0;
-      for (int i = 0; i < count_calls; ++i) {
-        total += fx.mv.index_count();
-      }
-      count.fast_ops_s = count_calls / SecondsSince(start);
-      if (total != static_cast<std::uint64_t>(n) * count_calls) {
-        std::fprintf(stderr, "index_count mismatch\n");
-        return 1;
-      }
-    }
-
-    double snapshot_entries_s = 0;
-    {
-      auto start = Clock::now();
-      auto snapshot = fx.sim.RunUntilComplete(
-          fx.mv.BuildSnapshotImage("mv-bench-snap", capacity));
-      if (!snapshot.ok()) {
-        std::fprintf(stderr, "snapshot build failed: %s\n",
-                     snapshot.status().ToString().c_str());
-        return 1;
-      }
-      snapshot_entries_s = static_cast<double>(n) / SecondsSince(start);
-    }
-
-    json::Object row;
-    row["entries"] = json::Value(static_cast<std::int64_t>(n));
-    json::Array ops;
-    for (const OpResult& r : {create, stat, readdir, count}) {
-      ops.push_back(ToJson(r));
-    }
-    row["ops"] = json::Value(std::move(ops));
-    row["snapshot_build_entries_s"] = json::Value(snapshot_entries_s);
-    json::Object cache;
-    cache["hits"] = json::Value(
-        static_cast<std::int64_t>(fx.mv.cache_stats().hits));
-    cache["misses"] = json::Value(
-        static_cast<std::int64_t>(fx.mv.cache_stats().misses));
-    cache["evictions"] = json::Value(
-        static_cast<std::int64_t>(fx.mv.cache_stats().evictions));
-    row["cache"] = json::Value(std::move(cache));
-    size_results.push_back(json::Value(std::move(row)));
-  }
-
-  const std::vector<std::string> mismatches =
-      RunDifferential(/*seed=*/0x5eedu, smoke ? 200 : 600);
-  for (const std::string& m : mismatches) {
-    std::fprintf(stderr, "differential mismatch: %s\n", m.c_str());
-  }
-
+  std::vector<std::string> failures;
   json::Object doc;
   doc["bench"] = json::Value("mv_hotpath");
-  doc["results"] = json::Value(std::move(size_results));
-  doc["differential_identical"] = json::Value(mismatches.empty());
+
+  if (scale || scale_smoke) {
+    // LS-only scale mode (the legacy backend at 10M would dominate the run
+    // for no new information; its curve is in the comparison section).
+    std::vector<std::size_t> sizes =
+        scale_smoke ? std::vector<std::size_t>{1'000'000}
+                    : std::vector<std::size_t>{1'000'000, 10'000'000};
+    json::Array rows;
+    for (const std::size_t n : sizes) {
+      rows.push_back(RunScale(n, &failures));
+    }
+    doc["scale"] = json::Value(std::move(rows));
+    // Quick backend differential keeps the ASan CI job honest about
+    // correctness, not just throughput.
+    const std::vector<std::string> diff =
+        RunBackendDifferential(/*seed=*/0xd1ffu, 200);
+    failures.insert(failures.end(), diff.begin(), diff.end());
+  } else {
+    std::vector<std::size_t> sizes;
+    if (smoke) {
+      sizes = {1000};
+    } else {
+      sizes = {10'000, 100'000};
+      if (large) {
+        sizes.push_back(1'000'000);
+      }
+    }
+    const std::size_t stat_sample = smoke ? 256 : 2048;
+    const int stat_rounds = smoke ? 4 : 8;
+    const int readdir_calls = smoke ? 16 : 64;
+    const int count_calls = smoke ? 4 : 16;
+
+    json::Array size_results;
+    for (const std::size_t n : sizes) {
+      const BackendRun legacy =
+          MeasureBackend(false, n, stat_sample, stat_rounds, readdir_calls,
+                         count_calls);
+      const BackendRun ls = MeasureBackend(
+          true, n, stat_sample, stat_rounds, readdir_calls, count_calls);
+      if (!legacy.ok || !ls.ok) {
+        return 1;
+      }
+
+      OpResult create{.op = "create",
+                      .baseline_ops_s = legacy.create_ops_s,
+                      .fast_ops_s = ls.create_ops_s,
+                      .baseline_sim_s = legacy.create_sim_s,
+                      .fast_sim_s = ls.create_sim_s};
+      OpResult stat{.op = "stat",
+                    .baseline_ops_s = legacy.stat_ops_s,
+                    .fast_ops_s = ls.stat_ops_s,
+                    .baseline_sim_s = legacy.stat_sim_s,
+                    .fast_sim_s = ls.stat_sim_s};
+      OpResult readdir{.op = "readdir",
+                       .baseline_ops_s = legacy.readdir_ops_s,
+                       .fast_ops_s = ls.readdir_ops_s};
+      OpResult count{.op = "index_count",
+                     .baseline_ops_s = legacy.count_ops_s,
+                     .fast_ops_s = ls.count_ops_s};
+
+      json::Object row;
+      row["entries"] = json::Value(static_cast<std::int64_t>(n));
+      json::Array ops;
+      for (const OpResult& r : {create, stat, readdir, count}) {
+        ops.push_back(ToJson(r));
+      }
+      row["ops"] = json::Value(std::move(ops));
+      row["create_latency_legacy"] = ToJson(legacy.create_lat);
+      row["create_latency_ls"] = ToJson(ls.create_lat);
+      row["stat_latency_ls"] = ToJson(ls.stat_lat);
+      row["snapshot_build_entries_s_legacy"] =
+          json::Value(legacy.snapshot_entries_s);
+      row["snapshot_build_entries_s_ls"] =
+          json::Value(ls.snapshot_entries_s);
+      json::Object cache;
+      cache["hits"] =
+          json::Value(static_cast<std::int64_t>(ls.cache.hits));
+      cache["misses"] =
+          json::Value(static_cast<std::int64_t>(ls.cache.misses));
+      cache["evictions"] =
+          json::Value(static_cast<std::int64_t>(ls.cache.evictions));
+      row["cache"] = json::Value(std::move(cache));
+      json::Object store;
+      store["wal_batches"] = json::Value(
+          static_cast<std::int64_t>(ls.store.wal.batches_committed));
+      store["wal_records"] = json::Value(
+          static_cast<std::int64_t>(ls.store.wal.records_appended));
+      store["segment_count"] =
+          json::Value(static_cast<std::int64_t>(ls.store.segment_count));
+      store["memtable_flushes"] =
+          json::Value(static_cast<std::int64_t>(ls.store.memtable_flushes));
+      store["compactions"] =
+          json::Value(static_cast<std::int64_t>(ls.store.compactions));
+      row["ls_store"] = json::Value(std::move(store));
+      size_results.push_back(json::Value(std::move(row)));
+
+      // The tentpole gate, on the deterministic number: at 1M entries the
+      // group-committed create must beat the per-file backend by >= 5x in
+      // simulated time.
+      if (n >= 1'000'000 && ls.create_sim_s > 0 &&
+          legacy.create_sim_s / ls.create_sim_s < 5.0) {
+        failures.push_back(
+            "create sim-speedup below 5x at 1M: " +
+            std::to_string(legacy.create_sim_s / ls.create_sim_s));
+      }
+    }
+    doc["results"] = json::Value(std::move(size_results));
+
+    for (const bool ls : {false, true}) {
+      const std::vector<std::string> diff =
+          RunDifferential(/*seed=*/0x5eedu, smoke ? 200 : 600, ls);
+      failures.insert(failures.end(), diff.begin(), diff.end());
+    }
+    const std::vector<std::string> backend_diff =
+        RunBackendDifferential(/*seed=*/0xd1ffu, smoke ? 200 : 600);
+    failures.insert(failures.end(), backend_diff.begin(), backend_diff.end());
+  }
+
+  for (const std::string& f : failures) {
+    std::fprintf(stderr, "mv_hotpath failure: %s\n", f.c_str());
+  }
+  doc["differential_identical"] = json::Value(failures.empty());
   std::printf("%s\n", json::Value(std::move(doc)).DumpPretty().c_str());
-  return mismatches.empty() ? 0 : 1;
+  return failures.empty() ? 0 : 1;
 }

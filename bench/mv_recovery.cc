@@ -7,12 +7,37 @@
 
 #include "bench/bench_util.h"
 #include "src/common/rng.h"
+#include "src/disk/block_device.h"
+#include "src/disk/volume.h"
+#include "src/olfs/metadata_volume.h"
 #include "src/olfs/olfs.h"
 #include "src/sim/time.h"
 #include "src/workload/filebench.h"
 
 using namespace ros;
 using namespace ros::olfs;
+
+namespace {
+
+// Populates a standalone log-structured MV for the inline replay section.
+sim::Task<Status> PopulateMv(MetadataVolume* mv, int entries) {
+  for (int i = 0; i < entries; ++i) {
+    IndexFile index("/archive/d" + std::to_string(i % 64) + "/f" +
+                        std::to_string(i),
+                    EntryType::kFile);
+    VersionEntry entry;
+    entry.total_size = 4096;
+    entry.parts.push_back({"img-000001", 4096});
+    index.AddVersion(std::move(entry), 15);
+    Status status = co_await mv->Put(std::move(index));
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return OkStatus();
+}
+
+}  // namespace
 
 int main() {
   sim::Simulator sim;
@@ -81,6 +106,42 @@ int main() {
   bench::PrintNote(
       "the scan is dominated by mechanical loads plus per-disc wake/mount "
       "and metadata reads, as in the prototype");
+
+  // Inline MV crash replay (DESIGN.md §5i): before any disc scan, a
+  // restarted controller first re-opens the log-structured store over the
+  // surviving SSD volume — segments in file-name order, then the WAL
+  // tail. That replay is what makes MV loss *without* media loss cheap:
+  // the half-hour disc scan above is only for the total-loss case.
+  {
+    disk::StorageDevice mv_dev(sim, "mv-ssd", 512 * kMiB, disk::SsdPerf());
+    disk::Volume mv_vol(sim, &mv_dev, disk::MetadataVolumeParams());
+    MetadataVolume::Options options;
+    options.log_structured = true;
+    auto mv = std::make_unique<MetadataVolume>(sim, &mv_vol, options);
+    constexpr int kEntries = 100000;
+    ROS_CHECK(sim.RunUntilComplete(PopulateMv(mv.get(), kEntries)).ok());
+    sim.RunFor(sim::Seconds(5));  // let background flushes settle
+
+    mv.reset();  // crash: a fresh store object re-opens the same volume
+    mv = std::make_unique<MetadataVolume>(sim, &mv_vol, options);
+    const sim::TimePoint r0 = sim.now();
+    ROS_CHECK(sim.RunUntilComplete(mv->Open()).ok());
+    const double replay_s = sim::ToSeconds(sim.now() - r0);
+    ROS_CHECK(mv->index_count() == kEntries);
+    const auto stats = mv->store_stats();
+
+    bench::PrintHeader("MV crash replay (log-structured store, §5i)");
+    std::printf("  entries: %d, segments replayed: %llu, WAL records "
+                "replayed: %llu\n",
+                kEntries,
+                static_cast<unsigned long long>(stats.recovered_segments),
+                static_cast<unsigned long long>(stats.replayed_wal_records));
+    std::printf("  replay: %.3f sim-seconds (%.1fk entries/s)\n", replay_s,
+                kEntries / replay_s / 1000.0);
+    bench::PrintNote(
+        "replay is sequential segment reads plus a WAL-tail scan — linear "
+        "in surviving bytes, no per-entry inode walk");
+  }
 
   // MV sizing (§4.2 arithmetic).
   bench::PrintHeader("MV sizing (§4.2)");

@@ -32,6 +32,12 @@ void FuzzIndexFile(const std::uint8_t* data, std::size_t size);
 // udf::Serializer::Parse + re-serialization idempotence.
 void FuzzUdfImage(const std::uint8_t* data, std::size_t size);
 
+// Log-structured MV parsers (mvlog::ScanRecords crash-replay scan +
+// mvseg::ParseSegment strict parse): arbitrary bytes must terminate with a
+// consistent clean prefix / a clean parse status, and everything accepted
+// must round-trip through the encoders.
+void FuzzMvLog(const std::uint8_t* data, std::size_t size);
+
 }  // namespace ros::fuzz
 
 #endif  // ROS_FUZZ_HARNESS_H_

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/olfs/index_file.h"
+#include "src/olfs/mv_log.h"
+#include "src/olfs/mv_segment.h"
 #include "src/udf/serializer.h"
 
 namespace fs = std::filesystem;
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
   fs::create_directories(root / "json");
   fs::create_directories(root / "index");
   fs::create_directories(root / "udf");
+  fs::create_directories(root / "mvlog");
 
   // --- json seeds ---
   WriteText(root / "json" / "seed_scalars.json",
@@ -127,6 +130,59 @@ int main(int argc, char** argv) {
     img.Close();
     WriteBytes(root / "udf" / "seed_mv_snapshot.bin",
                ros::udf::Serializer::Serialize(img));
+  }
+
+  // --- log-structured MV seeds (WAL streams + segment images) ---
+  {
+    // A WAL stream as the group-commit writer lands it: puts, a state
+    // write, a tombstone. Keys carry the store's real domain prefixes.
+    ros::olfs::IndexFile idx("/docs/a", ros::olfs::EntryType::kFile);
+    ros::olfs::VersionEntry v;
+    v.total_size = 42;
+    v.parts.push_back({"img-0007", 42});
+    idx.AddVersion(v, 15);
+    std::vector<std::uint8_t> wal;
+    ros::olfs::mvlog::AppendRecord(
+        {ros::olfs::mvlog::RecordType::kPut, "i/docs/a", idx.ToJson()},
+        &wal);
+    ros::olfs::mvlog::AppendRecord(
+        {ros::olfs::mvlog::RecordType::kPutState, "s/burn/cursor",
+         "{\"at\":7}"},
+        &wal);
+    ros::olfs::mvlog::AppendRecord(
+        {ros::olfs::mvlog::RecordType::kRemove, "i/docs/a", ""}, &wal);
+    WriteBytes(root / "mvlog" / "seed_wal_stream.bin", wal);
+
+    // The same stream torn mid-record: the shape crash replay must handle.
+    std::vector<std::uint8_t> torn(wal.begin(), wal.end() - 9);
+    WriteBytes(root / "mvlog" / "seed_wal_torn.bin", torn);
+  }
+  {
+    // A segment image as the memtable flusher writes it: sorted records,
+    // real header/footer/CRCs.
+    ros::olfs::mvseg::SegmentBuilder builder(/*rank=*/3, /*id=*/12);
+    builder.Add({ros::olfs::mvlog::RecordType::kPut, "i/docs/a", "{}"});
+    builder.Add({ros::olfs::mvlog::RecordType::kPut, "i/docs/b",
+                 "{\"entries\":[]}"});
+    builder.Add({ros::olfs::mvlog::RecordType::kRemove, "i/docs/c", ""});
+    builder.Add({ros::olfs::mvlog::RecordType::kPutState, "s/gc", "1"});
+    const std::vector<std::uint8_t> seg = std::move(builder).Finish();
+    WriteBytes(root / "mvlog" / "seed_segment.bin", seg);
+
+    // Truncated footer: written-to-completion proof missing.
+    std::vector<std::uint8_t> cut(seg.begin(), seg.end() - 5);
+    WriteBytes(root / "mvlog" / "seed_segment_truncated.bin", cut);
+
+    // One flipped payload bit: per-record CRC must catch it.
+    std::vector<std::uint8_t> flipped = seg;
+    flipped[flipped.size() / 2] ^= 0x10;
+    WriteBytes(root / "mvlog" / "seed_segment_bitflip.bin", flipped);
+  }
+  {
+    // Empty segment (header + footer only) — a legal degenerate image.
+    ros::olfs::mvseg::SegmentBuilder builder(/*rank=*/1, /*id=*/1);
+    WriteBytes(root / "mvlog" / "seed_segment_empty.bin",
+               std::move(builder).Finish());
   }
 
   std::printf("seed corpus written under %s\n", root.string().c_str());

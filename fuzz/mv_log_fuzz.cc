@@ -1,0 +1,16 @@
+// Fuzz target: the log-structured MV's durable-state parsers — the WAL
+// record scan (crash replay, DESIGN.md §5i) and the strict segment parser.
+//
+// Build with -DROS_FUZZ=ON. Links against libFuzzer when the compiler
+// provides -fsanitize=fuzzer, otherwise against the standalone mutational
+// driver (fuzz/standalone_driver.cc). Seed corpus: fuzz/corpus/mvlog/.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ros::fuzz::FuzzMvLog(data, size);
+  return 0;
+}

@@ -122,6 +122,11 @@ class StorageDevice : public BlockDevice {
   void Fail() { failed_ = true; }
   // Replaces the failed device with a fresh one (contents lost).
   void Replace();
+  // Clears the failed flag, KEEPING contents — a power-cycle of an intact
+  // device, as opposed to Replace()'s swap-in of blank media. Crash tests
+  // use this to model "host died mid-write, storage survived": bytes the
+  // interrupted request never stored stay unwritten (torn tail).
+  void Revive() { failed_ = false; }
   bool failed() const { return failed_; }
 
   // Installs (or removes, with nullptr) the fault injector consulted at

@@ -112,6 +112,19 @@ class Volume {
   sim::Task<Status> Append(std::string name,
                            std::vector<std::uint8_t> data);
 
+  // Appends every piece back-to-back as ONE file mutation: a single
+  // generation step, one metadata update, and contiguous device requests
+  // for the whole batch instead of per-piece inode churn. This is the
+  // group-commit primitive: N coalesced WAL records cost one append.
+  // An empty batch is a no-op.
+  sim::Task<Status> AppendBatch(std::string name,
+                                std::vector<std::vector<std::uint8_t>> pieces);
+
+  // Shrinks the file to `new_size` bytes, releasing whole blocks past the
+  // boundary (crash recovery uses this to discard a torn log tail).
+  // Growing is not supported: kOutOfRange.
+  sim::Task<Status> Truncate(std::string name, std::uint64_t new_size);
+
   // Appends `data` followed by a zero tail up to `logical_len` total bytes.
   // The tail charges full write time but is not stored (sparse payloads of
   // PB-scale experiments; the tail reads back as zeros).

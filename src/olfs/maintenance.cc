@@ -130,6 +130,39 @@ json::Value Maintenance::StatusReport() const {
       json::Value(static_cast<std::int64_t>(index_stats.evictions));
   report["caches"] = json::Value(std::move(cache));
 
+  // Namespace store internals (log-structured backend only; the block
+  // reports zeros under the legacy layout).
+  const auto store = olfs_->mv().store_stats();
+  json::Object mv_store;
+  mv_store["log_structured"] = json::Value(store.log_structured);
+  mv_store["wal_records_appended"] =
+      json::Value(static_cast<std::int64_t>(store.wal.records_appended));
+  mv_store["wal_batches_committed"] =
+      json::Value(static_cast<std::int64_t>(store.wal.batches_committed));
+  mv_store["wal_bytes_committed"] =
+      json::Value(static_cast<std::int64_t>(store.wal.bytes_committed));
+  mv_store["wal_commit_failures"] =
+      json::Value(static_cast<std::int64_t>(store.wal.commit_failures));
+  mv_store["memtable_entries"] =
+      json::Value(static_cast<std::int64_t>(store.memtable_entries));
+  mv_store["memtable_bytes"] =
+      json::Value(static_cast<std::int64_t>(store.memtable_bytes));
+  mv_store["segment_count"] =
+      json::Value(static_cast<std::int64_t>(store.segment_count));
+  mv_store["segment_bytes"] =
+      json::Value(static_cast<std::int64_t>(store.segment_bytes));
+  mv_store["segment_records_live"] =
+      json::Value(static_cast<std::int64_t>(store.segment_records_live));
+  mv_store["segment_records_total"] =
+      json::Value(static_cast<std::int64_t>(store.segment_records_total));
+  mv_store["memtable_flushes"] =
+      json::Value(static_cast<std::int64_t>(store.memtable_flushes));
+  mv_store["compactions"] =
+      json::Value(static_cast<std::int64_t>(store.compactions));
+  mv_store["segments_deleted"] =
+      json::Value(static_cast<std::int64_t>(store.segments_deleted));
+  report["mv_store"] = json::Value(std::move(mv_store));
+
   // Self-healing: the fault/retry/repair pipeline (§4.7), plus raw
   // injector telemetry when a chaos plan is installed.
   json::Object resilience;

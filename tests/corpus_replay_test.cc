@@ -63,5 +63,7 @@ TEST(CorpusReplay, IndexFile) { ReplayAll("index", FuzzIndexFile); }
 
 TEST(CorpusReplay, UdfImage) { ReplayAll("udf", FuzzUdfImage); }
 
+TEST(CorpusReplay, MvLog) { ReplayAll("mvlog", FuzzMvLog); }
+
 }  // namespace
 }  // namespace ros::fuzz

@@ -1,0 +1,493 @@
+// Store-level tests for the log-structured MetadataVolume backend
+// (DESIGN.md §5i): backend parity, memtable flush + compaction, crash
+// recovery (incl. mid-group-commit device loss and torn WAL tails),
+// cross-backend snapshots, and double-run determinism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/disk/block_device.h"
+#include "src/olfs/metadata_volume.h"
+#include "src/olfs/mv_log.h"
+#include "src/sim/fault.h"
+#include "src/sim/join.h"
+#include "src/sim/simulator.h"
+
+namespace ros::olfs {
+namespace {
+
+std::string PathOf(int i) {
+  return "/d" + std::to_string(i % 4) + "/f" + std::to_string(i);
+}
+
+IndexFile FileIndex(const std::string& path, std::uint64_t size) {
+  IndexFile index(path, EntryType::kFile);
+  VersionEntry entry;
+  entry.total_size = size;
+  entry.parts.push_back({"img-000000", size});
+  index.AddVersion(std::move(entry), 15);
+  return index;
+}
+
+// --- driver coroutines (free functions: params by value, no captures) ---
+
+sim::Task<Status> PutOne(MetadataVolume* mv, int i, std::uint64_t size) {
+  IndexFile index = FileIndex(PathOf(i), size);
+  co_return co_await mv->Put(std::move(index));
+}
+
+sim::Task<Status> PutRange(MetadataVolume* mv, int first, int count,
+                           std::uint64_t size) {
+  for (int i = first; i < first + count; ++i) {
+    Status status = co_await PutOne(mv, i, size);
+    if (!status.ok()) {
+      co_return status;
+    }
+  }
+  co_return OkStatus();
+}
+
+// Records the per-put ack (AllOk would only surface the first error; the
+// crash tests need to know exactly which mutations were acknowledged).
+sim::Task<Status> PutRecording(MetadataVolume* mv, int i,
+                               std::vector<std::pair<int, bool>>* acks) {
+  Status status = co_await PutOne(mv, i, 64);
+  acks->push_back({i, status.ok()});
+  co_return OkStatus();
+}
+
+sim::Task<Status> PutBurstRecording(sim::Simulator* sim, MetadataVolume* mv,
+                                    int first, int count,
+                                    std::vector<std::pair<int, bool>>* acks) {
+  std::vector<sim::Task<Status>> puts;
+  for (int i = first; i < first + count; ++i) {
+    puts.push_back(PutRecording(mv, i, acks));
+  }
+  co_return co_await sim::AllOk(*sim, std::move(puts));
+}
+
+class MvStoreTest : public ::testing::Test {
+ protected:
+  MvStoreTest()
+      : device_(sim_, "ssd", 256 * kMiB, disk::SsdPerf()),
+        volume_(sim_, &device_, disk::MetadataVolumeParams()) {}
+
+  static MetadataVolume::Options LsOptions() {
+    MetadataVolume::Options options;
+    options.log_structured = true;
+    options.cache_capacity = 16;
+    return options;
+  }
+
+  // Small enough that a few dozen ~300-byte entries roll the memtable.
+  static MetadataVolume::Options TinyFlushOptions() {
+    MetadataVolume::Options options = LsOptions();
+    options.memtable_flush_bytes = 2 * kKiB;
+    options.compact_min_segments = 2;
+    options.compact_fan_in = 2;
+    return options;
+  }
+
+  void Attach(MetadataVolume::Options options) {
+    // Destroy first so the old store's volume observer unregisters — this
+    // is the crash model: the process dies, a new one opens the volume.
+    mv_.reset();
+    mv_ = std::make_unique<MetadataVolume>(sim_, &volume_, std::move(options));
+  }
+
+  // Runs the simulated clock forward so detached background work (memtable
+  // flushes, compaction rounds) finishes.
+  void DrainBackground() { sim_.RunFor(sim::Seconds(10)); }
+
+  std::vector<std::uint8_t> ReadRaw(const std::string& name) {
+    auto bytes = sim_.RunUntilComplete(volume_.ReadAll(name));
+    EXPECT_TRUE(bytes.ok()) << bytes.status().ToString();
+    return bytes.ok() ? *bytes : std::vector<std::uint8_t>{};
+  }
+
+  std::string GetJson(MetadataVolume* mv, const std::string& path) {
+    auto index = sim_.RunUntilComplete(mv->Get(path));
+    EXPECT_TRUE(index.ok()) << path << ": " << index.status().ToString();
+    return index.ok() ? index->ToJson() : std::string();
+  }
+
+  sim::Simulator sim_;
+  disk::StorageDevice device_;
+  disk::Volume volume_;
+  std::unique_ptr<MetadataVolume> mv_;
+};
+
+TEST_F(MvStoreTest, BackendsAgreeOnEveryObserver) {
+  // Same op sequence against legacy and log-structured stores (each on its
+  // own volume); every read-side observer must agree.
+  disk::StorageDevice device2(sim_, "ssd2", 256 * kMiB, disk::SsdPerf());
+  disk::Volume volume2(sim_, &device2, disk::MetadataVolumeParams());
+  MetadataVolume legacy(&volume2, /*cache_capacity=*/16);
+  Attach(LsOptions());
+
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 40, 100)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(&legacy, 0, 40, 100)).ok());
+  // Overwrites and removals.
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 8, 4, 999)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(&legacy, 8, 4, 999)).ok());
+  for (int i = 20; i < 26; ++i) {
+    ASSERT_TRUE(sim_.RunUntilComplete(mv_->Remove(PathOf(i))).ok());
+    ASSERT_TRUE(sim_.RunUntilComplete(legacy.Remove(PathOf(i))).ok());
+  }
+
+  EXPECT_EQ(mv_->index_count(), legacy.index_count());
+  EXPECT_EQ(mv_->AllPaths(), legacy.AllPaths());
+  for (const char* dir : {"/", "/d0", "/d1", "/d2", "/d3", "/nope"}) {
+    EXPECT_EQ(mv_->ListChildren(dir), legacy.ListChildren(dir)) << dir;
+    EXPECT_EQ(mv_->HasChildren(dir), legacy.HasChildren(dir)) << dir;
+  }
+  for (const std::string& path : legacy.AllPaths()) {
+    EXPECT_TRUE(mv_->Exists(path)) << path;
+    EXPECT_EQ(GetJson(mv_.get(), path), GetJson(&legacy, path)) << path;
+  }
+  EXPECT_FALSE(mv_->Exists(PathOf(20)));
+  EXPECT_FALSE(
+      sim_.RunUntilComplete(mv_->Get(PathOf(20))).status().ok());
+}
+
+TEST_F(MvStoreTest, MemtableFlushPublishesSegments) {
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 60, 100)).ok());
+  DrainBackground();
+
+  const MetadataVolume::StoreStats stats = mv_->store_stats();
+  EXPECT_GT(stats.memtable_flushes, 0u);
+  EXPECT_GT(stats.segment_count, 0u);
+  // The flush threshold bounds what stays decoded in RAM.
+  EXPECT_LT(stats.memtable_bytes, 2 * 2 * kKiB);
+
+  // Every entry is still readable — most now through a segment point read.
+  EXPECT_EQ(mv_->index_count(), 60u);
+  for (int i = 0; i < 60; ++i) {
+    auto index = sim_.RunUntilComplete(mv_->GetRef(PathOf(i)));
+    ASSERT_TRUE(index.ok()) << PathOf(i) << ": " << index.status().ToString();
+    EXPECT_EQ((*index)->path(), PathOf(i));
+  }
+}
+
+TEST_F(MvStoreTest, CompactionDropsDeadRecordsAndKeepsTruth) {
+  Attach(TinyFlushOptions());
+  // Overwrite a small key set many times: every generation but the last is
+  // garbage, which is exactly what compaction exists to drop.
+  for (int round = 0; round < 12; ++round) {
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    PutRange(mv_.get(), 0, 16, 100 + round))
+                    .ok());
+    DrainBackground();
+  }
+  for (int i = 12; i < 16; ++i) {
+    ASSERT_TRUE(sim_.RunUntilComplete(mv_->Remove(PathOf(i))).ok());
+  }
+  DrainBackground();
+
+  const MetadataVolume::StoreStats stats = mv_->store_stats();
+  EXPECT_GT(stats.compactions, 0u);
+  EXPECT_GT(stats.segments_deleted, 0u);
+  EXPECT_EQ(mv_->index_count(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    auto index = sim_.RunUntilComplete(mv_->Get(PathOf(i)));
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    auto latest = index->Latest();
+    ASSERT_TRUE(latest.ok()) << latest.status().ToString();
+    EXPECT_EQ((*latest)->total_size, 111u) << PathOf(i);
+  }
+
+  // The removals must stay removed across a crash: compaction is not
+  // allowed to drop a tombstone that still shadows older segments.
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+  EXPECT_EQ(mv_->index_count(), 12u);
+  for (int i = 12; i < 16; ++i) {
+    EXPECT_FALSE(mv_->Exists(PathOf(i))) << "resurrected " << PathOf(i);
+  }
+}
+
+TEST_F(MvStoreTest, RecoveryReplaysSegmentsAndWalTail) {
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 50, 100)).ok());
+  DrainBackground();
+  // A few more acked puts that stay WAL-only (no drain: the flush may not
+  // have caught them yet — recovery must replay the tail regardless).
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 50, 5, 100)).ok());
+
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+
+  EXPECT_EQ(mv_->index_count(), 55u);
+  for (int i = 0; i < 55; ++i) {
+    EXPECT_TRUE(mv_->Exists(PathOf(i))) << PathOf(i);
+  }
+  const MetadataVolume::StoreStats stats = mv_->store_stats();
+  EXPECT_GT(stats.recovered_segments, 0u);
+  EXPECT_EQ(stats.corrupt_segments, 0u);
+}
+
+TEST_F(MvStoreTest, DeviceLossMidGroupCommitLosesNoAckedMutation) {
+  Attach(LsOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 10, 100)).ok());
+
+  // Kill the device under a concurrent burst: the in-flight group commit
+  // fails, so none of its members may claim durability.
+  sim::FaultInjector faults(/*seed=*/11);
+  device_.set_fault_injector(&faults);
+  faults.FailNth(sim::FaultKind::kHddFailure, "ssd", 1);
+  std::vector<std::pair<int, bool>> acks;
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  PutBurstRecording(&sim_, mv_.get(), 10, 8, &acks))
+                  .ok());
+  ASSERT_EQ(acks.size(), 8u);
+  std::size_t failed = 0;
+  for (const auto& [i, ok] : acks) {
+    if (!ok) {
+      ++failed;
+    }
+  }
+  EXPECT_GT(failed, 0u) << "fault injector never fired";
+
+  // Power comes back; a fresh store opens the same volume.
+  device_.Revive();
+  Attach(LsOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+
+  // The durability contract: every acked put is present; nothing else is
+  // promised (a failed put may or may not have reached the platter).
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(mv_->Exists(PathOf(i))) << "lost acked " << PathOf(i);
+  }
+  for (const auto& [i, ok] : acks) {
+    if (ok) {
+      EXPECT_TRUE(mv_->Exists(PathOf(i))) << "lost acked " << PathOf(i);
+    }
+  }
+  // And the recovered store still takes writes.
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 100, 3, 1)).ok());
+  EXPECT_TRUE(mv_->Exists(PathOf(100)));
+}
+
+TEST_F(MvStoreTest, TornWalTailIsTruncatedAway) {
+  Attach(LsOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 20, 100)).ok());
+  const std::uint64_t wal_seq = 1;
+  mv_.reset();  // crash
+
+  // A torn final sector: half a record's worth of garbage lands after the
+  // last committed frame.
+  std::vector<std::uint8_t> garbage(9, 0xEE);
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.Append(MvLog::FileName(wal_seq), std::move(garbage)))
+                  .ok());
+
+  Attach(LsOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+  EXPECT_EQ(mv_->index_count(), 20u);
+  const MetadataVolume::StoreStats stats = mv_->store_stats();
+  EXPECT_EQ(stats.torn_tail_bytes, 9u);
+  EXPECT_EQ(stats.replayed_wal_records, 20u);
+
+  // The next write must land on a clean tail: crash again and re-open.
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 20, 1, 100)).ok());
+  Attach(LsOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+  EXPECT_EQ(mv_->index_count(), 21u);
+  EXPECT_TRUE(mv_->Exists(PathOf(20)));
+}
+
+TEST_F(MvStoreTest, CorruptSegmentIsSkippedNotFatal) {
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 60, 100)).ok());
+  DrainBackground();
+  ASSERT_GT(mv_->store_stats().segment_count, 0u);
+  mv_.reset();  // crash
+
+  // Flip one bit in the middle of the first segment file.
+  std::vector<std::string> segs = volume_.List("/mvseg.");
+  ASSERT_FALSE(segs.empty());
+  std::sort(segs.begin(), segs.end());
+  std::vector<std::uint8_t> bytes = ReadRaw(segs.front());
+  ASSERT_FALSE(bytes.empty());
+  bytes[bytes.size() / 2] ^= 0x04;
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.WriteAll(segs.front(), std::move(bytes)))
+                  .ok());
+
+  // Recovery survives: the damaged segment is quarantined, everything else
+  // replays, and the store stays internally consistent.
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+  const MetadataVolume::StoreStats stats = mv_->store_stats();
+  EXPECT_EQ(stats.corrupt_segments, 1u);
+  EXPECT_EQ(mv_->index_count(), mv_->AllPaths().size());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 200, 2, 1)).ok());
+  EXPECT_TRUE(mv_->Exists(PathOf(200)));
+}
+
+TEST_F(MvStoreTest, SnapshotsRestoreAcrossBackends) {
+  // Legacy writes the snapshot, the log-structured store restores it —
+  // and the other way around. The image layout is backend-independent.
+  disk::StorageDevice device2(sim_, "ssd2", 256 * kMiB, disk::SsdPerf());
+  disk::Volume volume2(sim_, &device2, disk::MetadataVolumeParams());
+  MetadataVolume legacy(&volume2, /*cache_capacity=*/16);
+  Attach(LsOptions());
+
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(&legacy, 0, 25, 100)).ok());
+  auto image = sim_.RunUntilComplete(
+      legacy.BuildSnapshotImage("img-mv-1", 64 * kMiB));
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->RestoreFromSnapshot(*image)).ok());
+  EXPECT_EQ(mv_->AllPaths(), legacy.AllPaths());
+  for (const std::string& path : legacy.AllPaths()) {
+    EXPECT_EQ(GetJson(mv_.get(), path), GetJson(&legacy, path)) << path;
+  }
+
+  // Reverse: mutate the LS store, snapshot it, restore into a wiped
+  // legacy store (restore replaces matching entries but never deletes —
+  // MV-loss recovery starts from a clean volume).
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 25, 10, 7)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Remove(PathOf(0))).ok());
+  auto image2 = sim_.RunUntilComplete(
+      mv_->BuildSnapshotImage("img-mv-2", 64 * kMiB));
+  ASSERT_TRUE(image2.ok()) << image2.status().ToString();
+  legacy.WipeAll();
+  ASSERT_TRUE(
+      sim_.RunUntilComplete(legacy.RestoreFromSnapshot(*image2)).ok());
+  EXPECT_EQ(legacy.AllPaths(), mv_->AllPaths());
+  for (const std::string& path : mv_->AllPaths()) {
+    EXPECT_EQ(GetJson(&legacy, path), GetJson(mv_.get(), path)) << path;
+  }
+}
+
+TEST_F(MvStoreTest, StateKeysSurviveRecovery) {
+  Attach(LsOptions());
+  json::Object cursor;
+  cursor["at"] = 7;
+  cursor["img"] = "img-0042";
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  mv_->PutState("burn/cursor", json::Value(cursor)))
+                  .ok());
+  const auto before = sim_.RunUntilComplete(mv_->GetState("burn/cursor"));
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  Attach(LsOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+  const auto after = sim_.RunUntilComplete(mv_->GetState("burn/cursor"));
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->Dump(), before->Dump());
+  // State keys live in the "s/" domain: they never count as namespace
+  // entries.
+  EXPECT_EQ(mv_->index_count(), 0u);
+}
+
+TEST_F(MvStoreTest, WipeAllEmptiesTheStoreDurably) {
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 0, 40, 100)).ok());
+  DrainBackground();
+  mv_->WipeAll();
+  EXPECT_EQ(mv_->index_count(), 0u);
+  EXPECT_TRUE(mv_->AllPaths().empty());
+
+  // The wipe must hold across recovery, and the store must accept new
+  // writes on the clean slate.
+  ASSERT_TRUE(sim_.RunUntilComplete(PutRange(mv_.get(), 300, 2, 5)).ok());
+  Attach(TinyFlushOptions());
+  ASSERT_TRUE(sim_.RunUntilComplete(mv_->Open()).ok());
+  EXPECT_EQ(mv_->index_count(), 2u);
+  EXPECT_TRUE(mv_->Exists(PathOf(300)));
+  EXPECT_FALSE(mv_->Exists(PathOf(0)));
+}
+
+TEST_F(MvStoreTest, IndexCountTracksAllPathsThroughChurn) {
+  Attach(TinyFlushOptions());
+  for (int round = 0; round < 6; ++round) {
+    ASSERT_TRUE(sim_.RunUntilComplete(
+                    PutRange(mv_.get(), round * 10, 15, 100))
+                    .ok());
+    ASSERT_TRUE(
+        sim_.RunUntilComplete(mv_->Remove(PathOf(round * 10 + 3))).ok());
+    DrainBackground();
+    EXPECT_EQ(mv_->index_count(), mv_->AllPaths().size()) << round;
+  }
+}
+
+// --- double-run determinism --------------------------------------------
+
+struct WorldResult {
+  sim::TimePoint now = 0;
+  std::vector<std::string> paths;
+  std::uint64_t batches = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t compactions = 0;
+};
+
+sim::Task<Status> DriveSeededWorkload(sim::Simulator* sim,
+                                      MetadataVolume* mv) {
+  for (int round = 0; round < 8; ++round) {
+    std::vector<sim::Task<Status>> burst;
+    for (int i = 0; i < 12; ++i) {
+      // Overwrites (i % 30) collide across rounds, creating garbage for
+      // the compactor; sizes vary so record lengths differ.
+      burst.push_back(PutOne(mv, (round * 12 + i) % 30,
+                             100 + static_cast<std::uint64_t>(round)));
+    }
+    Status status = co_await sim::AllOk(*sim, std::move(burst));
+    if (!status.ok()) {
+      co_return status;
+    }
+    Status removed = co_await mv->Remove(PathOf(round));
+    if (!removed.ok()) {
+      co_return removed;
+    }
+  }
+  co_return OkStatus();
+}
+
+WorldResult RunSeededWorld() {
+  sim::Simulator sim;
+  disk::StorageDevice device(sim, "ssd", 256 * kMiB, disk::SsdPerf());
+  disk::Volume volume(sim, &device, disk::MetadataVolumeParams());
+  MetadataVolume::Options options;
+  options.log_structured = true;
+  options.cache_capacity = 16;
+  options.memtable_flush_bytes = 2 * kKiB;
+  options.compact_min_segments = 2;
+  options.compact_fan_in = 2;
+  MetadataVolume mv(sim, &volume, options);
+
+  WorldResult result;
+  Status status = sim.RunUntilComplete(DriveSeededWorkload(&sim, &mv));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  sim.RunFor(sim::Seconds(10));  // drain flush + compaction
+  result.now = sim.now();
+  result.paths = mv.AllPaths();
+  const MetadataVolume::StoreStats stats = mv.store_stats();
+  result.batches = stats.wal.batches_committed;
+  result.flushes = stats.memtable_flushes;
+  result.compactions = stats.compactions;
+  return result;
+}
+
+TEST(MvStoreDeterminism, DoubleRunConverges) {
+  // The whole backend — group commit, background flush, compaction — must
+  // be a pure function of the (simulated) schedule: two runs of the same
+  // workload end at the same simulated instant with identical state and
+  // identical background activity.
+  const WorldResult a = RunSeededWorld();
+  const WorldResult b = RunSeededWorld();
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.flushes, b.flushes);
+  EXPECT_EQ(a.compactions, b.compactions);
+  EXPECT_GT(a.flushes, 0u);
+}
+
+}  // namespace
+}  // namespace ros::olfs

@@ -322,5 +322,57 @@ TEST_F(VolumeTest, FormatQuickResets) {
   EXPECT_EQ(volume_.file_count(), 0u);
 }
 
+TEST_F(VolumeTest, AppendBatchLandsAsOneMutation) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/wal")).ok());
+  ASSERT_TRUE(
+      sim_.RunUntilComplete(volume_.Append("/wal", Bytes("head-"))).ok());
+  const std::uint64_t gen_before = volume_.StatFile("/wal")->write_gen;
+
+  // N pieces, one concatenated write: this is the group-commit primitive
+  // (DESIGN.md §5i) — the batch must cost one generation step, not N.
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.AppendBatch(
+                      "/wal", {Bytes("one-"), Bytes("two-"), Bytes("three")}))
+                  .ok());
+  auto data = sim_.RunUntilComplete(volume_.ReadAll("/wal"));
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(*data, Bytes("head-one-two-three"));
+  EXPECT_EQ(volume_.StatFile("/wal")->write_gen, gen_before + 1);
+
+  // Degenerate batches: empty piece list is a free no-op, and a batch
+  // against a missing file is NotFound before any bytes move.
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.AppendBatch("/wal", {})).ok());
+  EXPECT_EQ(volume_.StatFile("/wal")->write_gen, gen_before + 1);
+  auto missing =
+      sim_.RunUntilComplete(volume_.AppendBatch("/nope", {Bytes("x")}));
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+}
+
+TEST_F(VolumeTest, TruncateShrinksAndFreesBlocks) {
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Create("/wal")).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(
+                  volume_.Write("/wal", 0,
+                                std::vector<std::uint8_t>(3000, 0x5A)))
+                  .ok());
+  const std::uint64_t used_before = volume_.used_blocks();
+
+  // Shrink to a non-block-aligned size: the tail past the cut is gone,
+  // whole blocks past the new end return to the allocator.
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Truncate("/wal", 1100)).ok());
+  EXPECT_EQ(*volume_.FileSize("/wal"), 1100u);
+  EXPECT_LT(volume_.used_blocks(), used_before);
+  auto data = sim_.RunUntilComplete(volume_.ReadAll("/wal"));
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data->size(), 1100u);
+  EXPECT_EQ((*data)[1099], 0x5A);
+
+  // Truncate never grows a file, and to-same-size is a no-op.
+  auto grow = sim_.RunUntilComplete(volume_.Truncate("/wal", 5000));
+  EXPECT_EQ(grow.code(), StatusCode::kOutOfRange);
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Truncate("/wal", 1100)).ok());
+  ASSERT_TRUE(sim_.RunUntilComplete(volume_.Truncate("/wal", 0)).ok());
+  EXPECT_EQ(*volume_.FileSize("/wal"), 0u);
+}
+
 }  // namespace
 }  // namespace ros::disk
