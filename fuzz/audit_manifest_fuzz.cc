@@ -1,0 +1,16 @@
+// Fuzz target: the audit-manifest binary codec (DESIGN.md §5j) — the
+// durable integrity proof an auditor trusts decades after the burn.
+//
+// Build with -DROS_FUZZ=ON. Links against libFuzzer when the compiler
+// provides -fsanitize=fuzzer, otherwise against the standalone mutational
+// driver (fuzz/standalone_driver.cc). Seed corpus: fuzz/corpus/audit/.
+#include <cstddef>
+#include <cstdint>
+
+#include "fuzz/harness.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  ros::fuzz::FuzzAuditManifest(data, size);
+  return 0;
+}

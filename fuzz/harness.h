@@ -38,6 +38,11 @@ void FuzzUdfImage(const std::uint8_t* data, std::size_t size);
 // must round-trip through the encoders.
 void FuzzMvLog(const std::uint8_t* data, std::size_t size);
 
+// olfs::ParseAuditManifest (DESIGN.md §5j): arbitrary bytes parse to a
+// fully root-verified manifest or fail with kInvalidArgument/kDataLoss,
+// and every accepted manifest re-serializes to the identical blob.
+void FuzzAuditManifest(const std::uint8_t* data, std::size_t size);
+
 }  // namespace ros::fuzz
 
 #endif  // ROS_FUZZ_HARNESS_H_

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/olfs/audit.h"
 #include "src/olfs/index_file.h"
 #include "src/olfs/mv_log.h"
 #include "src/olfs/mv_segment.h"
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
   fs::create_directories(root / "index");
   fs::create_directories(root / "udf");
   fs::create_directories(root / "mvlog");
+  fs::create_directories(root / "audit");
 
   // --- json seeds ---
   WriteText(root / "json" / "seed_scalars.json",
@@ -183,6 +185,59 @@ int main(int argc, char** argv) {
     ros::olfs::mvseg::SegmentBuilder builder(/*rank=*/1, /*id=*/1);
     WriteBytes(root / "mvlog" / "seed_segment_empty.bin",
                std::move(builder).Finish());
+  }
+
+  // --- audit-manifest seeds (emitted by the real codec) ---
+  {
+    // A RAID-6-shaped array: two data members, P and Q, with real leaf
+    // hashes over distinct synthetic streams.
+    ros::olfs::AuditManifest manifest;
+    manifest.tray_index = 3;
+    manifest.leaf_bytes = 64;
+    const char* ids[] = {"img-0001", "img-0002", "img-0001-P", "img-0001-Q"};
+    for (int m = 0; m < 4; ++m) {
+      std::vector<std::uint8_t> stream(150 + m * 37);
+      for (std::size_t i = 0; i < stream.size(); ++i) {
+        stream[i] = static_cast<std::uint8_t>(i * 7 + m * 13);
+      }
+      ros::olfs::AuditMember member;
+      member.image_id = ids[m];
+      member.stream_bytes = stream.size();
+      member.leaves =
+          ros::olfs::AuditLeafHashes(stream, manifest.leaf_bytes);
+      member.root = ros::olfs::AuditMerkleRoot(member.leaves);
+      manifest.members.push_back(std::move(member));
+    }
+    manifest.array_root = ros::olfs::AuditArrayRoot(manifest);
+    const std::vector<std::uint8_t> blob =
+        ros::olfs::SerializeAuditManifest(manifest);
+    WriteBytes(root / "audit" / "seed_array.bin", blob);
+
+    // Truncated mid-leaf-table: the parser must reject it cleanly.
+    std::vector<std::uint8_t> cut(blob.begin(), blob.end() - 11);
+    WriteBytes(root / "audit" / "seed_truncated.bin", cut);
+
+    // One flipped leaf-hash bit: CRC (or a root recompute) must catch it.
+    std::vector<std::uint8_t> flipped = blob;
+    flipped[flipped.size() / 2] ^= 0x04;
+    WriteBytes(root / "audit" / "seed_bitflip.bin", flipped);
+  }
+  {
+    // Degenerate but legal shapes: an empty array and an empty member.
+    ros::olfs::AuditManifest manifest;
+    manifest.tray_index = 0;
+    manifest.leaf_bytes = 4096;
+    manifest.array_root = ros::olfs::AuditArrayRoot(manifest);
+    WriteBytes(root / "audit" / "seed_empty_array.bin",
+               ros::olfs::SerializeAuditManifest(manifest));
+
+    ros::olfs::AuditMember empty;
+    empty.image_id = "img-empty";
+    empty.root = ros::olfs::AuditMerkleRoot(empty.leaves);
+    manifest.members.push_back(std::move(empty));
+    manifest.array_root = ros::olfs::AuditArrayRoot(manifest);
+    WriteBytes(root / "audit" / "seed_empty_member.bin",
+               ros::olfs::SerializeAuditManifest(manifest));
   }
 
   std::printf("seed corpus written under %s\n", root.string().c_str());

@@ -1,6 +1,11 @@
 #include "src/drive/disc.h"
 
 #include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
 
 namespace ros::drive {
 
@@ -66,6 +71,9 @@ Status Disc::Erase() {
   sessions_.clear();
   next_start_ = 0;
   corrupted_.clear();
+  // Erased media restarts its aging clock at the next burn.
+  birth_ns_ = -1;
+  aged_epochs_ = 0;
   return OkStatus();
 }
 
@@ -104,6 +112,67 @@ StatusOr<std::vector<std::uint8_t>> Disc::ReadSession(
                 n, out.begin());
   }
   return out;
+}
+
+Status Disc::TamperSessionData(const std::string& image_id,
+                               std::uint64_t offset, std::uint8_t xor_mask) {
+  if (xor_mask == 0) {
+    return InvalidArgumentError("xor mask must flip at least one bit");
+  }
+  for (Session& session : sessions_) {
+    if (session.image_id != image_id) {
+      continue;
+    }
+    if (offset >= session.data.size()) {
+      return OutOfRangeError("tamper offset beyond stored payload");
+    }
+    session.data[offset] ^= xor_mask;
+    return OkStatus();
+  }
+  return NotFoundError("image " + image_id + " not on disc " + id_);
+}
+
+int Disc::AdvanceAging(std::int64_t now_ns, const MediaAgingParams& params) {
+  if (!params.enabled || birth_ns_ < 0 || params.epoch_ns <= 0 ||
+      next_start_ == 0) {
+    return 0;
+  }
+  const std::int64_t epochs = (now_ns - birth_ns_) / params.epoch_ns;
+  if (epochs <= aged_epochs_) {
+    return 0;
+  }
+  const double epoch_years =
+      static_cast<double>(params.epoch_ns) / kNsPerYear;
+  const double factor = params.generation_factor(type_);
+  const std::uint64_t burned_sectors =
+      (next_start_ + kSectorSize - 1) / kSectorSize;
+  const std::uint64_t id_hash = Fnv1a64(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(id_.data()), id_.size()));
+  int materialized = 0;
+  for (std::int64_t e = aged_epochs_; e < epochs; ++e) {
+    // Per-(disc, epoch) stream: the sectors an epoch rots are fixed at
+    // seed time, so materialization order never depends on observation.
+    Rng rng(params.seed ^ id_hash ^
+            (static_cast<std::uint64_t>(e) * 0x9E3779B97F4A7C15ull));
+    const double age_years = static_cast<double>(e) * epoch_years;
+    const double rate = params.lse_per_sector_year * factor *
+                        (1.0 + params.growth_per_year * age_years);
+    const double expected =
+        rate * epoch_years * static_cast<double>(burned_sectors);
+    std::uint64_t errors = static_cast<std::uint64_t>(std::floor(expected));
+    const double frac = expected - static_cast<double>(errors);
+    if (frac > 0 && rng.Chance(frac)) {
+      ++errors;
+    }
+    for (std::uint64_t i = 0; i < errors; ++i) {
+      if (corrupted_.insert(rng.Below(burned_sectors)).second) {
+        ++materialized;
+      }
+    }
+  }
+  aged_epochs_ = epochs;
+  aged_errors_ += static_cast<std::uint64_t>(materialized);
+  return materialized;
 }
 
 std::vector<std::uint64_t> Disc::ScrubForErrors() const {

@@ -47,6 +47,55 @@ constexpr bool IsWorm(DiscType type) { return type != DiscType::kBdre25; }
 // Maximum erase cycles for rewritable media (§2.1: "at most 1000").
 inline constexpr int kMaxEraseCycles = 1000;
 
+// Media aging model (§4.7, DESIGN.md §5j): latent sector errors accrue
+// with *time*, not with access. Each disc materializes its accrued errors
+// lazily, one fixed epoch at a time, from a per-(disc, epoch) seeded RNG —
+// so the damage a disc carries at sim-time T is a pure function of
+// (seed, disc id, burned area, T), independent of when or how often the
+// disc is observed, and double runs replay bit-identically. Disabled
+// (the default) the model consumes no randomness and touches nothing.
+struct MediaAgingParams {
+  bool enabled = false;
+  // Expected latent sector errors per burned sector per sim-year on
+  // new-generation reference media (age 0, factor 1.0).
+  double lse_per_sector_year = 0.0;
+  // Linear growth of that rate per year of media age: the effective rate
+  // at age A is lse_per_sector_year * (1 + growth_per_year * A).
+  double growth_per_year = 0.0;
+  // Per-generation quality multipliers — later, higher-density archival
+  // generations rot slower, which is what makes refresh-with-migration
+  // worth the burn cost.
+  double bdr25_factor = 1.0;
+  double bdr100_factor = 0.25;
+  double bdre25_factor = 2.0;
+  // Extra per-read latent-sector-error probability per year of age, fed
+  // to FaultInjector::ShouldInjectAged by the drive's read hook (models
+  // marginal sectors that only fail under the read head).
+  double read_fault_per_year = 0.0;
+  // Accrual quantum: errors materialize per whole elapsed epoch.
+  std::int64_t epoch_ns = 30LL * 24 * 3600 * 1000000000LL;  // ~1 month
+  std::uint64_t seed = 1;
+
+  double generation_factor(DiscType type) const {
+    switch (type) {
+      case DiscType::kBdr25: return bdr25_factor;
+      case DiscType::kBdr100: return bdr100_factor;
+      case DiscType::kBdre25: return bdre25_factor;
+    }
+    return 1.0;
+  }
+
+  // Extra read-fault rate for ShouldInjectAged at the given age.
+  double read_boost(double age_years, DiscType type) const {
+    if (!enabled || age_years <= 0.0) {
+      return 0.0;
+    }
+    return read_fault_per_year * generation_factor(type) * age_years;
+  }
+};
+
+inline constexpr double kNsPerYear = 365.0 * 24 * 3600 * 1e9;
+
 // One burned track. `image_id` ties the session to an OLFS disc image.
 struct Session {
   std::string image_id;
@@ -110,6 +159,35 @@ class Disc {
   std::vector<std::uint64_t> ScrubForErrors() const;
   bool HasCorruption() const { return !corrupted_.empty(); }
 
+  // Flips bits in a session's stored payload *without* marking the sector
+  // bad: reads succeed and return the tampered bytes, so only a checksum
+  // audit can tell. Used to stage provable silent-corruption scenarios.
+  Status TamperSessionData(const std::string& image_id, std::uint64_t offset,
+                           std::uint8_t xor_mask);
+
+  // --- media aging (DESIGN.md §5j) ---
+
+  // Stamped by the drive at the disc's first successful burn; age is
+  // measured from here. Idempotent: later burns keep the original birth.
+  void StampBirth(std::int64_t now_ns) {
+    if (birth_ns_ < 0) {
+      birth_ns_ = now_ns;
+    }
+  }
+  std::int64_t birth_time_ns() const { return birth_ns_; }
+  double AgeYears(std::int64_t now_ns) const {
+    return birth_ns_ < 0 ? 0.0
+                         : static_cast<double>(now_ns - birth_ns_) /
+                               kNsPerYear;
+  }
+
+  // Lazily materializes the latent sector errors the aging process accrued
+  // up to `now_ns` (whole epochs since birth only). Returns the number of
+  // newly corrupted sectors. No-op (and RNG-free) when aging is disabled,
+  // the disc was never burned, or no new epoch has elapsed.
+  int AdvanceAging(std::int64_t now_ns, const MediaAgingParams& params);
+  std::uint64_t aged_errors() const { return aged_errors_; }
+
  private:
   std::string id_;
   DiscType type_;
@@ -118,6 +196,9 @@ class Disc {
   std::uint64_t next_start_ = 0;
   int erase_cycles_ = 0;
   std::set<std::uint64_t> corrupted_;
+  std::int64_t birth_ns_ = -1;      // first-burn sim time; -1 = blank
+  std::int64_t aged_epochs_ = 0;    // whole epochs already materialized
+  std::uint64_t aged_errors_ = 0;   // sectors corrupted by aging
 };
 
 }  // namespace ros::drive

@@ -73,12 +73,28 @@ sim::Task<StatusOr<std::vector<std::uint8_t>>> OpticalDrive::Read(
     set_->AddReader();
   }
 
+  // Media aging (§5j): materialize the latent errors this disc accrued
+  // since it was last observed, then consult the injector with the
+  // age-scaled extra read-fault rate. With aging disabled both calls are
+  // byte-identical to the flat-rate path.
+  double aging_boost = 0.0;
+  if (aging_ != nullptr && aging_->enabled) {
+    const int rotted = disc_->AdvanceAging(sim_.now(), *aging_);
+    if (rotted > 0 && faults_ != nullptr) {
+      faults_->RecordExternal(sim::FaultKind::kLatentSectorError,
+                              fault_site_,
+                              static_cast<std::uint64_t>(rotted));
+    }
+    aging_boost =
+        aging_->read_boost(disc_->AgeYears(sim_.now()), disc_->type());
+  }
+
   // Latent sector error: the media under this read has silently rotted.
   // Corrupting the disc (rather than failing the call) makes the fault
   // persistent and scrub-discoverable, exactly like real bit rot.
   if (faults_ != nullptr &&
-      faults_->ShouldInject(sim::FaultKind::kLatentSectorError,
-                            fault_site_)) {
+      faults_->ShouldInjectAged(sim::FaultKind::kLatentSectorError,
+                                fault_site_, aging_boost)) {
     auto session = disc_->FindSession(image_id);
     if (session.ok()) {
       disc_->CorruptSector(((*session)->start + offset) / kSectorSize);
@@ -229,6 +245,8 @@ sim::Task<StatusOr<BurnResult>> OpticalDrive::BurnImage(
   if (!status.ok()) {
     co_return status;
   }
+  // The aging clock starts at the first successful burn (idempotent).
+  disc_->StampBirth(sim_.now());
   // New sessions invalidate the mounted VFS view.
   vfs_mounted_ = false;
 

@@ -126,6 +126,13 @@ class OpticalDrive {
     fault_site_ = "drive:" + std::to_string(id_);
   }
 
+  // Installs the media-aging model (DESIGN.md §5j): every read first
+  // materializes the disc's accrued latent errors and feeds the age-scaled
+  // extra read-fault rate into the injector hook. Not owned; the params
+  // must outlive the drive. nullptr (or enabled=false) is byte-identical
+  // to no model at all.
+  void set_aging_model(const MediaAgingParams* aging) { aging_ = aging; }
+
   // Observer for burn progress, used by the figure benches:
   // called as (progress_fraction, instantaneous_speed_x).
   std::function<void(double, double)> burn_observer;
@@ -145,6 +152,7 @@ class OpticalDrive {
   DriveState state_ = DriveState::kEmpty;
   Disc* disc_ = nullptr;
   sim::FaultInjector* faults_ = nullptr;
+  const MediaAgingParams* aging_ = nullptr;
   std::string fault_site_;
   bool vfs_mounted_ = false;
   bool interrupt_requested_ = false;

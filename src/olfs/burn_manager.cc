@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/logging.h"
+#include "src/olfs/audit.h"
 #include "src/sim/join.h"
 #include "src/sim/retry.h"
 #include "src/udf/serializer.h"
@@ -336,6 +337,16 @@ sim::Task<Status> BurnManager::FinishJob(BurnJob& job) {
   }
   ROS_CO_RETURN_IF_ERROR(images_->SetArrayMembers(job.image_ids));
   ++arrays_burned_;
+  if (audit_ != nullptr) {
+    // Build the array's Merkle manifest while the member streams are still
+    // in controller memory. Advisory: a manifest failure must never turn a
+    // physically successful burn into an error.
+    Status audited = co_await audit_->OnArrayBurned(job.tray, job.image_ids);
+    if (!audited.ok()) {
+      ROS_LOG(kWarning) << "audit manifest for " << job.tray.ToString()
+                        << " failed: " << audited.ToString();
+    }
+  }
   ROS_CO_RETURN_IF_ERROR(co_await PersistDilIndex());
   ROS_CO_RETURN_IF_ERROR(co_await EvictCacheOverflow());
   ROS_LOG(kInfo) << "burned disc array " << job.tray.ToString();

@@ -35,6 +35,8 @@
 
 namespace ros::olfs {
 
+class AuditRegistry;
+
 class BurnManager {
  public:
   BurnManager(sim::Simulator& sim, const OlfsParams& params,
@@ -67,6 +69,11 @@ class BurnManager {
   void set_affinity_tracker(const AffinityTracker* tracker) {
     affinity_ = tracker;
   }
+
+  // When set, every finished array burn builds its Merkle audit manifest
+  // inline (DESIGN.md §5j) while the member streams are still in memory.
+  // Manifest failures are advisory: the burn itself never fails on them.
+  void set_audit(AuditRegistry* audit) { audit_ = audit; }
 
   // Enforces the read-cache capacity: drops kBurnedCached images the SLRU
   // nominates until the cache fits. Also run by the whole-tray readahead
@@ -116,6 +123,7 @@ class BurnManager {
   ReadCache* cache_;
   MetadataVolume* mv_;
   const AffinityTracker* affinity_ = nullptr;
+  AuditRegistry* audit_ = nullptr;
 
   int active_burns_ = 0;
   int arrays_burned_ = 0;

@@ -29,6 +29,49 @@ sim::Task<StatusOr<FetchLease>> FetchManager::FetchDisc(
   }
 }
 
+sim::Task<StatusOr<FetchLease>> FetchManager::FetchDiscBackground(
+    std::string image_id) {
+  if (scheduler_ == nullptr) {
+    // No background class without the scheduler; the legacy FIFO path is
+    // the best a sweep can do.
+    co_return co_await FetchDisc(image_id);
+  }
+  sim::Retrier retrier(
+      sim_, params_.mech_retry,
+      Fnv1a64({reinterpret_cast<const std::uint8_t*>(image_id.data()),
+               image_id.size()}) ^
+          0xBA5EBA11u);
+  while (true) {
+    StatusOr<FetchLease> lease = co_await FetchBackgroundOnce(image_id);
+    if (lease.ok()) {
+      co_return std::move(lease);
+    }
+    if (!co_await retrier.AwaitRetry(lease.status())) {
+      co_return lease.status();
+    }
+    ++retries_;
+    ROS_LOG(kWarning) << "retrying background fetch of " << image_id
+                      << " (attempt " << retrier.attempts() + 1
+                      << "): " << lease.status().ToString();
+  }
+}
+
+sim::Task<StatusOr<FetchLease>> FetchManager::FetchBackgroundOnce(
+    std::string image_id) {
+  ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
+                          images_->Lookup(image_id));
+  if (!record->disc.has_value()) {
+    co_return FailedPreconditionError("image " + image_id +
+                                      " is not on any disc");
+  }
+  const mech::DiscAddress address = *record->disc;
+  ROS_CO_ASSIGN_OR_RETURN(
+      int bay, co_await scheduler_->AcquireForBackground(address));
+  co_return FetchLease(mech_, bay,
+                       &mech_->drive_set(bay).drive(address.index),
+                       scheduler_);
+}
+
 sim::Task<StatusOr<FetchLease>> FetchManager::FetchDiscOnce(
     std::string image_id) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,

@@ -108,6 +108,12 @@ class FetchManager {
   // back to another bay.
   sim::Task<StatusOr<FetchLease>> FetchDisc(std::string image_id);
 
+  // Background-class fetch for scrub / audit sweeps (DESIGN.md §5j): the
+  // bay claim goes through FetchScheduler::AcquireForBackground, which
+  // parks while foreground demand is queued or loading, so sweeps never
+  // starve readers. Degenerates to FetchDisc when the scheduler is off.
+  sim::Task<StatusOr<FetchLease>> FetchDiscBackground(std::string image_id);
+
   // Mechanical load cycles performed on behalf of reads.
   std::uint64_t fetches() const {
     return scheduler_ != nullptr ? scheduler_->stats().loads : fetches_;
@@ -118,6 +124,8 @@ class FetchManager {
  private:
   // One fetch attempt, no retry.
   sim::Task<StatusOr<FetchLease>> FetchDiscOnce(std::string image_id);
+  // One background-class attempt, no retry (scheduler path only).
+  sim::Task<StatusOr<FetchLease>> FetchBackgroundOnce(std::string image_id);
 
   sim::Simulator& sim_;
   OlfsParams params_;

@@ -106,6 +106,20 @@ sim::Task<StatusOr<int>> FetchScheduler::AcquireForRead(
   co_return request->bay;
 }
 
+sim::Task<StatusOr<int>> FetchScheduler::AcquireForBackground(
+    mech::DiscAddress address) {
+  // Park (deterministic sim-time poll) until the demand machinery is
+  // idle: no queued foreground requests and no load cycle in flight. A
+  // fresh demand arriving after admission simply queues behind this claim
+  // like behind any single reader, and the aging bound still applies.
+  while (queue_depth() > 0 || !loading_.empty()) {
+    ++stats_.background_yields;
+    co_await sim_.Delay(sim::Seconds(1));
+  }
+  ++stats_.background_acquires;
+  co_return co_await AcquireForRead(address);
+}
+
 void FetchScheduler::ReleaseBay(int bay) {
   last_used_.at(bay) = ++use_clock_;
   auto tray = mech_->bay_tray(bay);

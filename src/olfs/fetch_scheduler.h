@@ -66,6 +66,9 @@ struct FetchSchedulerStats {
   // Self-check: a speculative dispatch picked a victim bay whose tray has
   // queued demand. Tests and the chaos harness assert this stays zero.
   std::uint64_t speculative_demand_evictions = 0;
+  // Background claim class (scrub / audit sweeps).
+  std::uint64_t background_acquires = 0;   // claims admitted
+  std::uint64_t background_yields = 0;     // idle-waits taken before admit
   std::uint64_t max_queue_depth = 0;
   std::uint64_t max_batch = 0;        // most waiters drained by one load
   sim::Duration total_queue_delay = 0;
@@ -99,6 +102,15 @@ class FetchScheduler {
   // queued for the tray it holds, ownership passes directly to the next
   // waiter (the bay never leaves kBusy); otherwise the bay is parked.
   void ReleaseBay(int bay);
+
+  // Background claim class (scrub / audit sweeps, DESIGN.md §5j): like
+  // AcquireForRead, but the claim only joins the demand machinery while it
+  // is idle — the caller parks (sim-time polling) whenever demand is
+  // queued or a load cycle is in flight, so background traffic adds no
+  // queueing delay ahead of a foreground fetch. Once admitted it holds a
+  // bay like any single reader, and the aging bound caps foreground waits
+  // as usual. Release through ReleaseBay (FetchLease does this).
+  sim::Task<StatusOr<int>> AcquireForBackground(mech::DiscAddress address);
 
   // Background priority class: asks for `tray` to be made resident while
   // the mechanics would otherwise idle (predictive prefetch, whole-tray

@@ -197,6 +197,31 @@ json::Value Maintenance::StatusReport() const {
   }
   report["resilience"] = json::Value(std::move(resilience));
 
+  // Decades-scale preservation (DESIGN.md §5j): scrub / refresh-migration
+  // progress and the audit manifests' verification economics.
+  json::Object preservation;
+  preservation["scrub_passes"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().passes()));
+  preservation["scrubbed_bytes"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().scrubbed_bytes()));
+  preservation["scrub_repairs"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().scrub_repairs()));
+  preservation["refresh_burns"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().refresh_burns()));
+  preservation["arrays_refreshed"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().arrays_refreshed()));
+  preservation["audit_roots_built"] = json::Value(
+      static_cast<std::int64_t>(olfs_->audit().roots_built()));
+  preservation["audit_manifests"] = json::Value(
+      static_cast<std::int64_t>(olfs_->audit().manifests_live()));
+  preservation["audit_leaves_sampled"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().audit_leaves_sampled()));
+  preservation["audit_bytes_read"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().audit_bytes_read()));
+  preservation["audit_mismatches"] = json::Value(
+      static_cast<std::int64_t>(olfs_->scrub().audit_mismatches()));
+  report["preservation"] = json::Value(std::move(preservation));
+
   json::Object namespace_info;
   namespace_info["entries"] =
       json::Value(static_cast<std::int64_t>(olfs_->mv().index_count()));

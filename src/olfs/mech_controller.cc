@@ -11,7 +11,8 @@ MechController::MechController(sim::Simulator& sim, mech::Library* library,
                                DiscInventory* inventory,
                                const OlfsParams& params)
     : sim_(sim), library_(library), drive_sets_(std::move(drive_sets)),
-      params_(params), bay_changed_(sim), inventory_(inventory) {
+      params_(params), media_type_(params.disc_type), bay_changed_(sim),
+      inventory_(inventory) {
   ROS_CHECK(library_ != nullptr);
   ROS_CHECK(inventory_ != nullptr);
   ROS_CHECK(!drive_sets_.empty());
@@ -33,7 +34,7 @@ MechController::MechController(sim::Simulator& sim, mech::Library* library,
 
 drive::Disc* MechController::GetOrCreateDisc(mech::DiscAddress address) {
   ROS_CHECK(address.IsValid(library_->num_rollers()));
-  return inventory_->GetOrCreate(address, params_.disc_type,
+  return inventory_->GetOrCreate(address, media_type_,
                                  params_.disc_capacity_override);
 }
 

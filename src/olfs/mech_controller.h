@@ -84,6 +84,12 @@ class MechController {
   // Drive currently holding the disc at `address`, or null.
   drive::OpticalDrive* DriveHolding(mech::DiscAddress address);
 
+  // Media generation currently loaded into freshly allocated slots.
+  // Generation migration (DESIGN.md §5j) switches this so refresh burns
+  // land on higher-density media; already-created discs are unaffected.
+  drive::DiscType media_type() const { return media_type_; }
+  void set_media_type(drive::DiscType type) { media_type_ = type; }
+
  private:
   drive::Disc* GetOrCreateDisc(mech::DiscAddress address);
 
@@ -91,6 +97,7 @@ class MechController {
   mech::Library* library_;
   std::vector<drive::DriveSet*> drive_sets_;
   OlfsParams params_;
+  drive::DiscType media_type_;
   std::vector<BayState> bay_states_;
   std::vector<std::optional<mech::TrayAddress>> bay_trays_;
   // Logical-clock stamp of each bay's last transition to kParked; the

@@ -1,6 +1,7 @@
 #include "src/olfs/olfs.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/logging.h"
 #include "src/udf/serializer.h"
@@ -79,6 +80,16 @@ Olfs::Olfs(sim::Simulator& sim, RosSystem* system, OlfsParams params)
   buckets_->on_image_closed = [this](const std::string& id) {
     burns_->NotifyImageClosed(id);
   };
+  audit_ = std::make_unique<AuditRegistry>(params_, mv_.get(), images_.get(),
+                                           parity_.get());
+  if (params_.audit_manifests_enabled) {
+    burns_->set_audit(audit_.get());
+  }
+  scrub_ = std::make_unique<ScrubManager>(sim_, this);
+  // Media aging hooks on every optical drive. The params object lives in
+  // this facade, so the pointer stays valid for the system's lifetime;
+  // with aging disabled (the default) the hook is byte-identical to none.
+  system->InstallAgingModel(&params_.media_aging);
 }
 
 sim::Task<void> Olfs::ChargeOp(const char* name, bool first) {
@@ -1004,91 +1015,222 @@ sim::Task<StatusOr<int>> Olfs::ScrubAndRepair() {
     }
     ROS_LOG(kInfo) << "scrub found sector errors on "
                    << (*record)->disc->ToString() << "; repairing " << id;
-    ROS_CO_ASSIGN_OR_RETURN(std::vector<std::uint8_t> recovered,
-                            co_await ReconstructFromParity(id));
-    auto image = udf::Serializer::Parse(recovered);
-    if (!image.ok()) {
-      co_return DataLossError("parity recovery failed CRC for " + id);
-    }
-    ++reconstructions_;
-    ROS_CO_RETURN_IF_ERROR(co_await RepairImage(
-        id, std::make_shared<udf::Image>(std::move(*image))));
+    ROS_CO_RETURN_IF_ERROR(co_await RecoverAndRepairImage(id));
     ++repaired;
   }
   co_return repaired;
 }
 
+sim::Task<Status> Olfs::RecoverAndRepairImage(std::string image_id) {
+  ROS_CO_ASSIGN_OR_RETURN(std::vector<std::uint8_t> recovered,
+                          co_await ReconstructFromParity(image_id));
+  auto image = udf::Serializer::Parse(recovered);
+  if (!image.ok()) {
+    co_return DataLossError("parity recovery failed CRC for " + image_id);
+  }
+  ++reconstructions_;
+  co_return co_await RepairImage(
+      image_id, std::make_shared<udf::Image>(std::move(*image)));
+}
+
+sim::Task<Status> Olfs::RefreshImage(std::string image_id) {
+  ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
+                          images_->Lookup(image_id));
+  if (record->parity) {
+    co_return InvalidArgumentError(
+        "parity images are regenerated at burn time, not refreshed");
+  }
+  if (record->tier != ImageTier::kBurnedCached &&
+      record->tier != ImageTier::kBurnedOnly) {
+    co_return FailedPreconditionError("image " + image_id +
+                                      " is not burned; nothing to refresh");
+  }
+  // Fast path: a still-cached image needs no optical read — the refresh
+  // burn re-stages the in-memory copy.
+  std::shared_ptr<udf::Image> image = record->image;
+  if (image == nullptr) {
+    // Disc-to-disc path: read the stream off the old media through the
+    // scheduler's background class, falling back to parity reconstruction
+    // when the old media is already too rotten to read.
+    auto mount = disc_mounts_.find(image_id);
+    if (mount != disc_mounts_.end()) {
+      image = mount->second;
+    }
+  }
+  if (image == nullptr) {
+    std::vector<std::uint8_t> stream;
+    bool direct_ok = false;
+    auto lease = co_await fetcher_->FetchDiscBackground(image_id);
+    if (lease.ok()) {
+      Status mounted = co_await lease->drive()->MountVfs();
+      if (mounted.ok()) {
+        drive::Disc* disc = lease->drive()->disc();
+        auto session = disc->FindSession(image_id);
+        if (session.ok()) {
+          const std::uint64_t stream_bytes = (*session)->data.size();
+          auto timed = co_await lease->drive()->Read(
+              image_id, 0, std::max<std::uint64_t>(1, stream_bytes));
+          if (timed.ok()) {
+            auto bytes = disc->ReadSession(image_id, 0, stream_bytes);
+            if (bytes.ok()) {
+              stream = std::move(*bytes);
+              direct_ok = true;
+            }
+          }
+        }
+      }
+      lease->Release();
+    }
+    if (!direct_ok) {
+      ROS_CO_ASSIGN_OR_RETURN(stream,
+                              co_await ReconstructFromParity(image_id));
+      ++reconstructions_;
+    }
+    auto parsed = udf::Serializer::Parse(stream);
+    if (!parsed.ok()) {
+      co_return DataLossError("refresh read of " + image_id +
+                              " failed CRC");
+    }
+    image = std::make_shared<udf::Image>(std::move(*parsed));
+  }
+  co_return co_await RepairImage(image_id, std::move(image));
+}
+
+namespace {
+
+bool HasSuffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() > n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
 sim::Task<StatusOr<std::vector<std::uint8_t>>> Olfs::ReconstructFromParity(
     std::string image_id) {
   ROS_CO_ASSIGN_OR_RETURN(const ImageRecord* record,
                           images_->Lookup(image_id));
-  // Gather surviving member streams + the parity stream(s).
+  // Gather surviving member streams + the parity stream(s). A member
+  // whose own media turns out damaged (kDataLoss) is added to the missing
+  // set rather than failing the recovery: under the RAID-6 schema a
+  // second data loss degrades to the double-erasure solve, and a damaged
+  // parity stream just drops out of the available set (§4.7).
   const std::vector<std::string> members = record->array_members;
   if (members.empty()) {
     co_return DataLossError("no parity membership recorded for " + image_id);
   }
   std::vector<std::vector<std::uint8_t>> streams(members.size());
-  std::vector<std::vector<std::uint8_t>> parity_streams;
-  int missing = -1;
+  std::vector<std::uint8_t> p_stream;
+  std::vector<std::uint8_t> q_stream;
+  bool have_p = false;
+  bool have_q = false;
+  std::vector<int> missing;  // positions of lost *data* members
   for (std::size_t k = 0; k < members.size(); ++k) {
-    if (members[k] == image_id) {
-      missing = static_cast<int>(k);
+    const std::string member = members[k];
+    const bool is_p = HasSuffix(member, "-P");
+    const bool is_q = HasSuffix(member, "-Q");
+    if (member == image_id) {
+      missing.push_back(static_cast<int>(k));
       continue;
     }
-    auto member = images_->Lookup(members[k]);
-    if (!member.ok() || !(*member)->disc.has_value()) {
-      co_return DataLossError("member " + members[k] + " unavailable");
+    auto lookup = images_->Lookup(member);
+    if (!lookup.ok() || !(*lookup)->disc.has_value()) {
+      if (!is_p && !is_q) {
+        missing.push_back(static_cast<int>(k));
+      }
+      continue;
     }
     ROS_CO_ASSIGN_OR_RETURN(FetchLease lease,
-                            co_await fetcher_->FetchDisc(members[k]));
+                            co_await fetcher_->FetchDisc(member));
     Status mounted = co_await lease.drive()->MountVfs();
     if (!mounted.ok()) {
       co_return mounted;
     }
     drive::Disc* member_disc = lease.drive()->disc();
-    auto session = member_disc->FindSession(members[k]);
+    auto session = member_disc->FindSession(member);
     if (!session.ok()) {
-      co_return session.status();
+      lease.Release();
+      if (is_p || is_q) {
+        continue;
+      }
+      missing.push_back(static_cast<int>(k));
+      continue;
     }
+    const std::uint64_t stream_bytes = (*session)->data.size();
     // Charge the full-stream optical read.
     auto timed = co_await lease.drive()->Read(
-        members[k], 0, std::max<std::uint64_t>(1, (*session)->data.size()));
-    if (!timed.ok()) {
-      co_return timed.status();
-    }
-    auto stream = member_disc->ReadSession(members[k], 0,
-                                           (*session)->data.size());
+        member, 0, std::max<std::uint64_t>(1, stream_bytes));
+    StatusOr<std::vector<std::uint8_t>> stream =
+        timed.ok() ? member_disc->ReadSession(member, 0, stream_bytes)
+                   : std::move(timed);
     lease.Release();
     if (!stream.ok()) {
-      co_return stream.status();
+      if (stream.status().code() != StatusCode::kDataLoss) {
+        co_return stream.status();  // mech trouble, not media rot
+      }
+      if (!is_p && !is_q) {
+        missing.push_back(static_cast<int>(k));
+      }
+      continue;
     }
-    const bool is_parity = members[k].size() > 2 &&
-                           members[k].substr(members[k].size() - 2) == "-P";
-    if (is_parity) {
-      parity_streams.push_back(std::move(*stream));
+    if (is_p) {
+      p_stream = std::move(*stream);
+      have_p = true;
+    } else if (is_q) {
+      q_stream = std::move(*stream);
+      have_q = true;
     } else {
       streams[k] = std::move(*stream);
     }
   }
-  if (missing < 0) {
-    co_return InternalError("corrupted image not in its own array");
-  }
-  // Strip parity slots from the member list (they were appended last).
+  // Strip parity slots from the member list (they were appended last) and
+  // translate the missing set into data-stream indices.
   std::vector<std::vector<std::uint8_t>> data_streams;
-  int missing_data_index = -1;
+  std::vector<int> missing_data;
+  int requested_data_index = -1;
   for (std::size_t k = 0; k < members.size(); ++k) {
     const std::string& member = members[k];
-    if (member.size() > 2 && (member.substr(member.size() - 2) == "-P" ||
-                              member.substr(member.size() - 2) == "-Q")) {
+    if (HasSuffix(member, "-P") || HasSuffix(member, "-Q")) {
       continue;
     }
-    if (static_cast<int>(k) == missing) {
-      missing_data_index = static_cast<int>(data_streams.size());
+    const int data_index = static_cast<int>(data_streams.size());
+    if (std::find(missing.begin(), missing.end(), static_cast<int>(k)) !=
+        missing.end()) {
+      missing_data.push_back(data_index);
+    }
+    if (member == image_id) {
+      requested_data_index = data_index;
     }
     data_streams.push_back(std::move(streams[k]));
   }
-  co_return ParityBuilder::Recover(data_streams, parity_streams,
-                                   missing_data_index);
+  if (requested_data_index < 0) {
+    co_return InternalError("corrupted image not in its own array");
+  }
+  if (missing_data.size() == 1) {
+    if (have_p) {
+      co_return ParityBuilder::Recover(data_streams, {p_stream},
+                                       missing_data[0]);
+    }
+    if (have_q) {
+      // P rotted along with the data member; the Reed-Solomon parity
+      // alone still solves a single erasure.
+      co_return ParityBuilder::RecoverOneFromQ(data_streams, q_stream,
+                                               missing_data[0]);
+    }
+    co_return DataLossError("parity of " + image_id + " unreadable");
+  }
+  if (missing_data.size() == 2 && have_p && have_q) {
+    ROS_CO_ASSIGN_OR_RETURN(
+        auto pair, ParityBuilder::RecoverTwo(data_streams, p_stream,
+                                             q_stream, missing_data[0],
+                                             missing_data[1]));
+    co_return requested_data_index == missing_data[0]
+                  ? std::move(pair.first)
+                  : std::move(pair.second);
+  }
+  co_return DataLossError(
+      "array of " + image_id + " lost " +
+      std::to_string(missing_data.size()) +
+      " data members; beyond what the available parity can recover");
 }
 
 sim::Task<Status> Olfs::RepairImage(std::string image_id,
@@ -1134,19 +1276,17 @@ sim::Task<void> Olfs::ScrubLoop(sim::Duration interval) {
         sim_.now() - last_write_time_ < interval / 2) {
       continue;
     }
-    auto repaired = co_await ScrubAndRepair();
-    if (!repaired.ok()) {
+    // Deep scrub (DESIGN.md §5j): walk every burned array at read speed
+    // through the scheduler's background class, repair damage from
+    // parity, refresh rotting arrays onto fresh media.
+    auto pass = co_await scrub_->RunPass();
+    if (!pass.ok()) {
       ROS_LOG(kWarning) << "scheduled scrub failed: "
-                        << repaired.status().ToString();
-    } else if (*repaired > 0) {
-      ROS_LOG(kInfo) << "scheduled scrub repaired " << *repaired
-                     << " image(s)";
-      // Re-burn the recovered images promptly.
-      Status status = co_await burns_->FlushPartialArray();
-      if (!status.ok()) {
-        ROS_LOG(kWarning) << "post-scrub flush failed: "
-                          << status.ToString();
-      }
+                        << pass.status().ToString();
+    } else if (pass->repairs > 0 || pass->arrays_refreshed > 0) {
+      ROS_LOG(kInfo) << "scheduled scrub repaired " << pass->repairs
+                     << " image(s), refreshed " << pass->arrays_refreshed
+                     << " array(s)";
     }
   }
 }

@@ -19,6 +19,7 @@
 
 #include "src/common/status.h"
 #include "src/olfs/affinity.h"
+#include "src/olfs/audit.h"
 #include "src/olfs/bucket_manager.h"
 #include "src/olfs/burn_manager.h"
 #include "src/olfs/da_index.h"
@@ -32,6 +33,7 @@
 #include "src/olfs/params.h"
 #include "src/olfs/parity.h"
 #include "src/olfs/read_cache.h"
+#include "src/olfs/scrub.h"
 #include "src/olfs/system.h"
 #include "src/olfs/tray_predictor.h"
 #include "src/sim/simulator.h"
@@ -149,7 +151,19 @@ class Olfs {
   // Periodic scrub (§4.7): checks burned discs for sector errors and
   // recovers damaged images from their array's parity onto fresh media
   // (a new bucket -> image -> burn cycle). Returns repaired image count.
+  // (Metadata-level sweep; the scheduled deep scrub with refresh burns
+  // lives in ScrubManager, DESIGN.md §5j.)
   sim::Task<StatusOr<int>> ScrubAndRepair();
+
+  // Reconstructs one damaged image from its array's parity and re-stages
+  // it for a re-burn onto fresh media.
+  sim::Task<Status> RecoverAndRepairImage(std::string image_id);
+
+  // Refresh burn (DESIGN.md §5j): re-stages a *healthy* burned image so
+  // the pipeline re-burns it onto fresh media — from the cached copy when
+  // one exists, else a disc-to-disc read through the scheduler's
+  // background class, else parity reconstruction.
+  sim::Task<Status> RefreshImage(std::string image_id);
 
   // Rebuilds the global namespace by physically scanning the given disc
   // arrays (§4.4). Wipes the current MV first. Used after MV loss.
@@ -198,6 +212,9 @@ class Olfs {
   DaIndex& da_index() { return *da_; }
   AffinityTracker& affinity() { return *affinity_; }
   TrayPredictor& predictor() { return *predictor_; }
+  AuditRegistry& audit() { return *audit_; }
+  ScrubManager& scrub() { return *scrub_; }
+  sim::Simulator& simulator() { return sim_; }
   const OlfsParams& params() const { return params_; }
 
  private:
@@ -286,6 +303,8 @@ class Olfs {
   std::unique_ptr<FetchScheduler> scheduler_;
   std::unique_ptr<BurnManager> burns_;
   std::unique_ptr<FetchManager> fetcher_;
+  std::unique_ptr<AuditRegistry> audit_;
+  std::unique_ptr<ScrubManager> scrub_;
 
   // Parsed metadata of disc-mounted images (the in-kernel UDF view).
   std::map<std::string, std::shared_ptr<udf::Image>> disc_mounts_;

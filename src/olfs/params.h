@@ -119,6 +119,29 @@ struct OlfsParams {
   // it stages each image to its drive (Fig 9).
   BusyDrivePolicy busy_drive_policy = BusyDrivePolicy::kWaitForBurn;
 
+  // --- Decades-scale preservation (DESIGN.md §5j) ---
+  // Media aging: deterministic per-disc latent-sector-error accrual that
+  // grows with disc age and eases with burn generation. Disabled by
+  // default, and a disabled model is byte- and tick-identical to none.
+  drive::MediaAgingParams media_aging;
+  // Scrub pass policy: with refresh enabled, an array found damaged (or
+  // older than `refresh_age_years`, 0 = age never triggers) is refreshed —
+  // every data member re-staged (damaged ones reconstructed from parity)
+  // and re-burned onto fresh media, the old tray retired — so error
+  // accumulation never exceeds what parity can recover. With refresh
+  // disabled the scrub only repairs damaged members in place.
+  bool scrub_refresh_enabled = true;
+  double refresh_age_years = 0.0;
+  // Generation migration: the first refresh switches blank-media
+  // allocation to `migration_disc_type` (higher density, slower rot), so
+  // refresh burns double as media-generation upgrades.
+  bool generation_migration_enabled = false;
+  drive::DiscType migration_disc_type = drive::DiscType::kBdr100;
+  // Merkle audit manifests (built at burn time, persisted in the MV):
+  // sampled leaf verification proves array integrity without full reads.
+  bool audit_manifests_enabled = true;
+  std::uint64_t audit_leaf_bytes = 256 * kKiB;
+
   // Self-healing budgets: transient (kUnavailable) mechanical faults during
   // a fetch re-run bay selection under `mech_retry`; transient burn-path
   // faults re-attempt the same array under `burn_retry` before the burn

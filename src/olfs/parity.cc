@@ -141,6 +141,37 @@ StatusOr<std::vector<std::uint8_t>> ParityBuilder::Recover(
   return out;
 }
 
+StatusOr<std::vector<std::uint8_t>> ParityBuilder::RecoverOneFromQ(
+    const std::vector<std::vector<std::uint8_t>>& member_streams,
+    const std::vector<std::uint8_t>& q_stream, int missing_index) {
+  const int n = static_cast<int>(member_streams.size());
+  if (missing_index < 0 || missing_index >= n) {
+    return InvalidArgumentError("bad missing index");
+  }
+  if (!member_streams[missing_index].empty()) {
+    return InvalidArgumentError("missing slot must be empty");
+  }
+  // Q' = Q ^ sum(g^i D_i) over the survivors leaves g^j D_j.
+  std::vector<std::uint8_t> out(q_stream);
+  for (int k = 0; k < n; ++k) {
+    if (k == missing_index) {
+      continue;
+    }
+    if (member_streams[k].empty()) {
+      return FailedPreconditionError(
+          "two members missing; use the P+Q double-erasure solve");
+    }
+    if (member_streams[k].size() > out.size()) {
+      return InvalidArgumentError("member stream longer than parity");
+    }
+    gf256::MulAcc(out, gf256::Pow2(static_cast<unsigned>(k)),
+                  member_streams[k]);
+  }
+  gf256::Scale(out, gf256::Inv(gf256::Pow2(
+                        static_cast<unsigned>(missing_index))));
+  return out;
+}
+
 StatusOr<std::pair<std::vector<std::uint8_t>, std::vector<std::uint8_t>>>
 ParityBuilder::RecoverTwo(
     const std::vector<std::vector<std::uint8_t>>& member_streams,

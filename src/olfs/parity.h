@@ -66,6 +66,13 @@ class ParityBuilder {
       const std::vector<std::vector<std::uint8_t>>& parity_streams,
       int missing_index);
 
+  // Single loss with P unreadable: recovers one missing data stream from
+  // the survivors plus the Q (Reed-Solomon) parity alone:
+  //   D_j = (Q ^ sum_{i != j} g^i D_i) * g^-j.
+  static StatusOr<std::vector<std::uint8_t>> RecoverOneFromQ(
+      const std::vector<std::vector<std::uint8_t>>& member_streams,
+      const std::vector<std::uint8_t>& q_stream, int missing_index);
+
   // RAID-6 schema (§4.7, 10+2): reconstructs TWO missing data streams
   // from the survivors plus both the P and Q parity streams. Returns the
   // pair in (missing_a, missing_b) order. Uses the standard Reed-Solomon

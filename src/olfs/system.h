@@ -125,6 +125,18 @@ class RosSystem {
   }
   sim::FaultInjector* fault_injector() { return fault_injector_; }
 
+  // Installs the media-aging model on every optical drive (DESIGN.md
+  // §5j). Not owned; the params must outlive the drives. Pass nullptr to
+  // detach — and a params object with enabled=false is byte-identical to
+  // no model at all.
+  void InstallAgingModel(const drive::MediaAgingParams* aging) {
+    for (auto& set : drive_sets_) {
+      for (int i = 0; i < set->size(); ++i) {
+        set->drive(i).set_aging_model(aging);
+      }
+    }
+  }
+
  private:
   SystemConfig config_;
   std::vector<std::unique_ptr<disk::StorageDevice>> ssds_;

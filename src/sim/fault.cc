@@ -34,6 +34,11 @@ double FaultInjector::rate(FaultKind kind) const {
 }
 
 bool FaultInjector::ShouldInject(FaultKind kind, std::string_view site) {
+  return ShouldInjectAged(kind, site, /*extra_rate=*/0.0);
+}
+
+bool FaultInjector::ShouldInjectAged(FaultKind kind, std::string_view site,
+                                     double extra_rate) {
   const int k = static_cast<int>(kind);
   const std::uint64_t global = ++seen_[k];
   std::uint64_t site_count = 0;
@@ -59,8 +64,13 @@ bool FaultInjector::ShouldInject(FaultKind kind, std::string_view site) {
     }
   }
   // Rate check runs even after a scripted hit so the RNG stream — and
-  // with it every later rate decision — is independent of the script.
-  if (rates_[k] > 0 && rng_.Chance(rates_[k])) {
+  // with it every later rate decision — is independent of the script. The
+  // age-scaled extra rate folds into the same single draw: the combined
+  // rate is P(flat or extra) and degenerates to the flat rate (same RNG
+  // consumption, same outcomes) whenever extra_rate is zero.
+  const double combined =
+      rates_[k] + extra_rate * (1.0 - rates_[k]);
+  if (combined > 0 && rng_.Chance(combined)) {
     hit = true;
   }
   if (hit) {
@@ -74,6 +84,20 @@ bool FaultInjector::ShouldInject(FaultKind kind, std::string_view site) {
                   global);
   }
   return hit;
+}
+
+void FaultInjector::RecordExternal(FaultKind kind, std::string_view site,
+                                   std::uint64_t count) {
+  if (count == 0) {
+    return;
+  }
+  const int k = static_cast<int>(kind);
+  injected_[k] += count;
+  ROS_LOG(kDebug) << "recorded " << count << " external "
+                  << FaultKindName(kind) << " at " << site;
+  if (hasher_ != nullptr) {
+    hasher_->Fold("fault-ext", site, static_cast<std::uint64_t>(k), count);
+  }
 }
 
 std::uint64_t FaultInjector::ops_seen(FaultKind kind) const {

@@ -59,6 +59,23 @@ class FaultInjector {
   // Scripted triggers are checked first (no RNG), then the kind's rate.
   bool ShouldInject(FaultKind kind, std::string_view site);
 
+  // Age-scaled hook point: like ShouldInject, but the caller supplies an
+  // extra per-operation failure probability derived from the component's
+  // age (an old disc's elevated latent-sector-error rate). The extra rate
+  // combines with the kind's flat background rate into one Bernoulli draw,
+  // so `extra_rate == 0` is byte- and tick-identical to ShouldInject and
+  // the unset aging model costs nothing.
+  bool ShouldInjectAged(FaultKind kind, std::string_view site,
+                        double extra_rate);
+
+  // Accounts `count` faults of `kind` materialized outside the injector
+  // (the media-aging accrual corrupts sectors with its own per-disc RNG).
+  // Counted in the injection telemetry and folded into the event hasher so
+  // replay-check runs cover the aging path; consumes no injector
+  // randomness and never fires anything itself.
+  void RecordExternal(FaultKind kind, std::string_view site,
+                      std::uint64_t count);
+
   // Divergence oracle hook: when installed, every ShouldInject decision
   // (kind, site, operation count, outcome) is folded into the hasher so
   // replay-check runs catch fault-plan divergence at the injection point

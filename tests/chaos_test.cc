@@ -127,6 +127,141 @@ TEST_F(ChaosTest, EmptyInjectorIsTickAndByteIdentical) {
   EXPECT_EQ(faults.total_injected(), 0u);
 }
 
+// The aged injector hook with extra_rate=0 is indistinguishable from the
+// plain hook: same decisions, same randomness consumed, so installing the
+// (disabled) aging model can never perturb a run.
+TEST_F(ChaosTest, DisabledAgingHookIsDrawForDrawIdentical) {
+  sim::FaultInjector plain(/*seed=*/123);
+  sim::FaultInjector aged(/*seed=*/123);
+  plain.SetRate(FaultKind::kLatentSectorError, 0.3);
+  aged.SetRate(FaultKind::kLatentSectorError, 0.3);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(plain.ShouldInject(FaultKind::kLatentSectorError, "read"),
+              aged.ShouldInjectAged(FaultKind::kLatentSectorError, "read",
+                                    /*extra_rate=*/0.0))
+        << "diverged at draw " << i;
+  }
+  EXPECT_EQ(plain.injected(FaultKind::kLatentSectorError),
+            aged.injected(FaultKind::kLatentSectorError));
+  // Both injectors are in the same RNG state afterwards: their futures
+  // agree too.
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(plain.ShouldInject(FaultKind::kMechFault, "mech"),
+              aged.ShouldInject(FaultKind::kMechFault, "mech"));
+  }
+  // RecordExternal bumps telemetry without consuming randomness.
+  aged.RecordExternal(FaultKind::kLatentSectorError, "aging", 5);
+  EXPECT_EQ(aged.injected(FaultKind::kLatentSectorError),
+            plain.injected(FaultKind::kLatentSectorError) + 5);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_EQ(plain.ShouldInject(FaultKind::kMechFault, "mech"),
+              aged.ShouldInject(FaultKind::kMechFault, "mech"));
+  }
+}
+
+// A populated-but-disabled media aging model must leave the simulation
+// bit-identical to the default configuration — same clock, same bytes —
+// exactly like an installed-but-empty fault injector.
+TEST_F(ChaosTest, DisabledAgingModelIsTickAndByteIdentical) {
+  auto workload = [&]() -> std::pair<sim::TimePoint,
+                                     std::vector<std::uint8_t>> {
+    std::vector<std::uint8_t> all;
+    for (int i = 0; i < 3; ++i) {
+      auto payload = RandomBytes(24 * kKiB + i * 1000, 500 + i);
+      ROS_CHECK(Create("/age/f" + std::to_string(i), payload).ok());
+    }
+    ROS_CHECK(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
+    sim_->RunFor(Seconds(3600));  // idle time the aging clock could use
+    for (int i = 0; i < 3; ++i) {
+      auto data = sim_->RunUntilComplete(olfs_->Read(
+          "/age/f" + std::to_string(i), 0, 24 * kKiB + i * 1000));
+      ROS_CHECK(data.ok());
+      all.insert(all.end(), data->begin(), data->end());
+    }
+    return {sim_->now(), std::move(all)};
+  };
+
+  auto [baseline_now, baseline_bytes] = workload();
+
+  OlfsParams aged = ChaosParams();
+  // Every rate dialed up, but the master switch off: nothing may change.
+  aged.media_aging.enabled = false;
+  aged.media_aging.lse_per_sector_year = 10.0;
+  aged.media_aging.growth_per_year = 10.0;
+  aged.media_aging.read_fault_per_year = 10.0;
+  Reset(aged);
+  sim::FaultInjector& faults = InstallInjector(/*seed=*/42);
+  auto [aged_now, aged_bytes] = workload();
+
+  EXPECT_EQ(baseline_now, aged_now);
+  EXPECT_EQ(baseline_bytes, aged_bytes);
+  EXPECT_EQ(faults.total_injected(), 0u);
+}
+
+// The deep scrub runs strictly in the scheduler's background class: under
+// a concurrent foreground read stream every read completes, queue delays
+// stay bounded, and the scheduler's self-checks hold.
+TEST_F(ChaosTest, BackgroundScrubNeverStarvesForegroundReads) {
+  OlfsParams params = ChaosParams();
+  params.media_aging.enabled = true;
+  params.media_aging.lse_per_sector_year = 0.0005;
+  params.media_aging.seed = 77;
+  Reset(params);
+
+  std::map<std::string, std::vector<std::uint8_t>> acked;
+  std::vector<std::string> paths;
+  for (int i = 0; i < 4; ++i) {
+    const std::string path = "/busy/f" + std::to_string(i);
+    auto payload = RandomBytes(12 * kKiB + i * 2000, 700 + i);
+    ASSERT_TRUE(Create(path, payload).ok()) << path;
+    ASSERT_TRUE(sim_->RunUntilComplete(olfs_->FlushAndDrain()).ok());
+    acked[path] = std::move(payload);
+    paths.push_back(path);
+  }
+  ASSERT_NE(olfs_->fetch_scheduler(), nullptr);
+  sim_->RunFor(Seconds(3 * 365 * 24 * 3600.0));  // three years of rot
+
+  // Scrub pass and foreground reads in flight together.
+  StatusOr<ScrubPassReport> pass = UnavailableError("still running");
+  sim_->Spawn([](Olfs* olfs,
+                 StatusOr<ScrubPassReport>* out) -> sim::Task<void> {
+    *out = co_await olfs->scrub().RunPass();
+  }(olfs_.get(), &pass));
+
+  std::vector<Status> results(paths.size(), UnavailableError("running"));
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    sim_->Spawn([](Olfs* olfs, std::string path,
+                   const std::vector<std::uint8_t>* expect,
+                   Status* out) -> sim::Task<void> {
+      auto data = co_await olfs->Read(path, 0, expect->size());
+      if (!data.ok()) {
+        *out = data.status();
+      } else {
+        *out = *data == *expect ? OkStatus()
+                                : DataLossError("content mismatch");
+      }
+    }(olfs_.get(), paths[i], &acked[paths[i]], &results[i]));
+  }
+  sim_->Run();  // drain: scrub + every foreground read complete
+
+  ASSERT_TRUE(pass.ok()) << pass.status().ToString();
+  EXPECT_GT(pass->images, 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok())
+        << paths[i] << ": " << results[i].ToString();
+  }
+  const FetchSchedulerStats& stats = olfs_->fetch_scheduler()->stats();
+  // The scrub went through the background class, which yields while
+  // foreground demand is queued — and foreground delay stays bounded by
+  // at most a handful of array swaps, not the length of the scrub.
+  EXPECT_GT(stats.background_acquires, 0u);
+  EXPECT_EQ(stats.speculative_demand_evictions, 0u);
+  EXPECT_LT(stats.max_queue_delay, Seconds(900));
+  for (int b = 0; b < olfs_->mech().num_bays(); ++b) {
+    EXPECT_NE(olfs_->mech().bay_state(b), BayState::kBusy) << "bay " << b;
+  }
+}
+
 // A latent sector error under the read head is served degraded from
 // parity — correct bytes, counters ticking — and repaired onto fresh
 // media in the background.

@@ -65,5 +65,9 @@ TEST(CorpusReplay, UdfImage) { ReplayAll("udf", FuzzUdfImage); }
 
 TEST(CorpusReplay, MvLog) { ReplayAll("mvlog", FuzzMvLog); }
 
+TEST(CorpusReplay, AuditManifest) {
+  ReplayAll("audit", FuzzAuditManifest);
+}
+
 }  // namespace
 }  // namespace ros::fuzz

@@ -193,6 +193,50 @@ TEST_F(ParityTest, Raid6DoubleLossRoundTripThroughFusedPath) {
   }
 }
 
+// When the P disc rots along with a data member, the Reed-Solomon Q
+// parity alone still solves the single erasure.
+TEST_F(ParityTest, RecoverOneFromQAloneWhenPIsUnreadable) {
+  params_.parity_images = 2;
+  builder_ = std::make_unique<ParityBuilder>(sim_, params_, &images_);
+  std::vector<std::string> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(MakeImage(40 + i));
+  }
+  auto parities = sim_.RunUntilComplete(
+      builder_->Build(ids, volume_ptrs_, 0));
+  ASSERT_TRUE(parities.ok());
+  auto q = builder_->Get((*parities)[1].id);
+  ASSERT_TRUE(q.ok());
+
+  std::vector<std::vector<std::uint8_t>> streams;
+  for (const auto& id : ids) {
+    auto record = images_.Lookup(id);
+    streams.push_back(udf::Serializer::Serialize(*(*record)->image));
+  }
+  for (int missing = 0; missing < 5; ++missing) {
+    auto survivors = streams;
+    auto original = std::move(survivors[missing]);
+    survivors[missing].clear();
+    auto recovered =
+        ParityBuilder::RecoverOneFromQ(survivors, (*q)->bytes, missing);
+    ASSERT_TRUE(recovered.ok()) << "missing " << missing;
+    ASSERT_GE(recovered->size(), original.size());
+    EXPECT_TRUE(std::equal(original.begin(), original.end(),
+                           recovered->begin()));
+    auto parsed = udf::Serializer::Parse(*recovered);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->id(), ids[missing]);
+  }
+  // Guards mirror Recover(): occupied missing slot, double loss.
+  auto survivors = streams;
+  survivors[0].clear();
+  EXPECT_FALSE(
+      ParityBuilder::RecoverOneFromQ(survivors, (*q)->bytes, 1).ok());
+  survivors[1].clear();
+  EXPECT_FALSE(
+      ParityBuilder::RecoverOneFromQ(survivors, (*q)->bytes, 0).ok());
+}
+
 TEST_F(ParityTest, RecoverReconstructsAnyMissingMember) {
   std::vector<std::string> ids;
   for (int i = 0; i < 5; ++i) {
